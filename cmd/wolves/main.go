@@ -1,0 +1,136 @@
+// Command wolves is the WOLVES demo as a terminal tool: it validates
+// workflow views against their workflow specifications, corrects unsound
+// views under the paper's three criteria, answers provenance queries,
+// explores the simulated repository, estimates correction cost, and
+// drives scripted feedback sessions.
+//
+// Usage:
+//
+//	wolves validate  (-moml f.xml | -workflow wf.json -view v.json) [-paths]
+//	wolves correct   (-moml f.xml | -workflow wf.json -view v.json)
+//	                 [-criterion weak|strong|strong-audited|optimal]
+//	                 [-out corrected.json] [-merge-up]
+//	wolves lineage   (-moml f.xml | -workflow wf.json [-view v.json]) -task ID
+//	wolves dot       (-moml f.xml | -workflow wf.json -view v.json) [-of view|workflow]
+//	wolves repo      list | show <key> | audit
+//	wolves session   (-moml f.xml | -workflow wf.json -view v.json) -script s.txt
+//	wolves estimate  -n N -edges M [-criterion c] [-history hist.json] [-train]
+//	wolves convert   -moml f.xml -to json | -workflow wf.json -view v.json -to moml
+//
+// Exit status: 0 on success (validate: view sound), 1 on error,
+// 3 when validate finds an unsound view.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"wolves/internal/core"
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	var err error
+	switch os.Args[1] {
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "correct":
+		err = cmdCorrect(os.Args[2:])
+	case "lineage":
+		err = cmdLineage(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "repo":
+		err = cmdRepo(os.Args[2:])
+	case "session":
+		err = cmdSession(os.Args[2:])
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "wolves: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(1)
+	}
+	if err != nil {
+		var ue unsoundErr
+		if errors.As(err, &ue) {
+			fmt.Fprintln(os.Stderr, "wolves:", err)
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "wolves:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `wolves — detect and resolve unsound workflow views (WOLVES, VLDB'09)
+
+commands:
+  validate   check a view's soundness, with witnesses
+  correct    repair an unsound view (weak|strong|strong-audited|optimal, or -merge-up)
+  lineage    provenance of a task's output (workflow- and view-level)
+  dot        Graphviz rendering (unsound composites red)
+  repo       explore the simulated workflow repository
+  session    run a scripted validate/correct/feedback session
+  estimate   predict correction time and quality (§3.2 estimator)
+  convert    convert between MOML and JSON formats
+
+run 'wolves <command> -h' for flags`)
+}
+
+// unsoundErr signals exit status 3 (view is unsound).
+type unsoundErr struct{ msg string }
+
+func (e unsoundErr) Error() string { return e.msg }
+
+// inputFlags wires the shared -moml/-workflow/-view source flags.
+type inputFlags struct {
+	moml, wf, view string
+}
+
+func (in *inputFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&in.moml, "moml", "", "MOML file holding the workflow (and view)")
+	fs.StringVar(&in.wf, "workflow", "", "workflow JSON file")
+	fs.StringVar(&in.view, "view", "", "view JSON file (requires -workflow)")
+}
+
+// load reads the workflow and (optionally) the view. needView demands one.
+func (in *inputFlags) load(needView bool) (*workflow.Workflow, *view.View, error) {
+	wf, v, err := loadInputs(in.moml, in.wf, in.view)
+	if err != nil {
+		return nil, nil, err
+	}
+	if needView && v == nil {
+		return nil, nil, errors.New("no view given: use -moml with composites or -view")
+	}
+	return wf, v, nil
+}
+
+func reportSound(o *soundness.Oracle, v *view.View) error {
+	rep := soundness.ValidateView(o, v)
+	if !rep.Sound {
+		var ids []string
+		for _, ci := range rep.Unsound {
+			ids = append(ids, v.Composite(ci).ID)
+		}
+		return unsoundErr{fmt.Sprintf("view %q is UNSOUND (composites: %v)", v.Name(), ids)}
+	}
+	return nil
+}
+
+func parseCriterionFlag(s string) (core.Criterion, error) {
+	return core.ParseCriterion(s)
+}

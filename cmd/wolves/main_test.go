@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wolves/internal/moml"
+	"wolves/internal/repo"
+)
+
+// writeFixtures materializes the Figure 1 fixture in a temp dir.
+func writeFixtures(t *testing.T) (dir, momlPath, wfPath, viewPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	wf, v := repo.Figure1()
+
+	momlPath = filepath.Join(dir, "fig1.xml")
+	mf, err := os.Create(momlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := moml.Encode(mf, wf, v); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	wfPath = filepath.Join(dir, "wf.json")
+	wfF, err := os.Create(wfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.EncodeJSON(wfF); err != nil {
+		t.Fatal(err)
+	}
+	wfF.Close()
+
+	viewPath = filepath.Join(dir, "view.json")
+	vF, err := os.Create(viewPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.EncodeJSON(vF); err != nil {
+		t.Fatal(err)
+	}
+	vF.Close()
+	return dir, momlPath, wfPath, viewPath
+}
+
+// capture redirects stdout during fn.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestLoadInputs(t *testing.T) {
+	_, momlPath, wfPath, viewPath := writeFixtures(t)
+
+	wf, v, err := loadInputs(momlPath, "", "")
+	if err != nil || wf == nil || v == nil {
+		t.Fatalf("moml load: %v", err)
+	}
+	wf, v, err = loadInputs("", wfPath, viewPath)
+	if err != nil || wf.N() != 12 || v.N() != 7 {
+		t.Fatalf("json load: %v", err)
+	}
+	wf, v, err = loadInputs("", wfPath, "")
+	if err != nil || v != nil {
+		t.Fatalf("workflow-only load: %v %v", v, err)
+	}
+	if _, _, err := loadInputs(momlPath, wfPath, ""); err == nil {
+		t.Fatal("both sources must error")
+	}
+	if _, _, err := loadInputs("", "", ""); err == nil {
+		t.Fatal("no source must error")
+	}
+	if _, _, err := loadInputs("/nonexistent.xml", "", ""); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestCmdValidate(t *testing.T) {
+	_, momlPath, _, _ := writeFixtures(t)
+	out, err := capture(t, func() error {
+		return cmdValidate([]string{"-moml", momlPath, "-paths"})
+	})
+	var ue unsoundErr
+	if !errors.As(err, &ue) {
+		t.Fatalf("expected unsound exit, got %v", err)
+	}
+	for _, want := range []string{"UNSOUND", "[!!] 16", "definition-2.1 path check"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdCorrect(t *testing.T) {
+	dir, momlPath, _, _ := writeFixtures(t)
+	outFile := filepath.Join(dir, "fixed.json")
+	out, err := capture(t, func() error {
+		return cmdCorrect([]string{"-moml", momlPath, "-criterion", "strong", "-out", outFile})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"7 → 8 composites", "split 16", "SOUND"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil || !strings.Contains(string(data), "16.1") {
+		t.Fatalf("corrected view file wrong: %v\n%s", err, data)
+	}
+
+	// Merge-up variant.
+	out, err = capture(t, func() error {
+		return cmdCorrect([]string{"-moml", momlPath, "-merge-up"})
+	})
+	if err != nil || !strings.Contains(out, "merge-up") {
+		t.Fatalf("merge-up: %v\n%s", err, out)
+	}
+
+	// Bad criterion.
+	if _, err := capture(t, func() error {
+		return cmdCorrect([]string{"-moml", momlPath, "-criterion", "bogus"})
+	}); err == nil {
+		t.Fatal("bogus criterion must error")
+	}
+}
+
+func TestCmdLineage(t *testing.T) {
+	_, momlPath, _, _ := writeFixtures(t)
+	out, err := capture(t, func() error {
+		return cmdLineage([]string{"-moml", momlPath, "-task", "8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"depends on : {1, 2, 6, 7}", "view answer", "false pairs=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, func() error {
+		return cmdLineage([]string{"-moml", momlPath})
+	}); err == nil {
+		t.Fatal("missing -task must error")
+	}
+}
+
+func TestCmdDot(t *testing.T) {
+	_, momlPath, _, _ := writeFixtures(t)
+	out, err := capture(t, func() error {
+		return cmdDot([]string{"-moml", momlPath, "-of", "workflow"})
+	})
+	if err != nil || !strings.Contains(out, "cluster_16") {
+		t.Fatalf("workflow dot: %v\n%s", err, out)
+	}
+	out, err = capture(t, func() error {
+		return cmdDot([]string{"-moml", momlPath, "-of", "view"})
+	})
+	if err != nil || !strings.Contains(out, `"16"`) {
+		t.Fatalf("view dot: %v\n%s", err, out)
+	}
+	if _, err := capture(t, func() error {
+		return cmdDot([]string{"-moml", momlPath, "-of", "sideways"})
+	}); err == nil {
+		t.Fatal("bad -of must error")
+	}
+}
+
+func TestCmdRepo(t *testing.T) {
+	out, err := capture(t, func() error { return cmdRepo([]string{"list"}) })
+	if err != nil || !strings.Contains(out, "phylogenomics") {
+		t.Fatalf("repo list: %v\n%s", err, out)
+	}
+	out, err = capture(t, func() error { return cmdRepo([]string{"show", "etl-sales"}) })
+	if err != nil || !strings.Contains(out, "etl-stage-banded") {
+		t.Fatalf("repo show: %v\n%s", err, out)
+	}
+	out, err = capture(t, func() error { return cmdRepo([]string{"audit"}) })
+	if err != nil || !strings.Contains(out, "views unsound") {
+		t.Fatalf("repo audit: %v\n%s", err, out)
+	}
+	if err := cmdRepo([]string{}); err == nil {
+		t.Fatal("no subcommand must error")
+	}
+	if err := cmdRepo([]string{"bogus"}); err == nil {
+		t.Fatal("bogus subcommand must error")
+	}
+	if err := cmdRepo([]string{"show"}); err == nil {
+		t.Fatal("show without key must error")
+	}
+	if err := cmdRepo([]string{"show", "ghost"}); err == nil {
+		t.Fatal("unknown key must error")
+	}
+}
+
+func TestCmdSession(t *testing.T) {
+	dir, momlPath, _, _ := writeFixtures(t)
+	script := filepath.Join(dir, "s.txt")
+	if err := os.WriteFile(script, []byte("validate\ncorrect strong\naccept\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return cmdSession([]string{"-moml", momlPath, "-script", script})
+	})
+	if err != nil || !strings.Contains(out, "accept: sound=true") {
+		t.Fatalf("session: %v\n%s", err, out)
+	}
+	if _, err := capture(t, func() error {
+		return cmdSession([]string{"-moml", momlPath})
+	}); err == nil {
+		t.Fatal("missing -script must error")
+	}
+}
+
+func TestCmdEstimateAndConvert(t *testing.T) {
+	dir, momlPath, wfPath, viewPath := writeFixtures(t)
+	hist := filepath.Join(dir, "hist.json")
+	out, err := capture(t, func() error {
+		return cmdEstimate([]string{"-train", "-history", hist, "-n", "10", "-edges", "12", "-criterion", "strong"})
+	})
+	if err != nil || !strings.Contains(out, "est. time") {
+		t.Fatalf("estimate: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(hist); err != nil {
+		t.Fatal("history file not written")
+	}
+	// Without training and with an empty group: error.
+	if _, err := capture(t, func() error {
+		return cmdEstimate([]string{"-n", "999", "-edges", "2"})
+	}); err == nil {
+		t.Fatal("no history must error")
+	}
+
+	out, err = capture(t, func() error {
+		return cmdConvert([]string{"-moml", momlPath, "-to", "json"})
+	})
+	if err != nil || !strings.Contains(out, `"phylogenomics"`) {
+		t.Fatalf("convert to json: %v\n%s", err, out)
+	}
+	out, err = capture(t, func() error {
+		return cmdConvert([]string{"-workflow", wfPath, "-view", viewPath, "-to", "moml"})
+	})
+	if err != nil || !strings.Contains(out, "TypedCompositeActor") {
+		t.Fatalf("convert to moml: %v\n%s", err, out)
+	}
+	if _, err := capture(t, func() error {
+		return cmdConvert([]string{"-moml", momlPath, "-to", "yaml"})
+	}); err == nil {
+		t.Fatal("bad -to must error")
+	}
+}

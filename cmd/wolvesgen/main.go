@@ -1,0 +1,112 @@
+// Command wolvesgen generates workflow/view corpora for experiments:
+// layered DAGs, series-parallel graphs, Kepler-style scientific
+// pipelines and guaranteed-unsound composite tasks, with interval,
+// random, module or Biton-style views, written as JSON or MOML.
+//
+// Examples:
+//
+//	wolvesgen -kind pipeline -branches 4 -chain 5 -view module -format moml
+//	wolvesgen -kind layered -tasks 200 -layers 12 -view interval -k 10
+//	wolvesgen -kind unsound -tasks 24 -seed 7 -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wolves/internal/gen"
+	"wolves/internal/moml"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wolvesgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("wolvesgen", flag.ExitOnError)
+	kind := fs.String("kind", "layered", "layered|sp|pipeline|unsound")
+	name := fs.String("name", "generated", "workflow name")
+	tasks := fs.Int("tasks", 50, "task count (layered, unsound)")
+	layers := fs.Int("layers", 6, "layer count (layered)")
+	edgeProb := fs.Float64("edgeprob", 0.3, "adjacent-layer edge probability (layered)")
+	skipProb := fs.Float64("skipprob", 0.05, "layer-skip edge probability (layered)")
+	depth := fs.Int("depth", 3, "recursion depth (sp)")
+	branch := fs.Int("branch", 3, "max branches (sp) / branches (pipeline)")
+	chain := fs.Int("chain", 3, "chain length (pipeline)")
+	side := fs.Int("side", 1, "side chains (pipeline)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	viewKind := fs.String("view", "", "interval|random|module|biton (empty: no view)")
+	k := fs.Int("k", 5, "composite count (interval, random)")
+	relevant := fs.String("relevant", "", "comma-separated relevant task IDs (biton)")
+	format := fs.String("format", "json", "json|moml")
+	fs.Parse(args)
+
+	var wf *workflow.Workflow
+	switch *kind {
+	case "layered":
+		wf = gen.Layered(gen.LayeredConfig{
+			Name: *name, Tasks: *tasks, Layers: *layers,
+			EdgeProb: *edgeProb, SkipProb: *skipProb, Seed: *seed,
+		})
+	case "sp":
+		wf = gen.SeriesParallel(gen.SPConfig{
+			Name: *name, Depth: *depth, MaxBranch: *branch, Seed: *seed,
+		})
+	case "pipeline":
+		wf = gen.ScientificPipeline(gen.PipelineConfig{
+			Name: *name, Branches: *branch, ChainLen: *chain,
+			SideChains: *side, SideChainLen: *chain, Seed: *seed,
+		})
+	case "unsound":
+		w, members := gen.UnsoundTask(*tasks, *seed)
+		wf = w
+		fmt.Fprintf(os.Stderr, "unsound composite members: %d tasks\n", len(members))
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+
+	var v *view.View
+	var err error
+	switch *viewKind {
+	case "":
+	case "interval":
+		v = gen.IntervalView(wf, *k, *name+"-interval")
+	case "random":
+		v = gen.RandomView(wf, *k, *seed, *name+"-random")
+	case "module":
+		v = gen.ModuleView(wf, *name+"-module")
+	case "biton":
+		ids := strings.Split(*relevant, ",")
+		if *relevant == "" {
+			return fmt.Errorf("biton view needs -relevant task IDs")
+		}
+		v, err = gen.BitonStyleView(wf, ids, *name+"-biton")
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -view %q", *viewKind)
+	}
+
+	switch *format {
+	case "json":
+		if err := wf.EncodeJSON(out); err != nil {
+			return err
+		}
+		if v != nil {
+			return v.EncodeJSON(out)
+		}
+		return nil
+	case "moml":
+		return moml.Encode(out, wf, v)
+	default:
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+}

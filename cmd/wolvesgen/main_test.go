@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"wolves/internal/moml"
+	"wolves/internal/workflow"
+)
+
+// runCapture runs the generator with stdout redirected to a pipe.
+func runCapture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := run(args, w)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestGenLayeredJSON(t *testing.T) {
+	out, err := runCapture(t, []string{"-kind", "layered", "-tasks", "30", "-layers", "5", "-format", "json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := workflow.DecodeJSON(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("generated JSON must decode: %v\n%s", err, out)
+	}
+	if wf.N() != 30 {
+		t.Fatalf("N = %d", wf.N())
+	}
+}
+
+func TestGenPipelineMOMLWithModuleView(t *testing.T) {
+	out, err := runCapture(t, []string{"-kind", "pipeline", "-branch", "3", "-chain", "2",
+		"-view", "module", "-format", "moml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := moml.Decode(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("generated MOML must decode: %v", err)
+	}
+	if doc.View == nil {
+		t.Fatal("module view lost")
+	}
+}
+
+func TestGenSPAndUnsoundAndViews(t *testing.T) {
+	if _, err := runCapture(t, []string{"-kind", "sp", "-depth", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, []string{"-kind", "unsound", "-tasks", "12"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, []string{"-kind", "layered", "-view", "interval", "-k", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, []string{"-kind", "layered", "-view", "random", "-k", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, []string{"-kind", "pipeline", "-view", "biton", "-relevant", "merge"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "bogus"},
+		{"-view", "bogus"},
+		{"-view", "biton"}, // missing -relevant
+		{"-format", "bogus"},
+		{"-view", "biton", "-relevant", "ghost"},
+	}
+	for _, args := range cases {
+		if _, err := runCapture(t, args); err == nil {
+			t.Errorf("args %v must error", args)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command wolvestables regenerates every table and figure-series of the
+// WOLVES evaluation (experiment index in DESIGN.md §3; measured results
+// in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	wolvestables              # run all experiments (full sweeps)
+//	wolvestables -fast        # trimmed sweeps (seconds, CI-friendly)
+//	wolvestables -exp e4      # one experiment
+//	wolvestables -md          # markdown output (for EXPERIMENTS.md)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"flag"
+
+	"wolves/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("wolvestables", flag.ExitOnError)
+	exp := fs.String("exp", "all", "experiment id (e1..e9, a1, a2) or 'all'")
+	fast := fs.Bool("fast", false, "trimmed sweeps")
+	md := fs.Bool("md", false, "markdown output")
+	fs.Parse(os.Args[1:])
+
+	var tables []*experiments.Table
+	if *exp == "all" {
+		tables = experiments.All(*fast)
+	} else {
+		t, err := experiments.ByID(*exp, *fast)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wolvestables:", err)
+			os.Exit(1)
+		}
+		tables = []*experiments.Table{t}
+	}
+	for _, t := range tables {
+		var err error
+		if *md {
+			err = t.Markdown(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wolvestables:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package wolves_test
+
+import (
+	"fmt"
+
+	"wolves"
+)
+
+// The Figure 1 case study in four lines: load, validate, read the
+// witness, correct.
+func ExampleValidate() {
+	wf, v := wolves.Figure1()
+	oracle := wolves.NewOracle(wf)
+	report := wolves.Validate(oracle, v)
+	fmt.Println("sound:", report.Sound)
+	for _, ci := range report.Unsound {
+		cr := report.Composites[ci]
+		fmt.Printf("composite %s: %s\n", cr.ID,
+			wolves.DescribeViolation(wf, cr.Violations[0]))
+	}
+	// Output:
+	// sound: false
+	// composite 16: 4 ∈ T.in cannot reach 7 ∈ T.out
+}
+
+func ExampleCorrect() {
+	wf, v := wolves.Figure1()
+	oracle := wolves.NewOracle(wf)
+	fixed, _ := wolves.Correct(oracle, v, wolves.Strong, nil)
+	fmt.Println("composites:", fixed.CompositesBefore, "→", fixed.CompositesAfter)
+	fmt.Println("sound now:", wolves.Validate(oracle, fixed.Corrected).Sound)
+	// Output:
+	// composites: 7 → 8
+	// sound now: true
+}
+
+// The Figure 3 running example: the weak corrector stalls at 8 blocks,
+// the strong corrector reaches 5.
+func ExampleSplitTask() {
+	f := wolves.Figure3()
+	oracle := wolves.NewOracle(f.Workflow)
+	weak, _ := wolves.SplitTask(oracle, f.T, wolves.Weak, nil)
+	strong, _ := wolves.SplitTask(oracle, f.T, wolves.Strong, nil)
+	fmt.Println("weak blocks:", len(weak.Blocks))
+	fmt.Println("strong blocks:", len(strong.Blocks))
+	// Output:
+	// weak blocks: 8
+	// strong blocks: 5
+}
+
+// Unsound views corrupt provenance: the audit counts the spurious
+// dependency pairs a view invents.
+func ExampleAuditProvenance() {
+	wf, v := wolves.Figure1()
+	engine := wolves.NewLineageEngine(wf)
+	audit := wolves.AuditProvenance(engine, v)
+	fmt.Println("false pairs:", audit.FalsePairs)
+	fmt.Println("missing pairs:", audit.MissingPairs)
+	// Output:
+	// false pairs: 2
+	// missing pairs: 0
+}
+
+// The design-time advisor: which tasks can safely join a draft composite?
+func ExampleAdvisor() {
+	wf, _ := wolves.Figure1()
+	oracle := wolves.NewOracle(wf)
+	advisor := wolves.NewAdvisor(oracle)
+	draft := []int{wf.MustIndex("4")}
+	fmt.Println("can add 5:", advisor.CanAdd(draft, wf.MustIndex("5")))
+	fmt.Println("can add 7:", advisor.CanAdd(draft, wf.MustIndex("7")))
+	// Output:
+	// can add 5: true
+	// can add 7: false
+}

@@ -1,0 +1,124 @@
+package wolves_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end and checks
+// the load-bearing lines of its output. Requires the go toolchain; the
+// examples double as integration tests of the public facade.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{
+			dir: "quickstart",
+			want: []string{
+				"UNSOUND",
+				"cleanA ∈ T.in cannot reach cleanB ∈ T.out",
+				"false pairs=2",
+				"false pairs=0, precision=1.00",
+			},
+		},
+		{
+			dir: "phylogenomics",
+			want: []string{
+				"[!!] 16",
+				"does task 3 (in 14) reach task 8 (in 18)? false",
+				"audit after correction: 0 false pairs, precision 1.00",
+			},
+		},
+		{
+			dir: "repository-audit",
+			want: []string{
+				"8 of 16 views unsound",
+				"UNSOUND",
+			},
+		},
+		{
+			dir: "provenance-analysis",
+			want: []string{
+				"ops view sound? false",
+				"2 false pairs",
+				"after correction",
+				`"processes"`,
+			},
+		},
+		{
+			dir: "view-designer",
+			want: []string{
+				"after merging model+baseline: sound=false",
+				"train_model ∈ T.in cannot reach eval_baseline ∈ T.out",
+				"final: sound=true",
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", "./examples/" + tc.dir}, tc.args...)
+			cmd := exec.Command("go", args...)
+			cmd.Dir = repoRoot(t)
+			out, err := runWithTimeout(t, cmd, 2*time.Minute)
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.dir, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Fatalf("example %s output missing %q:\n%s", tc.dir, want, out)
+				}
+			}
+		})
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := wd; ; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		if dir == filepath.Dir(dir) {
+			t.Fatal("go.mod not found")
+		}
+	}
+}
+
+func runWithTimeout(t *testing.T, cmd *exec.Cmd, d time.Duration) (string, error) {
+	t.Helper()
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return string(out), err
+	case <-time.After(d):
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		<-done
+		return string(out), err
+	}
+}

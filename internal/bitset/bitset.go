@@ -1,0 +1,257 @@
+// Package bitset provides dense, fixed-capacity bitsets used throughout
+// WOLVES for reachability closure rows, composite-task membership and the
+// subset dynamic program of the optimal corrector.
+//
+// The zero value of Set is an empty set of capacity zero; use New to
+// allocate a set with a known capacity. All operations that combine two
+// sets require equal capacity and panic otherwise: mixing capacities is
+// always a programming error in this codebase, never a data error.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity dense bitset.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set able to hold bits [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromInts returns a set of capacity n with the given bits set.
+func FromInts(n int, xs ...int) *Set {
+	s := New(n)
+	for _, x := range xs {
+		s.Set(x)
+	}
+	return s
+}
+
+// Cap returns the capacity (number of addressable bits).
+func (s *Set) Cap() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all bits in [0, Cap()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes the bits beyond capacity in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % wordBits)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether no bit is set.
+func (s *Set) None() bool { return !s.Any() }
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o.
+func (s *Set) CopyFrom(o *Set) {
+	s.same(o)
+	copy(s.words, o.words)
+}
+
+func (s *Set) same(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// Or sets s = s ∪ o.
+func (s *Set) Or(o *Set) {
+	s.same(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// And sets s = s ∩ o.
+func (s *Set) And(o *Set) {
+	s.same(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s = s \ o.
+func (s *Set) AndNot(o *Set) {
+	s.same(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Intersects reports whether s ∩ o is non-empty.
+func (s *Set) Intersects(o *Set) bool {
+	s.same(o)
+	for i, w := range o.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAll reports whether o ⊆ s.
+func (s *Set) ContainsAll(o *Set) bool {
+	s.same(o)
+	for i, w := range o.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o hold exactly the same bits.
+func (s *Set) Equal(o *Set) bool {
+	s.same(o)
+	for i, w := range o.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstNotIn returns the smallest set bit of s that is not in o, or -1.
+func (s *Set) FirstNotIn(o *Set) int {
+	s.same(o)
+	for i, w := range s.words {
+		if d := w &^ o.words[i]; d != 0 {
+			return i*wordBits + bits.TrailingZeros64(d)
+		}
+	}
+	return -1
+}
+
+// NextSet returns the smallest set bit ≥ i, or -1 if none exists.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false the iteration stops.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the set bits in ascending order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// String renders the set as "{1, 4, 7}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

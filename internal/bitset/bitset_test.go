@@ -1,0 +1,291 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Cap() != 130 {
+		t.Fatalf("Cap = %d, want 130", s.Cap())
+	}
+	if s.Any() {
+		t.Fatal("new set should be empty")
+	}
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Test(0) || !s.Test(64) || !s.Test(129) {
+		t.Fatal("expected bits 0,64,129 set")
+	}
+	if s.Test(1) || s.Test(63) || s.Test(128) {
+		t.Fatal("unexpected bits set")
+	}
+	if got := s.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 should be cleared")
+	}
+	if got := s.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	s := New(0)
+	if s.Any() {
+		t.Fatal("zero-capacity set must be empty")
+	}
+	s.Fill()
+	if s.Count() != 0 {
+		t.Fatal("Fill on zero-capacity set must keep it empty")
+	}
+	if s.NextSet(0) != -1 {
+		t.Fatal("NextSet on empty set must be -1")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(*Set){
+		func(s *Set) { s.Set(-1) },
+		func(s *Set) { s.Set(10) },
+		func(s *Set) { s.Test(10) },
+		func(s *Set) { s.Clear(-5) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn(New(10))
+		}()
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+func TestFillRespectsCapacity(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 200} {
+		s := New(n)
+		s.Fill()
+		if got := s.Count(); got != n {
+			t.Errorf("n=%d: Count after Fill = %d", n, got)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromInts(100, 1, 2, 3, 70)
+	b := FromInts(100, 3, 70, 99)
+
+	u := a.Clone()
+	u.Or(b)
+	if got := u.Members(); len(got) != 5 {
+		t.Fatalf("union members = %v", got)
+	}
+
+	i := a.Clone()
+	i.And(b)
+	if want := FromInts(100, 3, 70); !i.Equal(want) {
+		t.Fatalf("intersection = %v", i)
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if want := FromInts(100, 1, 2); !d.Equal(want) {
+		t.Fatalf("difference = %v", d)
+	}
+
+	if !a.Intersects(b) {
+		t.Fatal("a and b intersect")
+	}
+	if a.Intersects(FromInts(100, 50)) {
+		t.Fatal("a does not contain 50")
+	}
+	if !u.ContainsAll(a) || !u.ContainsAll(b) {
+		t.Fatal("union must contain both operands")
+	}
+	if a.ContainsAll(b) {
+		t.Fatal("a does not contain 99")
+	}
+}
+
+func TestFirstNotIn(t *testing.T) {
+	a := FromInts(100, 5, 80)
+	b := FromInts(100, 5)
+	if got := a.FirstNotIn(b); got != 80 {
+		t.Fatalf("FirstNotIn = %d, want 80", got)
+	}
+	if got := b.FirstNotIn(a); got != -1 {
+		t.Fatalf("FirstNotIn = %d, want -1", got)
+	}
+}
+
+func TestNextSetAndForEach(t *testing.T) {
+	s := FromInts(200, 0, 63, 64, 150, 199)
+	want := []int{0, 63, 64, 150, 199}
+	var got []int
+	for i := s.NextSet(0); i != -1; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	var fe []int
+	s.ForEach(func(i int) bool { fe = append(fe, i); return true })
+	if len(fe) != len(want) {
+		t.Fatalf("ForEach = %v", fe)
+	}
+	// Early termination.
+	n := 0
+	s.ForEach(func(i int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("ForEach early stop visited %d", n)
+	}
+}
+
+func TestNextSetBeyondCapacity(t *testing.T) {
+	s := FromInts(10, 3)
+	if got := s.NextSet(11); got != -1 {
+		t.Fatalf("NextSet(11) = %d", got)
+	}
+	if got := s.NextSet(-3); got != 3 {
+		t.Fatalf("NextSet(-3) = %d", got)
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	a := FromInts(64, 1, 2)
+	b := New(64)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	b.Reset()
+	if b.Any() {
+		t.Fatal("Reset should empty the set")
+	}
+	if !a.Test(1) {
+		t.Fatal("Reset of copy must not affect source")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromInts(10, 1, 4, 7).String(); got != "{1, 4, 7}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Members is sorted, duplicates-free and consistent with Test.
+func TestQuickMembersConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		ref := map[int]bool{}
+		for k := 0; k < rng.Intn(80); k++ {
+			i := rng.Intn(n)
+			if rng.Intn(4) == 0 {
+				s.Clear(i)
+				delete(ref, i)
+			} else {
+				s.Set(i)
+				ref[i] = true
+			}
+		}
+		ms := s.Members()
+		if len(ms) != len(ref) || s.Count() != len(ref) {
+			return false
+		}
+		prev := -1
+		for _, m := range ms {
+			if m <= prev || !ref[m] || !s.Test(m) {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish — (a ∪ b) \ b ⊆ a and a ∩ b ⊆ a.
+func TestQuickAlgebraLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		a, b := New(n), New(n)
+		for k := 0; k < n/2; k++ {
+			a.Set(rng.Intn(n))
+			b.Set(rng.Intn(n))
+		}
+		u := a.Clone()
+		u.Or(b)
+		diff := u.Clone()
+		diff.AndNot(b)
+		if !a.ContainsAll(diff) {
+			return false
+		}
+		i := a.Clone()
+		i.And(b)
+		if !a.ContainsAll(i) || !b.ContainsAll(i) {
+			return false
+		}
+		// Union count via inclusion-exclusion.
+		if u.Count() != a.Count()+b.Count()-i.Count() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOr(b *testing.B) {
+	x, y := New(4096), New(4096)
+	for i := 0; i < 4096; i += 3 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}
+
+func BenchmarkContainsAll(b *testing.B) {
+	x, y := New(4096), New(4096)
+	x.Fill()
+	for i := 0; i < 4096; i += 7 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.ContainsAll(y) {
+			b.Fatal("unexpected")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"wolves/internal/bitset"
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+)
+
+// The demo offers "soundness diagnosis and correction ... by making
+// suggestions while users are creating a view" (§1). Advisor implements
+// that interactive half: given a composite under construction it answers
+// which tasks can join it without breaking soundness, and proposes the
+// smallest forced completion when the current draft is already unsound.
+
+// Advisor answers view-design-time soundness questions.
+type Advisor struct {
+	o *soundness.Oracle
+}
+
+// NewAdvisor wraps an oracle.
+func NewAdvisor(o *soundness.Oracle) *Advisor { return &Advisor{o: o} }
+
+// CanAdd reports whether composite ∪ {task} is sound.
+func (a *Advisor) CanAdd(composite []int, task int) bool {
+	s := bitset.New(a.o.Workflow().N())
+	for _, t := range composite {
+		s.Set(t)
+	}
+	s.Set(task)
+	ok, _ := a.o.SetSound(s)
+	return ok
+}
+
+// SafeAdditions returns the candidate tasks whose individual addition
+// keeps the composite sound, ascending. Candidates already inside the
+// composite are skipped.
+func (a *Advisor) SafeAdditions(composite []int, candidates []int) []int {
+	n := a.o.Workflow().N()
+	base := bitset.New(n)
+	for _, t := range composite {
+		base.Set(t)
+	}
+	var out []int
+	for _, c := range candidates {
+		if base.Test(c) {
+			continue
+		}
+		s := base.Clone()
+		s.Set(c)
+		if ok, _ := a.o.SetSound(s); ok {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Complete extends an unsound draft composite to a sound superset by
+// repeatedly resolving the first violation: the in-node side absorbs its
+// direct predecessors, the out-node side its direct successors,
+// whichever adds fewer tasks. It returns the sound superset (equal to
+// the input when already sound) and true, or nil and false when no
+// sound superset exists short of absorbing a workflow source/sink chain
+// that leaves nothing to distinguish (never happens on connected
+// workflows: the full task set is always sound).
+func (a *Advisor) Complete(composite []int) ([]int, bool) {
+	wf := a.o.Workflow()
+	g := wf.Graph()
+	s := bitset.New(wf.N())
+	for _, t := range composite {
+		s.Set(t)
+	}
+	for {
+		ok, viol := a.o.SetSound(s)
+		if ok {
+			return s.Members(), true
+		}
+		// Absorb the cheaper side of the violation.
+		var preds, succs []int
+		for _, p := range g.Preds(viol.From) {
+			if !s.Test(int(p)) {
+				preds = append(preds, int(p))
+			}
+		}
+		for _, q := range g.Succs(viol.To) {
+			if !s.Test(int(q)) {
+				succs = append(succs, int(q))
+			}
+		}
+		switch {
+		case len(preds) == 0 && len(succs) == 0:
+			// Cannot happen: a violation witness has an external
+			// predecessor and an external successor by definition.
+			return nil, false
+		case len(succs) == 0 || (len(preds) > 0 && len(preds) <= len(succs)):
+			for _, p := range preds {
+				s.Set(p)
+			}
+		default:
+			for _, q := range succs {
+				s.Set(q)
+			}
+		}
+	}
+}
+
+// Compact addresses the paper's open problem ("allowing view abstraction
+// by task merging, and the interaction between splitting and merging"):
+// after splitting has made a view sound, Compact greedily merges
+// composite pairs whose union is still sound, shrinking the view without
+// reintroducing unsoundness. maxMerges ≤ 0 means unbounded. The result
+// view is sound whenever the input view is sound.
+//
+// Caution — and this is the A2 experiment's point: soundness alone does
+// not bound information loss. On convergent workflows unbounded
+// compaction degenerates to the trivial single-composite view (which is
+// vacuously sound), so callers should pass a merge budget or a stopping
+// policy of their own. The degeneration is precisely why the paper calls
+// the splitting/merging interaction an open problem rather than a solved
+// feature.
+func Compact(o *soundness.Oracle, v *view.View, maxMerges int) (*view.View, int, error) {
+	cur := v
+	merges := 0
+	for maxMerges <= 0 || merges < maxMerges {
+		found := false
+		k := cur.N()
+		var sets []*bitset.Set
+		n := o.Workflow().N()
+		for ci := 0; ci < k; ci++ {
+			s := bitset.New(n)
+			for _, t := range cur.Composite(ci).Members() {
+				s.Set(t)
+			}
+			sets = append(sets, s)
+		}
+	pairs:
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				u := sets[i].Clone()
+				u.Or(sets[j])
+				if ok, _ := o.SetSound(u); !ok {
+					continue
+				}
+				merged, err := cur.MergeComposites(
+					cur.Composite(i).ID, cur.Composite(i).ID, cur.Composite(j).ID)
+				if err != nil {
+					return nil, merges, err
+				}
+				cur = merged
+				merges++
+				found = true
+				break pairs
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return cur, merges, nil
+}

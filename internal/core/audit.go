@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wolves/internal/bitset"
+	"wolves/internal/soundness"
+)
+
+// This file implements the optimality auditors: independent checkers for
+// the guarantees each corrector claims. The test suite uses them to pin
+// the correctors to Definitions 2.5 and 2.6; the experiment harness uses
+// them to certify the E2/E3 tables.
+
+// CheckSplit verifies that blocks exactly partition members and that
+// every block is sound. It returns nil on success.
+func CheckSplit(o *soundness.Oracle, members []int, blocks [][]int) error {
+	n := o.Workflow().N()
+	want := bitset.New(n)
+	for _, t := range members {
+		want.Set(t)
+	}
+	got := bitset.New(n)
+	for bi, blk := range blocks {
+		if len(blk) == 0 {
+			return fmt.Errorf("core: block %d is empty", bi)
+		}
+		for _, t := range blk {
+			if !want.Test(t) {
+				return fmt.Errorf("core: block %d contains foreign task %d", bi, t)
+			}
+			if got.Test(t) {
+				return fmt.Errorf("core: task %d appears in two blocks", t)
+			}
+			got.Set(t)
+		}
+		if ok, viol := o.SoundSlice(blk); !ok {
+			return fmt.Errorf("core: block %d unsound: %d cannot reach %d", bi, viol.From, viol.To)
+		}
+	}
+	if !got.Equal(want) {
+		return fmt.Errorf("core: blocks cover %d of %d members", got.Count(), want.Count())
+	}
+	return nil
+}
+
+// Combinable reports whether the union of the given task sets is sound
+// (Definition 2.4).
+func Combinable(o *soundness.Oracle, sets ...[]int) bool {
+	u := bitset.New(o.Workflow().N())
+	for _, s := range sets {
+		for _, t := range s {
+			u.Set(t)
+		}
+	}
+	ok, _ := o.SetSound(u)
+	return ok
+}
+
+// WeakOptimal checks Definition 2.5: no two blocks are combinable. On
+// failure it returns the indices of a combinable pair.
+func WeakOptimal(o *soundness.Oracle, blocks [][]int) (bool, [2]int) {
+	for i := range blocks {
+		for j := i + 1; j < len(blocks); j++ {
+			if Combinable(o, blocks[i], blocks[j]) {
+				return false, [2]int{i, j}
+			}
+		}
+	}
+	return true, [2]int{}
+}
+
+// StrongOptimal checks Definition 2.6 exhaustively: no subset of ≥2
+// blocks is combinable. complete is false when len(blocks) exceeds limit
+// and the check was skipped. On failure it returns a witness subset of
+// block indices.
+func StrongOptimal(o *soundness.Oracle, blocks [][]int, limit int) (optimal bool, witness []int, complete bool) {
+	k := len(blocks)
+	if k > limit {
+		return false, nil, false
+	}
+	n := o.Workflow().N()
+	sets := make([]*bitset.Set, k)
+	for i, blk := range blocks {
+		s := bitset.New(n)
+		for _, t := range blk {
+			s.Set(t)
+		}
+		sets[i] = s
+	}
+	u := bitset.New(n)
+	for mask := 3; mask < 1<<k; mask++ {
+		if popcount(mask) < 2 {
+			continue
+		}
+		u.Reset()
+		var sel []int
+		for b := 0; b < k; b++ {
+			if mask&(1<<b) != 0 {
+				u.Or(sets[b])
+				sel = append(sel, b)
+			}
+		}
+		if ok, _ := o.SetSound(u); ok {
+			return false, sel, true
+		}
+	}
+	return true, nil, true
+}
+
+// Quality is the paper's quality metric (§3.2): the ratio of the number
+// of blocks produced by the optimal corrector to the number produced by
+// the chosen algorithm; 1.0 is best.
+func Quality(optimalBlocks, algBlocks int) float64 {
+	if algBlocks == 0 {
+		return 0
+	}
+	return float64(optimalBlocks) / float64(algBlocks)
+}
+
+// SortBlocks normalizes a block list in place: members ascending within
+// each block, blocks ordered by smallest member.
+func SortBlocks(blocks [][]int) {
+	for _, b := range blocks {
+		sort.Ints(b)
+	}
+	sort.Slice(blocks, func(a, b int) bool {
+		if len(blocks[a]) == 0 || len(blocks[b]) == 0 {
+			return len(blocks[a]) > len(blocks[b])
+		}
+		return blocks[a][0] < blocks[b][0]
+	})
+}

@@ -1,0 +1,330 @@
+// Package core implements the Unsound View Corrector of WOLVES: the
+// paper's primary contribution. An unsound composite task is resolved by
+// splitting it into sound blocks under one of three criteria:
+//
+//   - Weak local optimality (Definition 2.5): no two result blocks are
+//     combinable. Greedy pair merging; polynomial.
+//   - Strong local optimality (Definition 2.6): no subset of result
+//     blocks is combinable. Pair merging plus ancestor/descendant
+//     closures plus a seeded conflict-closure search; polynomial. The
+//     StrongAudited variant additionally runs the exhaustive
+//     Definition-2.6 auditor and merges anything it finds, upgrading the
+//     empirical guarantee to an unconditional one.
+//   - Optimality: the minimum number of sound blocks (NP-hard, Theorem
+//     2.2), via a subset dynamic program that is exact up to
+//     Options.OptimalLimit tasks.
+//
+// Splitting one composite never affects the soundness of any other
+// composite (a block's soundness depends only on its member set and the
+// workflow), so CorrectView repairs a whole view by splitting each
+// unsound composite independently.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"wolves/internal/bitset"
+	"wolves/internal/soundness"
+)
+
+// Criterion selects a correction algorithm.
+type Criterion int
+
+const (
+	// Weak is the weakly local optimal corrector (Definition 2.5).
+	Weak Criterion = iota
+	// Strong is the strongly local optimal corrector (Definition 2.6,
+	// polynomial reconstruction; audited empirically).
+	Strong
+	// StrongAudited is Strong plus the exhaustive subset auditor; its
+	// output is unconditionally strongly local optimal (and Audited is
+	// set) whenever the block count is within Options.AuditLimit.
+	StrongAudited
+	// Optimal is the exact minimum split (exponential subset DP).
+	Optimal
+)
+
+// String names the criterion as in the demo UI.
+func (c Criterion) String() string {
+	switch c {
+	case Weak:
+		return "weak-local-optimal"
+	case Strong:
+		return "strong-local-optimal"
+	case StrongAudited:
+		return "strong-local-optimal-audited"
+	case Optimal:
+		return "optimal"
+	default:
+		return fmt.Sprintf("criterion(%d)", int(c))
+	}
+}
+
+// ParseCriterion maps CLI names to criteria.
+func ParseCriterion(s string) (Criterion, error) {
+	switch s {
+	case "weak":
+		return Weak, nil
+	case "strong":
+		return Strong, nil
+	case "strong-audited", "audited":
+		return StrongAudited, nil
+	case "optimal":
+		return Optimal, nil
+	}
+	return 0, fmt.Errorf("core: unknown criterion %q (want weak|strong|strong-audited|optimal)", s)
+}
+
+// Options tunes the correctors.
+type Options struct {
+	// OptimalLimit caps the composite size accepted by the Optimal
+	// corrector (the DP allocates 2^n state). Default 20.
+	OptimalLimit int
+	// AuditLimit caps the block count for exhaustive Definition-2.6
+	// audits. Default 22.
+	AuditLimit int
+}
+
+// DefaultOptions returns the documented defaults.
+func DefaultOptions() *Options { return &Options{OptimalLimit: 20, AuditLimit: 22} }
+
+func (o *Options) withDefaults() Options {
+	out := Options{OptimalLimit: 20, AuditLimit: 22}
+	if o != nil {
+		if o.OptimalLimit > 0 {
+			out.OptimalLimit = o.OptimalLimit
+		}
+		if o.AuditLimit > 0 {
+			out.AuditLimit = o.AuditLimit
+		}
+	}
+	return out
+}
+
+// Stats instruments a correction run.
+type Stats struct {
+	SoundChecks int           // soundness-oracle queries
+	Merges      int           // block merges performed
+	ClosureRuns int           // seeded closure searches attempted
+	Elapsed     time.Duration // wall-clock time of the split
+}
+
+// Result is the outcome of splitting one composite task.
+type Result struct {
+	Criterion Criterion
+	// Blocks partition the input member set; each block is sound.
+	// Blocks are sorted internally and ordered by smallest member.
+	Blocks [][]int
+	// Audited reports that strong local optimality was verified (or
+	// enforced) exhaustively.
+	Audited bool
+	Stats   Stats
+}
+
+// ErrOptimalTooLarge is returned when the composite exceeds OptimalLimit.
+var ErrOptimalTooLarge = errors.New("core: composite too large for the optimal corrector")
+
+// SplitTask splits the given member set (the atomic tasks of one
+// composite) into sound blocks under the chosen criterion. A member set
+// that is already sound is returned as a single block under every
+// criterion.
+func SplitTask(o *soundness.Oracle, members []int, crit Criterion, opts *Options) (*Result, error) {
+	if len(members) == 0 {
+		return nil, errors.New("core: empty member set")
+	}
+	opt := opts.withDefaults()
+	start := time.Now()
+	checks0 := o.Checks()
+	res := &Result{Criterion: crit}
+
+	if sound, _ := o.SoundSlice(members); sound {
+		blk := append([]int(nil), members...)
+		sort.Ints(blk)
+		res.Blocks = [][]int{blk}
+		res.Audited = true
+		res.Stats.SoundChecks = o.Checks() - checks0
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	switch crit {
+	case Weak:
+		p := newPartitioner(o, members)
+		p.weakPass()
+		res.Blocks = p.blocks()
+		res.Stats = p.stats
+	case Strong, StrongAudited:
+		p := newPartitioner(o, members)
+		p.strongFixpoint()
+		if crit == StrongAudited {
+			complete := p.exhaustivePhase(opt.AuditLimit)
+			res.Audited = complete
+		}
+		res.Blocks = p.blocks()
+		res.Stats = p.stats
+	case Optimal:
+		blocks, err := optimalSplit(o, members, opt.OptimalLimit)
+		if err != nil {
+			return nil, err
+		}
+		res.Blocks = blocks
+		res.Audited = true
+	default:
+		return nil, fmt.Errorf("core: unknown criterion %v", crit)
+	}
+	res.Stats.SoundChecks = o.Checks() - checks0
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// partitioner maintains a partition of one composite's members into
+// blocks (bitsets over workflow task indices) and implements the merge
+// phases shared by the weak and strong correctors.
+type partitioner struct {
+	o         *soundness.Oracle
+	n         int // workflow size
+	memberSet *bitset.Set
+	members   []int // ascending
+	blockSets []*bitset.Set
+	blockOf   []int // workflow task index → block id (members only)
+	alive     []bool
+	aliveN    int
+	stats     Stats
+	scratch   *bitset.Set
+	// doomIn[t] marks members whose forced close-in cascade towards the
+	// committed out-node t provably escapes the composite; doomOut[s] is
+	// the successor-side dual. Both depend only on the member set, so
+	// they are cached for the whole split. See strong.go.
+	doomIn  map[int]*bitset.Set
+	doomOut map[int]*bitset.Set
+	topo    []int // members in workflow topological order
+}
+
+func newPartitioner(o *soundness.Oracle, members []int) *partitioner {
+	n := o.Workflow().N()
+	p := &partitioner{
+		o:         o,
+		n:         n,
+		memberSet: bitset.New(n),
+		blockOf:   make([]int, n),
+		scratch:   bitset.New(n),
+	}
+	for i := range p.blockOf {
+		p.blockOf[i] = -1
+	}
+	p.members = append(p.members, members...)
+	sort.Ints(p.members)
+	for _, t := range p.members {
+		p.memberSet.Set(t)
+	}
+	for _, t := range p.members {
+		id := len(p.blockSets)
+		s := bitset.New(n)
+		s.Set(t)
+		p.blockSets = append(p.blockSets, s)
+		p.blockOf[t] = id
+		p.alive = append(p.alive, true)
+	}
+	p.aliveN = len(p.blockSets)
+	p.doomIn = map[int]*bitset.Set{}
+	p.doomOut = map[int]*bitset.Set{}
+	order, err := o.Workflow().Graph().TopoOrder()
+	if err != nil {
+		panic("core: built workflows are acyclic")
+	}
+	for _, t := range order {
+		if p.memberSet.Test(t) {
+			p.topo = append(p.topo, t)
+		}
+	}
+	return p
+}
+
+// unionSound tests whether the union of the listed blocks is sound.
+func (p *partitioner) unionSound(ids ...int) bool {
+	p.scratch.Reset()
+	for _, id := range ids {
+		p.scratch.Or(p.blockSets[id])
+	}
+	ok, _ := p.o.SetSound(p.scratch)
+	return ok
+}
+
+// mergeBlocks folds the listed blocks into the lowest id among them.
+func (p *partitioner) mergeBlocks(ids []int) int {
+	target := ids[0]
+	for _, id := range ids[1:] {
+		if id < target {
+			target = id
+		}
+	}
+	for _, id := range ids {
+		if id == target || !p.alive[id] {
+			continue
+		}
+		p.blockSets[id].ForEach(func(t int) bool {
+			p.blockOf[t] = target
+			return true
+		})
+		p.blockSets[target].Or(p.blockSets[id])
+		p.alive[id] = false
+		p.aliveN--
+		p.stats.Merges++
+	}
+	return target
+}
+
+// weakPass greedily merges combinable pairs until none remain, yielding
+// a weakly local optimal partition. Returns whether anything merged.
+func (p *partitioner) weakPass() bool {
+	changed := false
+	for {
+		merged := false
+		for i := 0; i < len(p.blockSets); i++ {
+			if !p.alive[i] {
+				continue
+			}
+			for j := i + 1; j < len(p.blockSets); j++ {
+				if !p.alive[j] {
+					continue
+				}
+				if p.unionSound(i, j) {
+					p.mergeBlocks([]int{i, j})
+					merged = true
+					changed = true
+				}
+			}
+		}
+		if !merged {
+			return changed
+		}
+	}
+}
+
+// blocks returns the partition as sorted member slices, ordered by
+// smallest member.
+func (p *partitioner) blocks() [][]int {
+	var out [][]int
+	for id, s := range p.blockSets {
+		if !p.alive[id] {
+			continue
+		}
+		out = append(out, s.Members())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// aliveIDs returns the ids of live blocks, ascending.
+func (p *partitioner) aliveIDs() []int {
+	out := make([]int, 0, p.aliveN)
+	for id := range p.blockSets {
+		if p.alive[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+)
+
+// The paper resolves unsound views by splitting because "merging tasks
+// loses information", and names merge-based correction (and the
+// interaction between splitting and merging) an open problem (§3).
+// MergeUp implements the natural greedy merge-based corrector as an
+// extension, so the A2 ablation can quantify exactly how much provenance
+// resolution merging sacrifices relative to splitting.
+
+// MergeUpResult reports a merge-based correction.
+type MergeUpResult struct {
+	Corrected        *view.View
+	Merges           int
+	CompositesBefore int
+	CompositesAfter  int
+	Elapsed          time.Duration
+}
+
+// MergeUp repairs an unsound view by repeatedly merging an unsound
+// composite with neighbouring composites: a violation u∈T.in ↛ v∈T.out
+// disappears once all external predecessors of u (or all external
+// successors of v) are absorbed into T. The cheaper absorption (fewer
+// new atomic tasks) is chosen each round. The loop terminates because
+// every merge reduces the composite count, and the single-composite view
+// is trivially sound.
+func MergeUp(o *soundness.Oracle, v *view.View) (*MergeUpResult, error) {
+	if v.Workflow() != o.Workflow() {
+		return nil, fmt.Errorf("core: view %q belongs to a different workflow", v.Name())
+	}
+	start := time.Now()
+	res := &MergeUpResult{CompositesBefore: v.N()}
+	g := o.Workflow().Graph()
+	cur := v
+	for {
+		rep := soundness.ValidateView(o, cur)
+		if rep.Sound {
+			break
+		}
+		ci := rep.Unsound[0]
+		viol := rep.Composites[ci].Violations[0]
+
+		// Composites feeding the in-node and fed by the out-node.
+		absorbFor := func(task int, preds bool) map[int]bool {
+			out := map[int]bool{}
+			var neigh []int32
+			if preds {
+				neigh = g.Preds(task)
+			} else {
+				neigh = g.Succs(task)
+			}
+			for _, q := range neigh {
+				if qc := cur.CompOf(int(q)); qc != ci {
+					out[qc] = true
+				}
+			}
+			return out
+		}
+		sizeOf := func(cs map[int]bool) int {
+			total := 0
+			for c := range cs {
+				total += cur.Composite(c).Size()
+			}
+			return total
+		}
+		inSide := absorbFor(viol.From, true)
+		outSide := absorbFor(viol.To, false)
+		pick := inSide
+		if len(inSide) == 0 || (len(outSide) > 0 && sizeOf(outSide) < sizeOf(inSide)) {
+			pick = outSide
+		}
+		if len(pick) == 0 {
+			// Cannot happen: a violation witness is an in-node with an
+			// external predecessor and an out-node with an external
+			// successor, and views partition the whole workflow.
+			return nil, fmt.Errorf("core: internal error: violation without absorbable neighbours")
+		}
+		ids := []string{cur.Composite(ci).ID}
+		for c := range pick {
+			ids = append(ids, cur.Composite(c).ID)
+		}
+		merged, err := cur.MergeComposites(cur.Composite(ci).ID, ids...)
+		if err != nil {
+			return nil, fmt.Errorf("core: merge-up: %w", err)
+		}
+		cur = merged
+		res.Merges++
+	}
+	res.Corrected = cur
+	res.CompositesAfter = cur.N()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

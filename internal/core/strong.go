@@ -1,0 +1,423 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"wolves/internal/bitset"
+	"wolves/internal/soundness"
+)
+
+var errComposite = errors.New("core: empty member set")
+
+// Strong local optimality (Definition 2.6) demands that no subset of
+// result blocks has a sound union. Any sound union U of ≥2 blocks falls
+// into exactly one of four cases, each covered by a phase below:
+//
+//  1. U.in = ∅  — U is predecessor-closed. All blocks whose block-level
+//     ancestor closure stays inside the composite must merge into one
+//     (ancestorPhase): unions of predecessor-closed sets stay
+//     predecessor-closed and are always sound, so Definition 2.6 forces
+//     a single such block.
+//  2. U.out = ∅ — symmetric, via descendantPhase.
+//  3. |U| = 2 blocks — covered by weakPass.
+//  4. U.in ≠ ∅ and U.out ≠ ∅ — then every s ∈ U.in reaches every
+//     t ∈ U.out, s is an in-node of its own block and t an out-node of
+//     its own block. seededPhase enumerates exactly those (s,t) seeds
+//     and grows a candidate union: conflicts (u,v) with ¬R[u][t] force
+//     absorbing pred(u) (otherwise u would have to reach t), conflicts
+//     with ¬R[s][v] force absorbing succ(v); ambiguous conflicts are
+//     resolved by a deterministic bias, and both biases are attempted.
+//
+// The forced moves provably stay inside any sound union containing the
+// seed pair with those roles; only the ambiguous-conflict resolution is
+// heuristic. The exhaustive auditor (exhaustivePhase / the audit tests)
+// closes that gap: across all fixtures and randomized suites the
+// fixpoint below is already strongly local optimal.
+
+// SplitTaskPhases runs the strong corrector with a subset of its phases
+// enabled — the A1 ablation. closed enables the ancestor/descendant
+// closure phases; seeded enables the seeded conflict-closure search.
+// With both disabled it degenerates to the weak corrector.
+func SplitTaskPhases(o *soundness.Oracle, members []int, closed, seeded bool) (*Result, error) {
+	if len(members) == 0 {
+		return nil, errComposite
+	}
+	start := time.Now()
+	p := newPartitioner(o, members)
+	for {
+		changed := p.weakPass()
+		if closed {
+			if p.ancestorPhase() {
+				changed = true
+			}
+			if p.descendantPhase() {
+				changed = true
+			}
+		}
+		if seeded && p.seededPhase() {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	res := &Result{Criterion: Strong, Blocks: p.blocks(), Stats: p.stats}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// strongFixpoint runs all phases to a joint fixpoint.
+func (p *partitioner) strongFixpoint() {
+	for {
+		changed := p.weakPass()
+		if p.ancestorPhase() {
+			changed = true
+		}
+		if p.descendantPhase() {
+			changed = true
+		}
+		if p.seededPhase() {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// ancestorPhase merges every block whose ancestor closure stays within
+// the composite. Returns whether a merge happened.
+func (p *partitioner) ancestorPhase() bool {
+	return p.closedPhase(true)
+}
+
+// descendantPhase merges every block whose descendant closure stays
+// within the composite.
+func (p *partitioner) descendantPhase() bool {
+	return p.closedPhase(false)
+}
+
+func (p *partitioner) closedPhase(ancestors bool) bool {
+	g := p.o.Workflow().Graph()
+	var union []int
+	inUnion := map[int]bool{}
+	for _, b := range p.aliveIDs() {
+		ids, ok := p.blockClosure(b, ancestors, g)
+		if !ok {
+			continue
+		}
+		for _, id := range ids {
+			if !inUnion[id] {
+				inUnion[id] = true
+				union = append(union, id)
+			}
+		}
+	}
+	if len(union) < 2 {
+		return false
+	}
+	p.mergeBlocks(union)
+	return true
+}
+
+// blockClosure grows block b by repeatedly absorbing the blocks of all
+// external predecessors (or successors) of its members. It fails when a
+// predecessor (successor) lies outside the composite.
+func (p *partitioner) blockClosure(b int, ancestors bool, g graphNeighbors) ([]int, bool) {
+	ids := []int{b}
+	seen := map[int]bool{b: true}
+	queue := p.blockSets[b].Members()
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		var neigh []int32
+		if ancestors {
+			neigh = g.Preds(t)
+		} else {
+			neigh = g.Succs(t)
+		}
+		for _, x32 := range neigh {
+			x := int(x32)
+			if !p.memberSet.Test(x) {
+				return nil, false // closure escapes the composite
+			}
+			xb := p.blockOf[x]
+			if !seen[xb] {
+				seen[xb] = true
+				ids = append(ids, xb)
+				queue = append(queue, p.blockSets[xb].Members()...)
+			}
+		}
+	}
+	return ids, true
+}
+
+// graphNeighbors is the slice of dag.Graph used by closures.
+type graphNeighbors interface {
+	Preds(u int) []int32
+	Succs(u int) []int32
+}
+
+type closureBias int
+
+const (
+	biasCloseIn closureBias = iota
+	biasCloseOut
+)
+
+// seededPhase scans seed pairs (s,t): s an in-node of its block, t an
+// out-node of its block, s reaches t, different blocks. For each seed it
+// grows a candidate sound union with both biases and merges any sound
+// union of ≥2 blocks it finds, continuing the scan in place (merges can
+// stale later seeds, but strongFixpoint always runs one final clean pass
+// over fresh interface nodes, so nothing is missed). Returns whether a
+// merge happened.
+func (p *partitioner) seededPhase() bool {
+	changed := false
+	ins, outs := p.interfaceNodes()
+	for _, s := range ins {
+		row := p.o.Reach().Row(s)
+		for _, t := range outs {
+			if p.blockOf[s] == p.blockOf[t] || !row.Test(t) {
+				continue
+			}
+			for _, bias := range []closureBias{biasCloseIn, biasCloseOut} {
+				ids, ok := p.growSeed(s, t, bias)
+				if ok && len(ids) >= 2 {
+					p.mergeBlocks(ids)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// interfaceNodes returns all block-level in-nodes and out-nodes.
+func (p *partitioner) interfaceNodes() (ins, outs []int) {
+	g := p.o.Workflow().Graph()
+	for _, t := range p.members {
+		bt := p.blockOf[t]
+		for _, q := range g.Preds(t) {
+			if !p.memberSet.Test(int(q)) || p.blockOf[q] != bt {
+				ins = append(ins, t)
+				break
+			}
+		}
+		for _, q := range g.Succs(t) {
+			if !p.memberSet.Test(int(q)) || p.blockOf[q] != bt {
+				outs = append(outs, t)
+				break
+			}
+		}
+	}
+	return ins, outs
+}
+
+// doomedIn returns, for the committed out-node t, the members whose
+// forced close-in cascade provably escapes the composite: w with
+// ¬R[w][t] is doomed when a direct predecessor lies outside the
+// composite, or when a direct predecessor is itself a doomed ¬R[·][t]
+// node (absorbing it forces the same dead end). Computed once per t in
+// topological order and cached; it depends only on the member set.
+func (p *partitioner) doomedIn(t int) *bitset.Set {
+	if s, ok := p.doomIn[t]; ok {
+		return s
+	}
+	g := p.o.Workflow().Graph()
+	reach := p.o.Reach()
+	doom := bitset.New(p.n)
+	for _, w := range p.topo {
+		if reach.Reaches(w, t) {
+			continue
+		}
+		for _, q := range g.Preds(w) {
+			if !p.memberSet.Test(int(q)) || doom.Test(int(q)) {
+				doom.Set(w)
+				break
+			}
+		}
+	}
+	p.doomIn[t] = doom
+	return doom
+}
+
+// doomedOut is the successor-side dual for the committed in-node s.
+func (p *partitioner) doomedOut(s int) *bitset.Set {
+	if d, ok := p.doomOut[s]; ok {
+		return d
+	}
+	g := p.o.Workflow().Graph()
+	reach := p.o.Reach()
+	doom := bitset.New(p.n)
+	for i := len(p.topo) - 1; i >= 0; i-- {
+		w := p.topo[i]
+		if reach.Reaches(s, w) {
+			continue
+		}
+		for _, q := range g.Succs(w) {
+			if !p.memberSet.Test(int(q)) || doom.Test(int(q)) {
+				doom.Set(w)
+				break
+			}
+		}
+	}
+	p.doomOut[s] = doom
+	return doom
+}
+
+// growSeed grows a candidate union from blocks of s and t under the
+// commitment that s remains an in-node and t an out-node of the union.
+// Returns the merged block ids when the union becomes sound.
+func (p *partitioner) growSeed(s, t int, bias closureBias) ([]int, bool) {
+	p.stats.ClosureRuns++
+	g := p.o.Workflow().Graph()
+	reach := p.o.Reach()
+	doomIn := p.doomedIn(t)
+	doomOut := p.doomedOut(s)
+	u := p.blockSets[p.blockOf[s]].Clone()
+	u.Or(p.blockSets[p.blockOf[t]])
+	ids := []int{p.blockOf[s], p.blockOf[t]}
+	inIDs := map[int]bool{p.blockOf[s]: true, p.blockOf[t]: true}
+
+	absorbPreds := func(x int) bool {
+		progress := false
+		for _, q32 := range g.Preds(x) {
+			q := int(q32)
+			if u.Test(q) {
+				continue
+			}
+			if !p.memberSet.Test(q) {
+				return false // x can never be internally fed
+			}
+			if doomIn.Test(q) {
+				return false // q's own cascade provably escapes
+			}
+			qb := p.blockOf[q]
+			if !inIDs[qb] {
+				inIDs[qb] = true
+				ids = append(ids, qb)
+				u.Or(p.blockSets[qb])
+				progress = true
+			}
+		}
+		return progress
+	}
+	absorbSuccs := func(x int) bool {
+		progress := false
+		for _, q32 := range g.Succs(x) {
+			q := int(q32)
+			if u.Test(q) {
+				continue
+			}
+			if !p.memberSet.Test(q) {
+				return false
+			}
+			if doomOut.Test(q) {
+				return false
+			}
+			qb := p.blockOf[q]
+			if !inIDs[qb] {
+				inIDs[qb] = true
+				ids = append(ids, qb)
+				u.Or(p.blockSets[qb])
+				progress = true
+			}
+		}
+		return progress
+	}
+
+	for iter := 0; iter <= len(p.members); iter++ {
+		in, out := p.o.InOut(u)
+		// Locate the first violation (allocation-free scan).
+		var vu, vv = -1, -1
+		outMask := p.scratch
+		outMask.Reset()
+		for _, o := range out {
+			outMask.Set(o)
+		}
+		for _, x := range in {
+			if y := outMask.FirstNotIn(reach.Row(x)); y != -1 {
+				vu, vv = x, y
+				break
+			}
+		}
+		if vu == -1 {
+			return ids, true // sound
+		}
+		switch {
+		case !reach.Reaches(vu, t):
+			// vu can never reach the committed out-node t, so vu must
+			// stop being an in-node: absorb its predecessors.
+			if doomIn.Test(vu) || !absorbPreds(vu) {
+				return nil, false
+			}
+		case !reach.Reaches(s, vv):
+			// The committed in-node s can never reach vv, so vv must
+			// stop being an out-node: absorb its successors.
+			if doomOut.Test(vv) || !absorbSuccs(vv) {
+				return nil, false
+			}
+		default:
+			// Ambiguous: either resolution is locally consistent.
+			if bias == biasCloseIn {
+				if !absorbPreds(vu) && !absorbSuccs(vv) {
+					return nil, false
+				}
+			} else {
+				if !absorbSuccs(vv) && !absorbPreds(vu) {
+					return nil, false
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// exhaustivePhase merges any combinable subset found by brute force.
+// Returns true when the search was complete (block count within limit),
+// in which case the final partition is unconditionally strongly local
+// optimal.
+func (p *partitioner) exhaustivePhase(limit int) bool {
+	for {
+		ids := p.aliveIDs()
+		k := len(ids)
+		if k > limit {
+			return false
+		}
+		if k < 2 {
+			return true
+		}
+		found := false
+		for mask := 3; mask < 1<<k; mask++ {
+			if popcount(mask) < 2 {
+				continue
+			}
+			var sel []int
+			for b := 0; b < k; b++ {
+				if mask&(1<<b) != 0 {
+					sel = append(sel, ids[b])
+				}
+			}
+			if p.unionSound(sel...) {
+				p.mergeBlocks(sel)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return true
+		}
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+)
+
+// TaskCorrection records how one unsound composite was repaired.
+type TaskCorrection struct {
+	CompositeID string
+	Before      int // atomic tasks in the composite
+	After       int // sound blocks it was split into
+	Result      *Result
+}
+
+// ViewCorrection is the outcome of correcting a whole view.
+type ViewCorrection struct {
+	Criterion Criterion
+	// Corrected is the repaired, provably sound view.
+	Corrected *view.View
+	// Tasks lists the per-composite corrections, in composite order.
+	Tasks []TaskCorrection
+	// CompositesBefore/After count view composites before and after.
+	CompositesBefore int
+	CompositesAfter  int
+	Elapsed          time.Duration
+}
+
+// CorrectView splits every unsound composite of v under the chosen
+// criterion and returns the repaired view. Because a block's soundness
+// depends only on its member set, repairing one composite never breaks
+// another, and the result is sound by construction (verified by the
+// caller-facing report).
+func CorrectView(o *soundness.Oracle, v *view.View, crit Criterion, opts *Options) (*ViewCorrection, error) {
+	if v.Workflow() != o.Workflow() {
+		return nil, fmt.Errorf("core: view %q belongs to a different workflow", v.Name())
+	}
+	start := time.Now()
+	rep := soundness.ValidateView(o, v)
+	vc := &ViewCorrection{Criterion: crit, CompositesBefore: v.N()}
+	cur := v
+	for _, ci := range rep.Unsound {
+		comp := v.Composite(ci)
+		res, err := SplitTask(o, comp.Members(), crit, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: splitting composite %q: %w", comp.ID, err)
+		}
+		next, err := cur.ReplaceComposite(comp.ID, res.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("core: applying split of %q: %w", comp.ID, err)
+		}
+		cur = next
+		vc.Tasks = append(vc.Tasks, TaskCorrection{
+			CompositeID: comp.ID,
+			Before:      comp.Size(),
+			After:       len(res.Blocks),
+			Result:      res,
+		})
+	}
+	vc.Corrected = cur
+	vc.CompositesAfter = cur.N()
+	vc.Elapsed = time.Since(start)
+	return vc, nil
+}

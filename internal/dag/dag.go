@@ -1,0 +1,421 @@
+// Package dag implements the directed-graph substrate used by WOLVES:
+// workflow specifications, view (quotient) graphs and provenance graphs
+// are all instances of Graph. It provides topological ordering, cycle
+// diagnosis via strongly connected components, reachability closures
+// (the engine behind every soundness check), quotient construction and
+// transitive reduction.
+//
+// Nodes are dense integers [0, N). Callers that need identifiers keep
+// their own mapping (see internal/workflow).
+package dag
+
+import (
+	"errors"
+	"fmt"
+
+	"wolves/internal/bitset"
+)
+
+// Graph is a directed graph over nodes 0..n-1 with forward and reverse
+// adjacency. Parallel edges are collapsed; self-loops are rejected.
+type Graph struct {
+	n     int
+	m     int
+	succs [][]int32
+	preds [][]int32
+}
+
+// ErrCycle is returned by TopoOrder when the graph is not acyclic.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("dag: negative node count")
+	}
+	return &Graph{n: n, succs: make([][]int32, n), preds: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of (distinct) edges.
+func (g *Graph) M() int { return g.m }
+
+func (g *Graph) checkNode(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("dag: node %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// AddEdge inserts the edge u→v. Self-loops are an error; duplicate edges
+// are ignored. It returns true when a new edge was inserted.
+func (g *Graph) AddEdge(u, v int) (bool, error) {
+	g.checkNode(u)
+	g.checkNode(v)
+	if u == v {
+		return false, fmt.Errorf("dag: self-loop on node %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return false, nil
+	}
+	g.succs[u] = append(g.succs[u], int32(v))
+	g.preds[v] = append(g.preds[v], int32(u))
+	g.m++
+	return true, nil
+}
+
+// MustAddEdge is AddEdge for construction code with validated inputs.
+func (g *Graph) MustAddEdge(u, v int) {
+	if _, err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether u→v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	for _, w := range g.succs[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Succs returns the successors of u. The slice is shared; do not mutate.
+func (g *Graph) Succs(u int) []int32 {
+	g.checkNode(u)
+	return g.succs[u]
+}
+
+// Preds returns the predecessors of u. The slice is shared; do not mutate.
+func (g *Graph) Preds(u int) []int32 {
+	g.checkNode(u)
+	return g.preds[u]
+}
+
+// OutDeg returns the out-degree of u.
+func (g *Graph) OutDeg(u int) int { return len(g.Succs(u)) }
+
+// InDeg returns the in-degree of u.
+func (g *Graph) InDeg(u int) int { return len(g.Preds(u)) }
+
+// Sources returns all nodes with in-degree zero, ascending.
+func (g *Graph) Sources() []int {
+	var out []int
+	for u := 0; u < g.n; u++ {
+		if len(g.preds[u]) == 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Sinks returns all nodes with out-degree zero, ascending.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for u := 0; u < g.n; u++ {
+		if len(g.succs[u]) == 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Edges calls fn for every edge (u,v), ordered by u then insertion.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.succs[u] {
+			fn(u, int(v))
+		}
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.m = g.m
+	for u := 0; u < g.n; u++ {
+		c.succs[u] = append([]int32(nil), g.succs[u]...)
+		c.preds[u] = append([]int32(nil), g.preds[u]...)
+	}
+	return c
+}
+
+// TopoOrder returns a topological order (Kahn's algorithm, smallest node
+// first for determinism) or ErrCycle.
+func (g *Graph) TopoOrder() ([]int, error) {
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		indeg[u] = len(g.preds[u])
+	}
+	// A simple binary-heap-free approach: repeatedly scan a ready list
+	// kept sorted by construction (we push in ascending node order and
+	// pop from the front; ties broken by node id via bucket scan).
+	ready := make([]int, 0, g.n)
+	for u := 0; u < g.n; u++ {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(ready) > 0 {
+		// Pop the smallest ready node for deterministic output.
+		mi := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[mi] {
+				mi = i
+			}
+		}
+		u := ready[mi]
+		ready[mi] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, u)
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, int(v))
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether g has no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// SCC returns the strongly connected components of g (Tarjan, iterative),
+// each sorted ascending, components ordered by smallest member. Trivial
+// single-node components are included.
+func (g *Graph) SCC() [][]int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack  []int
+		comps  [][]int
+		idx    int
+		frames []frame
+	)
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{u: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			u := f.u
+			if f.i == 0 {
+				index[u] = idx
+				low[u] = idx
+				idx++
+				stack = append(stack, u)
+				onStack[u] = true
+			}
+			advanced := false
+			for f.i < len(g.succs[u]) {
+				v := int(g.succs[u][f.i])
+				f.i++
+				if index[v] == unvisited {
+					frames = append(frames, frame{u: v})
+					advanced = true
+					break
+				}
+				if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[u] == index[u] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == u {
+						break
+					}
+				}
+				sortInts(comp)
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].u
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+		}
+	}
+	// Order components by smallest member for determinism.
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j][0] < comps[j-1][0]; j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+	return comps
+}
+
+type frame struct {
+	u, i int
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Quotient builds the quotient graph induced by the partition partOf,
+// where partOf[u] ∈ [0,k) names u's block. Inter-block multi-edges are
+// collapsed; intra-block edges are dropped. The quotient of a DAG may be
+// cyclic; callers diagnose that with SCC or TopoOrder.
+func (g *Graph) Quotient(partOf []int, k int) (*Graph, error) {
+	if len(partOf) != g.n {
+		return nil, fmt.Errorf("dag: partition has %d entries, graph has %d nodes", len(partOf), g.n)
+	}
+	q := New(k)
+	seen := make(map[int64]bool, g.m)
+	for u := 0; u < g.n; u++ {
+		bu := partOf[u]
+		if bu < 0 || bu >= k {
+			return nil, fmt.Errorf("dag: node %d assigned to invalid block %d", u, bu)
+		}
+		for _, v32 := range g.succs[u] {
+			bv := partOf[v32]
+			if bv < 0 || bv >= k {
+				return nil, fmt.Errorf("dag: node %d assigned to invalid block %d", v32, bv)
+			}
+			if bu == bv {
+				continue
+			}
+			key := int64(bu)*int64(k) + int64(bv)
+			if !seen[key] {
+				seen[key] = true
+				q.succs[bu] = append(q.succs[bu], int32(bv))
+				q.preds[bv] = append(q.preds[bv], int32(bu))
+				q.m++
+			}
+		}
+	}
+	return q, nil
+}
+
+// TransitiveReduction returns a copy of g with every edge u→v removed
+// when an alternative path u→…→v of length ≥ 2 exists. g must be acyclic.
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	if !g.IsAcyclic() {
+		return nil, ErrCycle
+	}
+	cl := g.Reachability()
+	r := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v32 := range g.succs[u] {
+			v := int(v32)
+			redundant := false
+			for _, w32 := range g.succs[u] {
+				w := int(w32)
+				if w != v && cl.Reaches(w, v) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				r.MustAddEdge(u, v)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Closure is a reachability matrix: one bitset row per node holding the
+// reflexive-transitive successors of that node.
+type Closure struct {
+	rows []*bitset.Set
+}
+
+// Reachability computes the reflexive-transitive closure of g. Acyclic
+// graphs use a reverse-topological dynamic program (each row is the union
+// of successor rows); cyclic graphs fall back to per-node BFS, so view
+// quotient graphs with cycles are still handled.
+func (g *Graph) Reachability() *Closure {
+	if order, err := g.TopoOrder(); err == nil {
+		return g.reachabilityDP(order)
+	}
+	return g.ReachabilityBFS()
+}
+
+func (g *Graph) reachabilityDP(order []int) *Closure {
+	rows := make([]*bitset.Set, g.n)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		row := bitset.New(g.n)
+		row.Set(u)
+		for _, v := range g.succs[u] {
+			row.Or(rows[v])
+		}
+		rows[u] = row
+	}
+	return &Closure{rows: rows}
+}
+
+// ReachabilityBFS computes the closure with one BFS per node. Exposed for
+// the A3 ablation benchmark; Reachability chooses automatically.
+func (g *Graph) ReachabilityBFS() *Closure {
+	rows := make([]*bitset.Set, g.n)
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		row := bitset.New(g.n)
+		row.Set(s)
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.succs[u] {
+				if !row.Test(int(v)) {
+					row.Set(int(v))
+					queue = append(queue, int(v))
+				}
+			}
+		}
+		rows[s] = row
+	}
+	return &Closure{rows: rows}
+}
+
+// Reaches reports whether u reaches v (reflexively: Reaches(u,u) = true).
+func (c *Closure) Reaches(u, v int) bool { return c.rows[u].Test(v) }
+
+// Row returns the reachability row of u. Shared storage; do not mutate.
+func (c *Closure) Row(u int) *bitset.Set { return c.rows[u] }
+
+// N returns the number of nodes covered by the closure.
+func (c *Closure) N() int { return len(c.rows) }
+
+// Pairs returns the number of ordered reachable pairs, excluding the
+// reflexive ones. This is the "size" of the provenance relation.
+func (c *Closure) Pairs() int {
+	total := 0
+	for _, r := range c.rows {
+		total += r.Count() - 1
+	}
+	return total
+}

@@ -1,0 +1,368 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds 0→1, 0→2, 1→3, 2→3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	ok, err := g.AddEdge(0, 1)
+	if err != nil || !ok {
+		t.Fatalf("AddEdge = %v, %v", ok, err)
+	}
+	ok, err = g.AddEdge(0, 1)
+	if err != nil || ok {
+		t.Fatalf("duplicate AddEdge = %v, %v; want ignored", ok, err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if _, err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop must error")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.OutDeg(0) != 1 || g.InDeg(1) != 1 || g.InDeg(0) != 0 {
+		t.Fatal("degree accounting wrong")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	if s := g.Sources(); len(s) != 1 || s[0] != 0 {
+		t.Fatalf("Sources = %v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != 3 {
+		t.Fatalf("Sinks = %v", s)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 4)
+	for i, u := range order {
+		pos[u] = i
+	}
+	g.Edges(func(u, v int) {
+		if pos[u] >= pos[v] {
+			t.Fatalf("edge %d→%d violates topo order %v", u, v, order)
+		}
+	})
+	// Determinism: smallest-first tie-break gives 0,1,2,3 for the diamond.
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	if _, err := g.TopoOrder(); err != ErrCycle {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic = true on a cycle")
+	}
+}
+
+func TestSCC(t *testing.T) {
+	// 0→1→2→0 is one SCC; 3 alone; 2→3.
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	comps := g.SCC()
+	if len(comps) != 2 {
+		t.Fatalf("SCC = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 || comps[0][1] != 1 || comps[0][2] != 2 {
+		t.Fatalf("first comp = %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Fatalf("second comp = %v", comps[1])
+	}
+}
+
+func TestSCCAllTrivialOnDAG(t *testing.T) {
+	g := diamond(t)
+	comps := g.SCC()
+	if len(comps) != 4 {
+		t.Fatalf("SCC on DAG = %v", comps)
+	}
+	for i, c := range comps {
+		if len(c) != 1 || c[0] != i {
+			t.Fatalf("comps = %v", comps)
+		}
+	}
+}
+
+func TestReachabilityDiamond(t *testing.T) {
+	g := diamond(t)
+	cl := g.Reachability()
+	for u := 0; u < 4; u++ {
+		if !cl.Reaches(u, u) {
+			t.Fatalf("reflexive reach missing at %d", u)
+		}
+	}
+	if !cl.Reaches(0, 3) || !cl.Reaches(1, 3) || cl.Reaches(1, 2) || cl.Reaches(3, 0) {
+		t.Fatal("closure wrong")
+	}
+	// 0 reaches all 4, 1 and 2 reach two, 3 reaches itself: pairs = 3+1+1+0.
+	if got := cl.Pairs(); got != 5 {
+		t.Fatalf("Pairs = %d, want 5", got)
+	}
+}
+
+func TestReachabilityCyclicFallback(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	g.MustAddEdge(1, 2)
+	cl := g.Reachability()
+	if !cl.Reaches(0, 2) || !cl.Reaches(1, 0) || cl.Reaches(3, 0) {
+		t.Fatal("cyclic closure wrong")
+	}
+}
+
+func TestQuotient(t *testing.T) {
+	g := diamond(t)
+	// Blocks: {0}, {1,2}, {3}.
+	q, err := g.Quotient([]int{0, 1, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N() != 3 || q.M() != 2 {
+		t.Fatalf("quotient N=%d M=%d", q.N(), q.M())
+	}
+	if !q.HasEdge(0, 1) || !q.HasEdge(1, 2) || q.HasEdge(0, 2) {
+		t.Fatal("quotient edges wrong")
+	}
+}
+
+func TestQuotientCanBeCyclic(t *testing.T) {
+	// 0→1, 2→3 with blocks {0,3} and {1,2} quotients to A→B and B→A.
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	q, err := g.Quotient([]int{0, 1, 1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IsAcyclic() {
+		t.Fatal("expected cyclic quotient")
+	}
+}
+
+func TestQuotientValidation(t *testing.T) {
+	g := diamond(t)
+	if _, err := g.Quotient([]int{0, 0, 0}, 1); err == nil {
+		t.Fatal("short partition must error")
+	}
+	if _, err := g.Quotient([]int{0, 5, 0, 0}, 2); err == nil {
+		t.Fatal("invalid block id must error")
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2) // redundant
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasEdge(0, 2) || !r.HasEdge(0, 1) || !r.HasEdge(1, 2) {
+		t.Fatal("reduction wrong")
+	}
+	if r.M() != 2 {
+		t.Fatalf("M = %d", r.M())
+	}
+
+	c := New(2)
+	c.MustAddEdge(0, 1)
+	c.MustAddEdge(1, 0)
+	if _, err := c.TransitiveReduction(); err != ErrCycle {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.MustAddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if c.M() != g.M()+1 {
+		t.Fatal("edge counts diverged wrongly")
+	}
+}
+
+// randomDAG builds a random DAG by only adding forward edges in a random
+// permutation, so it is acyclic by construction.
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(perm[i], perm[j])
+			}
+		}
+	}
+	return g
+}
+
+// Property: DP closure equals BFS closure on random DAGs.
+func TestQuickClosureAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(40), rng.Float64()*0.3)
+		a := g.Reachability()
+		b := g.ReachabilityBFS()
+		for u := 0; u < g.N(); u++ {
+			if !a.Row(u).Equal(b.Row(u)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: closure is transitive and contains the edge relation.
+func TestQuickClosureLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(30), rng.Float64()*0.25)
+		cl := g.Reachability()
+		ok := true
+		g.Edges(func(u, v int) {
+			if !cl.Reaches(u, v) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+		n := g.N()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if !cl.Reaches(u, v) {
+					continue
+				}
+				// Everything v reaches, u reaches.
+				if !cl.Row(u).ContainsAll(cl.Row(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: topo order positions respect all edges on random DAGs.
+func TestQuickTopoOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(60), rng.Float64()*0.2)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, g.N())
+		for i, u := range order {
+			pos[u] = i
+		}
+		ok := true
+		g.Edges(func(u, v int) {
+			if pos[u] >= pos[v] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transitive reduction preserves the closure and is minimal in
+// the sense that it removes all redundant direct edges.
+func TestQuickTransitiveReduction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(25), rng.Float64()*0.3)
+		r, err := g.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		a, b := g.Reachability(), r.Reachability()
+		for u := 0; u < g.N(); u++ {
+			if !a.Row(u).Equal(b.Row(u)) {
+				return false
+			}
+		}
+		ok := true
+		r.Edges(func(u, v int) {
+			// No remaining edge may be implied by a 2+ hop path.
+			for _, w := range r.Succs(u) {
+				if int(w) != v && b.Reaches(int(w), v) {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkReachabilityDP(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDAG(rng, 512, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reachability()
+	}
+}
+
+func BenchmarkReachabilityBFS(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDAG(rng, 512, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ReachabilityBFS()
+	}
+}

@@ -1,0 +1,173 @@
+// Package display is the Workflow View Displayer: headless renderings of
+// what the WOLVES GUI shows. Workflows and views export to Graphviz DOT
+// (composite tasks as clusters, unsound ones red, sound ones green,
+// selected ones grey) and to plain-text summaries; Dependencies renders
+// the demo's "Show Dependency" answer for a selected task.
+package display
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wolves/internal/provenance"
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// Colors used in DOT output, mirroring the demo's palette.
+const (
+	colorUnsound  = "#ffb3b3" // red: unsound composite
+	colorSound    = "#b3ffb3" // green: sound composite
+	colorSelected = "#d9d9d9" // grey: selected composite
+)
+
+// Options tunes rendering.
+type Options struct {
+	// Selected composite IDs render grey (the demo's Show Task).
+	Selected map[string]bool
+	// Report colours composites by soundness when non-nil.
+	Report *soundness.Report
+}
+
+func dotEscape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// WorkflowDOT renders the workflow, optionally clustered by a view.
+func WorkflowDOT(w io.Writer, wf *workflow.Workflow, v *view.View, opts *Options) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, style=filled, fillcolor=white];\n", wf.Name())
+	if v == nil {
+		for i := 0; i < wf.N(); i++ {
+			fmt.Fprintf(&b, "  %q [label=%q];\n", wf.Task(i).ID, dotEscape(wf.Task(i).Name))
+		}
+	} else {
+		if v.Workflow() != wf {
+			return fmt.Errorf("display: view belongs to a different workflow")
+		}
+		unsound := map[int]bool{}
+		if opts != nil && opts.Report != nil {
+			for _, ci := range opts.Report.Unsound {
+				unsound[ci] = true
+			}
+		}
+		for ci := 0; ci < v.N(); ci++ {
+			comp := v.Composite(ci)
+			fmt.Fprintf(&b, "  subgraph \"cluster_%s\" {\n", dotEscape(comp.ID))
+			fmt.Fprintf(&b, "    label=%q;\n", dotEscape(comp.ID+": "+comp.Name))
+			color := ""
+			switch {
+			case opts != nil && opts.Selected[comp.ID]:
+				color = colorSelected
+			case opts != nil && opts.Report != nil && unsound[ci]:
+				color = colorUnsound
+			case opts != nil && opts.Report != nil:
+				color = colorSound
+			}
+			if color != "" {
+				fmt.Fprintf(&b, "    style=filled;\n    color=%q;\n", color)
+			}
+			for _, t := range comp.Members() {
+				fmt.Fprintf(&b, "    %q [label=%q];\n", wf.Task(t).ID, dotEscape(wf.Task(t).Name))
+			}
+			b.WriteString("  }\n")
+		}
+	}
+	wf.Graph().Edges(func(u, t int) {
+		fmt.Fprintf(&b, "  %q -> %q;\n", wf.Task(u).ID, wf.Task(t).ID)
+	})
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ViewDOT renders the view (quotient) graph: one node per composite.
+func ViewDOT(w io.Writer, v *view.View, opts *Options) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=component, style=filled, fillcolor=white];\n", v.Name())
+	unsound := map[int]bool{}
+	if opts != nil && opts.Report != nil {
+		for _, ci := range opts.Report.Unsound {
+			unsound[ci] = true
+		}
+	}
+	for ci := 0; ci < v.N(); ci++ {
+		comp := v.Composite(ci)
+		color := "white"
+		switch {
+		case opts != nil && opts.Selected[comp.ID]:
+			color = colorSelected
+		case opts != nil && opts.Report != nil && unsound[ci]:
+			color = colorUnsound
+		case opts != nil && opts.Report != nil:
+			color = colorSound
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s (%d)\", fillcolor=%q];\n",
+			comp.ID, dotEscape(comp.ID), comp.Size(), color)
+	}
+	v.Graph().Edges(func(a, c int) {
+		fmt.Fprintf(&b, "  %q -> %q;\n", v.Composite(a).ID, v.Composite(c).ID)
+	})
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary writes the text panel: one line per composite with its
+// members, interface sets and verdict.
+func Summary(w io.Writer, o *soundness.Oracle, v *view.View) error {
+	rep := soundness.ValidateView(o, v)
+	wf := v.Workflow()
+	fmt.Fprintf(w, "%s — %s\n", v.Name(), verdict(rep.Sound))
+	for ci := 0; ci < v.N(); ci++ {
+		cr := rep.Composites[ci]
+		comp := v.Composite(ci)
+		fmt.Fprintf(w, "  [%s] %s = {%s}\n", verdictMark(cr.Sound), comp.ID,
+			strings.Join(v.MemberIDs(ci), ", "))
+		if !cr.Sound {
+			for _, viol := range cr.Violations {
+				fmt.Fprintf(w, "        ✗ %s\n", soundness.DescribeViolation(wf, viol))
+			}
+		}
+	}
+	return nil
+}
+
+func verdict(sound bool) string {
+	if sound {
+		return "SOUND"
+	}
+	return "UNSOUND"
+}
+
+func verdictMark(sound bool) string {
+	if sound {
+		return "ok"
+	}
+	return "!!"
+}
+
+// Dependencies renders the demo's "Show Dependency" for a task: its
+// provenance (ancestors) and its downstream impact (descendants).
+func Dependencies(w io.Writer, e *provenance.Engine, taskID string) error {
+	wf := e.Workflow()
+	t, ok := wf.Index(taskID)
+	if !ok {
+		return fmt.Errorf("display: %w: %q", workflow.ErrUnknownTask, taskID)
+	}
+	names := func(idx []int) string {
+		out := make([]string, len(idx))
+		for i, x := range idx {
+			out[i] = wf.Task(x).ID
+		}
+		sort.Strings(out)
+		return strings.Join(out, ", ")
+	}
+	fmt.Fprintf(w, "task %s (%s)\n", taskID, wf.Task(t).Name)
+	fmt.Fprintf(w, "  depends on : {%s}\n", names(e.Lineage(t)))
+	fmt.Fprintf(w, "  feeds into : {%s}\n", names(e.Descendants(t)))
+	return nil
+}

@@ -1,0 +1,114 @@
+package display
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wolves/internal/provenance"
+	"wolves/internal/repo"
+	"wolves/internal/soundness"
+)
+
+func TestWorkflowDOTFlat(t *testing.T) {
+	wf, _ := repo.Figure1()
+	var buf bytes.Buffer
+	if err := WorkflowDOT(&buf, wf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"digraph", `"1" -> "2"`, "Select entries"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "cluster") {
+		t.Fatal("flat render must not emit clusters")
+	}
+}
+
+func TestWorkflowDOTWithView(t *testing.T) {
+	wf, v := repo.Figure1()
+	o := soundness.NewOracle(wf)
+	rep := soundness.ValidateView(o, v)
+	var buf bytes.Buffer
+	err := WorkflowDOT(&buf, wf, v, &Options{
+		Report:   rep,
+		Selected: map[string]bool{"19": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "cluster_16") {
+		t.Fatal("missing composite cluster")
+	}
+	if !strings.Contains(got, colorUnsound) {
+		t.Fatal("unsound composite must be red")
+	}
+	if !strings.Contains(got, colorSelected) {
+		t.Fatal("selected composite must be grey")
+	}
+	if !strings.Contains(got, colorSound) {
+		t.Fatal("sound composites must be green")
+	}
+}
+
+func TestWorkflowDOTForeignView(t *testing.T) {
+	wf, _ := repo.Figure1()
+	f3 := repo.Figure3()
+	var buf bytes.Buffer
+	if err := WorkflowDOT(&buf, wf, f3.View, nil); err == nil {
+		t.Fatal("foreign view must error")
+	}
+}
+
+func TestViewDOT(t *testing.T) {
+	wf, v := repo.Figure1()
+	o := soundness.NewOracle(wf)
+	rep := soundness.ValidateView(o, v)
+	var buf bytes.Buffer
+	if err := ViewDOT(&buf, v, &Options{Report: rep}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{`"16" [label="16 (2)"`, `"13" -> "14"`, colorUnsound} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("view DOT missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	wf, v := repo.Figure1()
+	o := soundness.NewOracle(wf)
+	var buf bytes.Buffer
+	if err := Summary(&buf, o, v); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"UNSOUND", "[!!] 16", "cannot reach", "[ok] 13"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	wf, _ := repo.Figure1()
+	e := provenance.NewEngine(wf)
+	var buf bytes.Buffer
+	if err := Dependencies(&buf, e, "8"); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "depends on : {1, 2, 6, 7}") {
+		t.Fatalf("dependencies wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "feeds into : {11, 12}") {
+		t.Fatalf("descendants wrong:\n%s", got)
+	}
+	if err := Dependencies(&buf, e, "ghost"); err == nil {
+		t.Fatal("unknown task must error")
+	}
+}

@@ -1,0 +1,213 @@
+// Package estimate implements the demo's correction-time/quality
+// estimator (§3.2): "we group the workflows which have been corrected in
+// the past according to their sizes and substructures, and report the
+// average running time and quality of each approach for the group that
+// the current workflow belongs to."
+//
+// A correction task is classified by the size of the composite being
+// split (bucketed in powers of four) and by the edge density of its
+// member subgraph (chain-like, branching, dense). The estimator keeps
+// streaming means per (group, corrector) and is safe for concurrent use.
+package estimate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// GroupKey classifies a correction task.
+type GroupKey struct {
+	SizeBucket string `json:"size"`
+	Shape      string `json:"shape"`
+}
+
+// Classify buckets a composite by member count n and by the density of
+// its induced dependency subgraph (edges within the composite / n).
+func Classify(n int, innerEdges int) GroupKey {
+	var size string
+	switch {
+	case n <= 4:
+		size = "1-4"
+	case n <= 16:
+		size = "5-16"
+	case n <= 64:
+		size = "17-64"
+	case n <= 256:
+		size = "65-256"
+	default:
+		size = "257+"
+	}
+	density := 0.0
+	if n > 0 {
+		density = float64(innerEdges) / float64(n)
+	}
+	var shape string
+	switch {
+	case density < 0.9:
+		shape = "chain-like"
+	case density < 1.8:
+		shape = "branching"
+	default:
+		shape = "dense"
+	}
+	return GroupKey{SizeBucket: size, Shape: shape}
+}
+
+// Prediction is the estimator's answer for one corrector on one group.
+type Prediction struct {
+	AvgTime    time.Duration `json:"avg_time"`
+	AvgQuality float64       `json:"avg_quality"`
+	Samples    int           `json:"samples"`
+}
+
+type agg struct {
+	TotalNs      int64   `json:"total_ns"`
+	TotalQuality float64 `json:"total_quality"`
+	Samples      int     `json:"samples"`
+}
+
+// Estimator accumulates correction history and serves predictions.
+type Estimator struct {
+	mu   sync.Mutex
+	hist map[GroupKey]map[string]*agg
+}
+
+// New returns an empty estimator.
+func New() *Estimator {
+	return &Estimator{hist: map[GroupKey]map[string]*agg{}}
+}
+
+// Record adds one observed correction: composite size n with innerEdges
+// internal edges, corrected by criterion, taking elapsed, achieving the
+// paper's quality ratio (optimal blocks / produced blocks).
+func (e *Estimator) Record(n, innerEdges int, criterion string, elapsed time.Duration, quality float64) {
+	key := Classify(n, innerEdges)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byAlg := e.hist[key]
+	if byAlg == nil {
+		byAlg = map[string]*agg{}
+		e.hist[key] = byAlg
+	}
+	a := byAlg[criterion]
+	if a == nil {
+		a = &agg{}
+		byAlg[criterion] = a
+	}
+	a.TotalNs += elapsed.Nanoseconds()
+	a.TotalQuality += quality
+	a.Samples++
+}
+
+// Predict returns the average time and quality for the group the given
+// composite belongs to. ok is false when no history exists.
+func (e *Estimator) Predict(n, innerEdges int, criterion string) (Prediction, bool) {
+	key := Classify(n, innerEdges)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.hist[key][criterion]
+	if a == nil || a.Samples == 0 {
+		return Prediction{}, false
+	}
+	return Prediction{
+		AvgTime:    time.Duration(a.TotalNs / int64(a.Samples)),
+		AvgQuality: a.TotalQuality / float64(a.Samples),
+		Samples:    a.Samples,
+	}, true
+}
+
+// Groups returns the known group keys, sorted for stable output.
+func (e *Estimator) Groups() []GroupKey {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []GroupKey
+	for k := range e.hist {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SizeBucket != out[j].SizeBucket {
+			return out[i].SizeBucket < out[j].SizeBucket
+		}
+		return out[i].Shape < out[j].Shape
+	})
+	return out
+}
+
+// Criteria returns the criteria recorded for a group, sorted.
+func (e *Estimator) Criteria(key GroupKey) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for c := range e.hist[key] {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// jsonShape is the persistence format: a flat record list.
+type jsonShape struct {
+	Records []jsonRecord `json:"records"`
+}
+
+type jsonRecord struct {
+	Key       GroupKey `json:"group"`
+	Criterion string   `json:"criterion"`
+	Agg       agg      `json:"agg"`
+}
+
+// Save serializes the history.
+func (e *Estimator) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var doc jsonShape
+	for key, byAlg := range e.hist {
+		for crit, a := range byAlg {
+			doc.Records = append(doc.Records, jsonRecord{Key: key, Criterion: crit, Agg: *a})
+		}
+	}
+	sort.Slice(doc.Records, func(i, j int) bool {
+		a, b := doc.Records[i], doc.Records[j]
+		if a.Key != b.Key {
+			if a.Key.SizeBucket != b.Key.SizeBucket {
+				return a.Key.SizeBucket < b.Key.SizeBucket
+			}
+			return a.Key.Shape < b.Key.Shape
+		}
+		return a.Criterion < b.Criterion
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load merges persisted history into the estimator.
+func (e *Estimator) Load(r io.Reader) error {
+	var doc jsonShape
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("estimate: load: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rec := range doc.Records {
+		byAlg := e.hist[rec.Key]
+		if byAlg == nil {
+			byAlg = map[string]*agg{}
+			e.hist[rec.Key] = byAlg
+		}
+		a := byAlg[rec.Criterion]
+		if a == nil {
+			a = &agg{}
+			byAlg[rec.Criterion] = a
+		}
+		a.TotalNs += rec.Agg.TotalNs
+		a.TotalQuality += rec.Agg.TotalQuality
+		a.Samples += rec.Agg.Samples
+	}
+	return nil
+}

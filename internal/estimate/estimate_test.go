@@ -1,0 +1,122 @@
+package estimate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	if got := Classify(3, 2); got != (GroupKey{"1-4", "chain-like"}) {
+		t.Fatalf("Classify(3,2) = %+v", got)
+	}
+	if got := Classify(10, 12); got != (GroupKey{"5-16", "branching"}) {
+		t.Fatalf("Classify(10,12) = %+v", got)
+	}
+	if got := Classify(10, 25); got != (GroupKey{"5-16", "dense"}) {
+		t.Fatalf("Classify(10,25) = %+v", got)
+	}
+	if got := Classify(100, 10); got != (GroupKey{"65-256", "chain-like"}) {
+		t.Fatalf("Classify(100,10) = %+v", got)
+	}
+	if got := Classify(500, 2000); got != (GroupKey{"257+", "dense"}) {
+		t.Fatalf("Classify(500,2000) = %+v", got)
+	}
+	if got := Classify(0, 0); got.Shape != "chain-like" {
+		t.Fatalf("Classify(0,0) = %+v", got)
+	}
+}
+
+func TestRecordAndPredict(t *testing.T) {
+	e := New()
+	if _, ok := e.Predict(10, 12, "weak"); ok {
+		t.Fatal("empty estimator must not predict")
+	}
+	e.Record(10, 12, "weak", 100*time.Millisecond, 0.8)
+	e.Record(12, 14, "weak", 300*time.Millisecond, 0.6) // same group (5-16, branching)
+	p, ok := e.Predict(11, 13, "weak")
+	if !ok {
+		t.Fatal("prediction expected")
+	}
+	if p.Samples != 2 || p.AvgTime != 200*time.Millisecond || p.AvgQuality != 0.7 {
+		t.Fatalf("prediction = %+v", p)
+	}
+	// Different criterion: no data.
+	if _, ok := e.Predict(11, 13, "strong"); ok {
+		t.Fatal("no strong history yet")
+	}
+	// Different group: no data.
+	if _, ok := e.Predict(100, 120, "weak"); ok {
+		t.Fatal("different group must not predict")
+	}
+}
+
+func TestGroupsAndCriteria(t *testing.T) {
+	e := New()
+	e.Record(3, 2, "weak", time.Millisecond, 1)
+	e.Record(3, 2, "optimal", time.Millisecond, 1)
+	e.Record(30, 80, "weak", time.Millisecond, 1)
+	groups := e.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	crits := e.Criteria(groups[0])
+	if len(crits) != 2 || crits[0] != "optimal" {
+		t.Fatalf("criteria = %v", crits)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := New()
+	e.Record(10, 12, "strong", 50*time.Millisecond, 0.9)
+	e.Record(10, 12, "strong", 150*time.Millisecond, 1.0)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New()
+	if err := e2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := e2.Predict(10, 12, "strong")
+	if !ok || p.Samples != 2 || p.AvgTime != 100*time.Millisecond {
+		t.Fatalf("after load: %+v, %v", p, ok)
+	}
+	// Load merges rather than replaces.
+	var buf2 bytes.Buffer
+	if err := e.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Load(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = e2.Predict(10, 12, "strong")
+	if p.Samples != 4 {
+		t.Fatalf("merge load samples = %d", p.Samples)
+	}
+	if err := e2.Load(strings.NewReader("{")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	e := New()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				e.Record(10, 12, "weak", time.Millisecond, 1)
+				e.Predict(10, 12, "weak")
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	p, _ := e.Predict(10, 12, "weak")
+	if p.Samples != 800 {
+		t.Fatalf("samples = %d, want 800", p.Samples)
+	}
+}

@@ -1,0 +1,275 @@
+// Package feedback implements the Workflow View Feedback module: the
+// demo's iterate-until-satisfied loop in which WOLVES corrects a view,
+// the user re-groups tasks ("Create Composite Task"), and the validator
+// runs again — until the user accepts a sound view.
+//
+// The GUI loop of Figure 2 becomes a Session with explicit operations,
+// plus a tiny script language so the CLI (and tests) can drive whole
+// interactions deterministically.
+package feedback
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"wolves/internal/core"
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// Event records one session operation for the audit log.
+type Event struct {
+	At         time.Time
+	Op         string
+	Detail     string
+	Sound      bool
+	Composites int
+}
+
+// Session drives the validate → correct → feedback loop over one view.
+type Session struct {
+	oracle   *soundness.Oracle
+	current  *view.View
+	history  []*view.View
+	log      []Event
+	accepted bool
+}
+
+// ErrAccepted is returned when mutating an accepted session.
+var ErrAccepted = errors.New("feedback: session already accepted")
+
+// NewSession starts a session on view v.
+func NewSession(wf *workflow.Workflow, v *view.View) (*Session, error) {
+	if v.Workflow() != wf {
+		return nil, errors.New("feedback: view belongs to a different workflow")
+	}
+	s := &Session{oracle: soundness.NewOracle(wf), current: v}
+	s.record("open", v.Name())
+	return s, nil
+}
+
+// Current returns the session's current view.
+func (s *Session) Current() *view.View { return s.current }
+
+// Oracle exposes the session's soundness oracle (shared closure).
+func (s *Session) Oracle() *soundness.Oracle { return s.oracle }
+
+// Accepted reports whether the user has accepted the view.
+func (s *Session) Accepted() bool { return s.accepted }
+
+// Log returns the event log.
+func (s *Session) Log() []Event { return append([]Event(nil), s.log...) }
+
+func (s *Session) record(op, detail string) {
+	rep := soundness.ValidateView(s.oracle, s.current)
+	s.log = append(s.log, Event{
+		At: time.Now(), Op: op, Detail: detail,
+		Sound: rep.Sound, Composites: s.current.N(),
+	})
+}
+
+// Validate runs the validator on the current view.
+func (s *Session) Validate() *soundness.Report {
+	rep := soundness.ValidateView(s.oracle, s.current)
+	s.log = append(s.log, Event{
+		At: time.Now(), Op: "validate", Detail: s.current.Name(),
+		Sound: rep.Sound, Composites: s.current.N(),
+	})
+	return rep
+}
+
+func (s *Session) push(v *view.View, op, detail string) {
+	s.history = append(s.history, s.current)
+	s.current = v
+	s.record(op, detail)
+}
+
+// Correct repairs the whole view under the chosen criterion.
+func (s *Session) Correct(crit core.Criterion, opts *core.Options) (*core.ViewCorrection, error) {
+	if s.accepted {
+		return nil, ErrAccepted
+	}
+	vc, err := core.CorrectView(s.oracle, s.current, crit, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.push(vc.Corrected, "correct", crit.String())
+	return vc, nil
+}
+
+// SplitTask corrects a single composite (the demo's "Split Task" popup).
+func (s *Session) SplitTask(compID string, crit core.Criterion, opts *core.Options) (*core.Result, error) {
+	if s.accepted {
+		return nil, ErrAccepted
+	}
+	comp, ok := s.current.CompositeByID(compID)
+	if !ok {
+		return nil, fmt.Errorf("feedback: %w: %q", view.ErrUnknownComp, compID)
+	}
+	res, err := core.SplitTask(s.oracle, comp.Members(), crit, opts)
+	if err != nil {
+		return nil, err
+	}
+	next, err := s.current.ReplaceComposite(compID, res.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	s.push(next, "split", fmt.Sprintf("%s via %s → %d blocks", compID, crit, len(res.Blocks)))
+	return res, nil
+}
+
+// Compact greedily merges composite pairs whose union stays sound (the
+// split/merge interaction extension). maxMerges ≤ 0 means unbounded.
+func (s *Session) Compact(maxMerges int) (int, error) {
+	if s.accepted {
+		return 0, ErrAccepted
+	}
+	compacted, merges, err := core.Compact(s.oracle, s.current, maxMerges)
+	if err != nil {
+		return 0, err
+	}
+	if merges > 0 {
+		s.push(compacted, "compact", fmt.Sprintf("%d merges", merges))
+	}
+	return merges, nil
+}
+
+// MergeTasks is the user's "Create Composite Task" feedback operation.
+// The result may be unsound; the next Validate (or the corrector) will
+// say so — exactly the demo's loop.
+func (s *Session) MergeTasks(newID string, compIDs ...string) error {
+	if s.accepted {
+		return ErrAccepted
+	}
+	next, err := s.current.MergeComposites(newID, compIDs...)
+	if err != nil {
+		return err
+	}
+	s.push(next, "merge", fmt.Sprintf("%s = %s", newID, strings.Join(compIDs, "+")))
+	return nil
+}
+
+// Undo restores the previous view.
+func (s *Session) Undo() error {
+	if s.accepted {
+		return ErrAccepted
+	}
+	if len(s.history) == 0 {
+		return errors.New("feedback: nothing to undo")
+	}
+	s.current = s.history[len(s.history)-1]
+	s.history = s.history[:len(s.history)-1]
+	s.record("undo", s.current.Name())
+	return nil
+}
+
+// Accept finalizes the session. Accepting an unsound view is allowed —
+// the user owns the decision — but the event log records the verdict.
+func (s *Session) Accept() {
+	if !s.accepted {
+		s.accepted = true
+		s.record("accept", s.current.Name())
+	}
+}
+
+// RunScript executes a session script: one command per line, '#'
+// comments. Commands:
+//
+//	validate
+//	correct weak|strong|strong-audited|optimal
+//	split <compositeID> weak|strong|strong-audited|optimal
+//	merge <newID> <comp1> <comp2> [...]
+//	compact [maxMerges]
+//	undo
+//	accept
+//
+// Output lines describing each step are written to out.
+func (s *Session) RunScript(r io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if err := s.runCommand(fields, out); err != nil {
+			return fmt.Errorf("feedback: line %d (%q): %w", line, text, err)
+		}
+	}
+	return sc.Err()
+}
+
+func (s *Session) runCommand(fields []string, out io.Writer) error {
+	switch fields[0] {
+	case "validate":
+		rep := s.Validate()
+		fmt.Fprintf(out, "validate: sound=%v composites=%d unsound=%d\n",
+			rep.Sound, s.current.N(), len(rep.Unsound))
+	case "correct":
+		if len(fields) != 2 {
+			return errors.New("usage: correct <criterion>")
+		}
+		crit, err := core.ParseCriterion(fields[1])
+		if err != nil {
+			return err
+		}
+		vc, err := s.Correct(crit, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "correct(%s): %d → %d composites\n",
+			crit, vc.CompositesBefore, vc.CompositesAfter)
+	case "split":
+		if len(fields) != 3 {
+			return errors.New("usage: split <composite> <criterion>")
+		}
+		crit, err := core.ParseCriterion(fields[2])
+		if err != nil {
+			return err
+		}
+		res, err := s.SplitTask(fields[1], crit, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "split(%s, %s): %d blocks\n", fields[1], crit, len(res.Blocks))
+	case "merge":
+		if len(fields) < 4 {
+			return errors.New("usage: merge <newID> <comp> <comp> [...]")
+		}
+		if err := s.MergeTasks(fields[1], fields[2:]...); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "merge(%s): %d composites\n", fields[1], s.current.N())
+	case "compact":
+		max := 0
+		if len(fields) == 2 {
+			if _, err := fmt.Sscanf(fields[1], "%d", &max); err != nil {
+				return fmt.Errorf("usage: compact [maxMerges]: %w", err)
+			}
+		}
+		merges, err := s.Compact(max)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "compact: %d merges, %d composites\n", merges, s.current.N())
+	case "undo":
+		if err := s.Undo(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "undo: %d composites\n", s.current.N())
+	case "accept":
+		s.Accept()
+		rep := soundness.ValidateView(s.oracle, s.current)
+		fmt.Fprintf(out, "accept: sound=%v composites=%d\n", rep.Sound, s.current.N())
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+	return nil
+}

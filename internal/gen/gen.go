@@ -1,0 +1,214 @@
+// Package gen generates synthetic workflows and views. It is the
+// repository substitute demanded by the reproduction: the paper
+// evaluated on Kepler [1] and myExperiment [5] workflows and on views
+// auto-constructed by Biton et al. [2]; none of those artifacts are
+// available, so gen produces workloads in the same structural regimes
+// (layered dataflow graphs, series-parallel pipelines, motif-based
+// scientific pipelines) plus view constructors that — like the real
+// tools — do not guarantee soundness. Everything is deterministic under
+// a caller-supplied seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wolves/internal/workflow"
+)
+
+// LayeredConfig parameterizes a layered random DAG, the shape of most
+// scientific dataflow programs.
+type LayeredConfig struct {
+	Name     string
+	Tasks    int
+	Layers   int
+	EdgeProb float64 // probability of an edge between adjacent layers
+	SkipProb float64 // probability of a layer-skipping edge
+	Seed     int64
+}
+
+// Layered builds a layered random workflow. Every non-first-layer task
+// is guaranteed at least one predecessor, so the graph has no stray
+// sources beyond layer 0.
+func Layered(cfg LayeredConfig) *workflow.Workflow {
+	if cfg.Tasks < 1 {
+		panic("gen: Tasks must be positive")
+	}
+	if cfg.Layers < 1 {
+		cfg.Layers = 1
+	}
+	if cfg.Layers > cfg.Tasks {
+		cfg.Layers = cfg.Tasks
+	}
+	if cfg.EdgeProb <= 0 {
+		cfg.EdgeProb = 0.3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := workflow.NewBuilder(cfg.Name)
+	layerOf := make([]int, cfg.Tasks)
+	ids := make([]string, cfg.Tasks)
+	// Distribute tasks over layers round-robin, then shuffle sizes a bit.
+	for i := 0; i < cfg.Tasks; i++ {
+		ids[i] = fmt.Sprintf("t%d", i)
+		layerOf[i] = i * cfg.Layers / cfg.Tasks
+		b.AddTask(ids[i], workflow.WithKind(fmt.Sprintf("layer%d", layerOf[i])))
+	}
+	var layers [][]int
+	layers = make([][]int, cfg.Layers)
+	for i, l := range layerOf {
+		layers[l] = append(layers[l], i)
+	}
+	for l := 1; l < cfg.Layers; l++ {
+		for _, t := range layers[l] {
+			connected := false
+			for _, p := range layers[l-1] {
+				if rng.Float64() < cfg.EdgeProb {
+					b.AddEdge(ids[p], ids[t])
+					connected = true
+				}
+			}
+			if !connected {
+				p := layers[l-1][rng.Intn(len(layers[l-1]))]
+				b.AddEdge(ids[p], ids[t])
+			}
+			if cfg.SkipProb > 0 && l >= 2 {
+				for back := 2; back <= l; back++ {
+					for _, p := range layers[l-back] {
+						if rng.Float64() < cfg.SkipProb {
+							b.AddEdge(ids[p], ids[t])
+						}
+					}
+				}
+			}
+		}
+	}
+	wf, err := b.Build()
+	if err != nil {
+		panic("gen: layered workflow must build: " + err.Error())
+	}
+	return wf
+}
+
+// SPConfig parameterizes a series-parallel workflow.
+type SPConfig struct {
+	Name      string
+	Depth     int // recursion depth
+	MaxBranch int // max parallel branches per split
+	Seed      int64
+}
+
+// SeriesParallel builds a series-parallel workflow by recursive
+// expansion: a segment is either a chain, or a split into parallel
+// segments that re-join.
+func SeriesParallel(cfg SPConfig) *workflow.Workflow {
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if cfg.MaxBranch < 2 {
+		cfg.MaxBranch = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := workflow.NewBuilder(cfg.Name)
+	counter := 0
+	newTask := func(kind string) string {
+		id := fmt.Sprintf("t%d", counter)
+		counter++
+		b.AddTask(id, workflow.WithKind(kind))
+		return id
+	}
+	// expand returns (entry, exit) of the generated segment. The root
+	// always expands to a split so the workflow has parallel structure.
+	var expand func(depth int) (string, string)
+	expand = func(depth int) (string, string) {
+		if depth == 0 || (depth < cfg.Depth && rng.Float64() < 0.3) {
+			// Chain of 1–3 tasks.
+			n := 1 + rng.Intn(3)
+			first := newTask("chain")
+			prev := first
+			for i := 1; i < n; i++ {
+				next := newTask("chain")
+				b.AddEdge(prev, next)
+				prev = next
+			}
+			return first, prev
+		}
+		split := newTask("split")
+		join := newTask("join")
+		branches := 2 + rng.Intn(cfg.MaxBranch-1)
+		for i := 0; i < branches; i++ {
+			en, ex := expand(depth - 1)
+			b.AddEdge(split, en)
+			b.AddEdge(ex, join)
+		}
+		return split, join
+	}
+	en, ex := expand(cfg.Depth)
+	_ = en
+	_ = ex
+	wf, err := b.Build()
+	if err != nil {
+		panic("gen: series-parallel workflow must build: " + err.Error())
+	}
+	return wf
+}
+
+// PipelineConfig parameterizes a Kepler-style scientific pipeline:
+// fetch → split → per-branch processing chains → merge → render, with
+// optional side-annotation chains joining at the merge (the Figure 1
+// shape, scaled).
+type PipelineConfig struct {
+	Name         string
+	Branches     int // parallel processing branches
+	ChainLen     int // tasks per branch chain
+	SideChains   int // independent annotation chains entering the merge
+	SideChainLen int
+	Seed         int64
+}
+
+// ScientificPipeline builds the motif workflow. Task kinds name their
+// stage, so ModuleView can group by stage.
+func ScientificPipeline(cfg PipelineConfig) *workflow.Workflow {
+	if cfg.Branches < 1 {
+		cfg.Branches = 2
+	}
+	if cfg.ChainLen < 1 {
+		cfg.ChainLen = 2
+	}
+	if cfg.SideChainLen < 1 {
+		cfg.SideChainLen = 2
+	}
+	b := workflow.NewBuilder(cfg.Name)
+	b.AddTask("fetch", workflow.WithKind("fetch"))
+	b.AddTask("split", workflow.WithKind("fetch"))
+	b.AddEdge("fetch", "split")
+	b.AddTask("merge", workflow.WithKind("merge"))
+	b.AddTask("render", workflow.WithKind("render"))
+	b.AddEdge("merge", "render")
+	for br := 0; br < cfg.Branches; br++ {
+		prev := "split"
+		for s := 0; s < cfg.ChainLen; s++ {
+			id := fmt.Sprintf("b%d_s%d", br, s)
+			b.AddTask(id, workflow.WithKind(fmt.Sprintf("branch%d", br)))
+			b.AddEdge(prev, id)
+			prev = id
+		}
+		b.AddEdge(prev, "merge")
+	}
+	for sc := 0; sc < cfg.SideChains; sc++ {
+		prev := ""
+		for s := 0; s < cfg.SideChainLen; s++ {
+			id := fmt.Sprintf("a%d_s%d", sc, s)
+			b.AddTask(id, workflow.WithKind(fmt.Sprintf("annot%d", sc)))
+			if prev != "" {
+				b.AddEdge(prev, id)
+			}
+			prev = id
+		}
+		b.AddEdge(prev, "merge")
+	}
+	wf, err := b.Build()
+	if err != nil {
+		panic("gen: pipeline workflow must build: " + err.Error())
+	}
+	return wf
+}

@@ -1,0 +1,193 @@
+package gen
+
+import (
+	"testing"
+
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+func TestLayeredDeterministicAndValid(t *testing.T) {
+	cfg := LayeredConfig{Name: "l", Tasks: 60, Layers: 6, EdgeProb: 0.3, SkipProb: 0.05, Seed: 9}
+	a := Layered(cfg)
+	b := Layered(cfg)
+	if a.N() != 60 || a.M() == 0 {
+		t.Fatalf("layered shape: %v", a)
+	}
+	if a.M() != b.M() {
+		t.Fatal("generator must be deterministic under a fixed seed")
+	}
+	// Every non-layer-0 task has a predecessor.
+	g := a.Graph()
+	for i := 0; i < a.N(); i++ {
+		if a.Task(i).Kind != "layer0" && g.InDeg(i) == 0 {
+			t.Fatalf("task %d (kind %s) has no predecessor", i, a.Task(i).Kind)
+		}
+	}
+	// Degenerate configs are clamped, not fatal.
+	small := Layered(LayeredConfig{Name: "s", Tasks: 3, Layers: 99, Seed: 1})
+	if small.N() != 3 {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	wf := SeriesParallel(SPConfig{Name: "sp", Depth: 3, MaxBranch: 3, Seed: 4})
+	if wf.N() < 4 {
+		t.Fatalf("too small: %v", wf)
+	}
+	if !wf.Graph().IsAcyclic() {
+		t.Fatal("must be acyclic")
+	}
+	wf2 := SeriesParallel(SPConfig{Name: "sp", Depth: 3, MaxBranch: 3, Seed: 4})
+	if wf.N() != wf2.N() || wf.M() != wf2.M() {
+		t.Fatal("must be deterministic")
+	}
+}
+
+func TestScientificPipeline(t *testing.T) {
+	wf := ScientificPipeline(PipelineConfig{
+		Name: "sci", Branches: 3, ChainLen: 4, SideChains: 2, SideChainLen: 3, Seed: 1,
+	})
+	// fetch, split, merge, render + 3*4 + 2*3 = 22.
+	if wf.N() != 22 {
+		t.Fatalf("N = %d, want 22", wf.N())
+	}
+	if got := wf.Sources(); len(got) != 3 { // fetch + 2 side chains
+		t.Fatalf("sources = %v", got)
+	}
+	mv := ModuleView(wf, "stages")
+	// fetch, merge, render, branch0..2, annot0..1 = 8 composites.
+	if mv.N() != 8 {
+		t.Fatalf("module view composites = %d", mv.N())
+	}
+}
+
+func TestIntervalAndRandomViews(t *testing.T) {
+	wf := Layered(LayeredConfig{Name: "l", Tasks: 40, Layers: 5, EdgeProb: 0.4, Seed: 2})
+	iv := IntervalView(wf, 5, "iv")
+	if iv.N() != 5 {
+		t.Fatalf("interval composites = %d", iv.N())
+	}
+	rv := RandomView(wf, 7, 3, "rv")
+	if rv.N() != 7 {
+		t.Fatalf("random composites = %d", rv.N())
+	}
+	rv2 := RandomView(wf, 7, 3, "rv")
+	for i := 0; i < wf.N(); i++ {
+		if rv.CompOf(i) != rv2.CompOf(i) {
+			t.Fatal("random view must be deterministic under a fixed seed")
+		}
+	}
+	// Clamps.
+	if IntervalView(wf, 0, "x").N() != 1 || IntervalView(wf, 999, "x").N() != wf.N() {
+		t.Fatal("interval clamps wrong")
+	}
+}
+
+func TestBitonStyleView(t *testing.T) {
+	wf := ScientificPipeline(PipelineConfig{Name: "sci", Branches: 2, ChainLen: 3, SideChains: 1, SideChainLen: 2})
+	v, err := BitonStyleView(wf, []string{"merge", "b0_s1"}, "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relevant tasks anchor their own composites.
+	cm := v.CompOf(wf.MustIndex("merge"))
+	cb := v.CompOf(wf.MustIndex("b0_s1"))
+	if cm == cb {
+		t.Fatal("relevant tasks must be in distinct composites")
+	}
+	if v.Composite(cm).Size() != 1 {
+		// merge anchors a fresh composite, but later tasks may join it.
+		// Its first member must be merge itself or a descendant.
+		found := false
+		for _, m := range v.Composite(cm).Members() {
+			if wf.Task(m).ID == "merge" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("merge lost its composite")
+		}
+	}
+	if _, err := BitonStyleView(wf, []string{"ghost"}, "user"); err == nil {
+		t.Fatal("unknown relevant task must error")
+	}
+}
+
+func TestInjectUnsound(t *testing.T) {
+	wf := ScientificPipeline(PipelineConfig{Name: "sci", Branches: 3, ChainLen: 3, SideChains: 2, SideChainLen: 2})
+	base := view.Atomic(wf)
+	v := InjectUnsound(base, 10, 5)
+	if v.N() != base.N()-10 {
+		t.Fatalf("composites = %d, want %d", v.N(), base.N()-10)
+	}
+}
+
+func TestUnsoundTaskGuarantee(t *testing.T) {
+	for _, n := range []int{2, 3, 6, 12, 24, 48} {
+		for seed := int64(0); seed < 4; seed++ {
+			wf, members := UnsoundTask(n, seed)
+			if len(members) != n {
+				t.Fatalf("n=%d seed=%d: got %d members", n, seed, len(members))
+			}
+			o := soundness.NewOracle(wf)
+			if ok, _ := o.SoundSlice(members); ok {
+				t.Fatalf("n=%d seed=%d: generated task is sound", n, seed)
+			}
+		}
+	}
+	// Determinism.
+	a, am := UnsoundTask(10, 7)
+	b, bm := UnsoundTask(10, 7)
+	if a.N() != b.N() || a.M() != b.M() || len(am) != len(bm) {
+		t.Fatal("UnsoundTask must be deterministic")
+	}
+}
+
+func TestBicliqueTask(t *testing.T) {
+	for _, k := range []int{2, 3, 5} {
+		wf, members := BicliqueTask(k)
+		if len(members) != 2*k+8 {
+			t.Fatalf("k=%d: members = %d, want %d", k, len(members), 2*k+8)
+		}
+		o := soundness.NewOracle(wf)
+		if ok, _ := o.SoundSlice(members); ok {
+			t.Fatalf("k=%d: composite must be unsound", k)
+		}
+		// The k×k biclique itself is a sound block.
+		var bic []int
+		for i := 0; i < k; i++ {
+			bic = append(bic, wf.MustIndex("u"+string(rune('0'+i))))
+			bic = append(bic, wf.MustIndex("v"+string(rune('0'+i))))
+		}
+		if ok, viol := o.SoundSlice(bic); !ok {
+			t.Fatalf("k=%d: biclique block unsound: %v", k, viol)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("k<2 must panic")
+			}
+		}()
+		BicliqueTask(1)
+	}()
+}
+
+func TestModuleViewCoversEverything(t *testing.T) {
+	wf, err := workflow.NewBuilder("k").
+		AddTask("a").AddTask("b", workflow.WithKind("x")).
+		AddEdge("a", "b").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ModuleView(wf, "m")
+	if v.N() != 2 {
+		t.Fatalf("composites = %d", v.N())
+	}
+	if _, ok := v.CompositeByID("m:misc"); !ok {
+		t.Fatal("kindless tasks must land in m:misc")
+	}
+}

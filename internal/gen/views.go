@@ -1,0 +1,341 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// IntervalView partitions the workflow into k composites of consecutive
+// tasks in topological order — the "bands of a pipeline" views experts
+// tend to draw. Often (but not always) unsound on graphs with parallel
+// structure.
+func IntervalView(wf *workflow.Workflow, k int, name string) *view.View {
+	if k < 1 {
+		k = 1
+	}
+	if k > wf.N() {
+		k = wf.N()
+	}
+	order, err := wf.Graph().TopoOrder()
+	if err != nil {
+		panic("gen: workflow must be acyclic")
+	}
+	part := make([]int, wf.N())
+	for pos, t := range order {
+		part[t] = pos * k / wf.N()
+	}
+	v, err := view.FromPartition(wf, name, part)
+	if err != nil {
+		panic("gen: interval view must build: " + err.Error())
+	}
+	return v
+}
+
+// RandomView assigns tasks to k composites uniformly at random. Random
+// partitions of dataflow graphs are almost always unsound — the
+// adversarial end of the spectrum.
+func RandomView(wf *workflow.Workflow, k int, seed int64, name string) *view.View {
+	if k < 1 {
+		k = 1
+	}
+	if k > wf.N() {
+		k = wf.N()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	part := make([]int, wf.N())
+	for i := 0; i < k; i++ {
+		part[i] = i
+	}
+	for i := k; i < wf.N(); i++ {
+		part[i] = rng.Intn(k)
+	}
+	rng.Shuffle(len(part), func(i, j int) { part[i], part[j] = part[j], part[i] })
+	v, err := view.FromPartition(wf, name, part)
+	if err != nil {
+		panic("gen: random view must build: " + err.Error())
+	}
+	return v
+}
+
+// ModuleView groups tasks by their Kind — the "one composite per stage"
+// view a domain expert would define for generator-produced pipelines.
+func ModuleView(wf *workflow.Workflow, name string) *view.View {
+	groups := map[string][]string{}
+	for i := 0; i < wf.N(); i++ {
+		t := wf.Task(i)
+		kind := t.Kind
+		if kind == "" {
+			kind = "misc"
+		}
+		groups[kind] = append(groups[kind], t.ID)
+	}
+	// view.FromAssignments sorts composite ids for determinism.
+	assign := map[string][]string{}
+	for kind, ids := range groups {
+		assign["m:"+kind] = ids
+	}
+	v, err := view.FromAssignments(wf, name, assign)
+	if err != nil {
+		panic("gen: module view must build: " + err.Error())
+	}
+	return v
+}
+
+// BitonStyleView emulates the automatic user-view construction of Biton
+// et al. [2]: the user marks relevant tasks; every relevant task anchors
+// a composite, and each irrelevant task is absorbed into the composite
+// of its first predecessor (or a fresh composite when it has none).
+// Like the real tool, the result makes no soundness promise.
+func BitonStyleView(wf *workflow.Workflow, relevant []string, name string) (*view.View, error) {
+	rel := map[int]bool{}
+	for _, id := range relevant {
+		i, ok := wf.Index(id)
+		if !ok {
+			return nil, fmt.Errorf("gen: %w: relevant task %q", workflow.ErrUnknownTask, id)
+		}
+		rel[i] = true
+	}
+	order, err := wf.Graph().TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	part := make([]int, wf.N())
+	next := 0
+	for _, t := range order {
+		switch {
+		case rel[t]:
+			part[t] = next
+			next++
+		case wf.Graph().InDeg(t) == 0:
+			part[t] = next
+			next++
+		default:
+			p := int(wf.Graph().Preds(t)[0])
+			part[t] = part[p]
+		}
+	}
+	// Compact block ids.
+	remap := map[int]int{}
+	for _, b := range part {
+		if _, ok := remap[b]; !ok {
+			remap[b] = len(remap)
+		}
+	}
+	for i := range part {
+		part[i] = remap[part[i]]
+	}
+	return view.FromPartition(wf, name, part)
+}
+
+// InjectUnsound coarsens a view by merging randomly chosen composite
+// pairs until at least `merges` merges have happened — the controlled
+// unsoundness injector used to build corrector workloads. The result is
+// frequently (not provably) unsound; callers validate.
+func InjectUnsound(v *view.View, merges int, seed int64) *view.View {
+	rng := rand.New(rand.NewSource(seed))
+	cur := v
+	for m := 0; m < merges && cur.N() >= 2; m++ {
+		a := rng.Intn(cur.N())
+		b := rng.Intn(cur.N())
+		if a == b {
+			m--
+			continue
+		}
+		merged, err := cur.MergeComposites(
+			fmt.Sprintf("u%d", m),
+			cur.Composite(a).ID, cur.Composite(b).ID)
+		if err != nil {
+			panic("gen: inject merge must succeed: " + err.Error())
+		}
+		cur = merged
+	}
+	return cur
+}
+
+// BicliqueTask generalizes the paper's Figure 3 instance to a k×k
+// biclique: k upper tasks u0..u(k-1) each feed all k lower tasks
+// v0..v(k-1); two cross-feeding entry chains fan into the uppers, two
+// exit chains drain the lowers, and external context pins every block.
+// The weakly local optimal split stalls with all 2k biclique tasks as
+// singletons (2k+4 blocks) while the strongly local optimal split merges
+// the whole biclique into one sound block (5 blocks) — the Figure 3 gap,
+// scaled. Returns the workflow and the composite's member indices.
+func BicliqueTask(k int) (*workflow.Workflow, []int) {
+	if k < 2 {
+		panic("gen: biclique needs k ≥ 2")
+	}
+	b := workflow.NewBuilder(fmt.Sprintf("biclique-k%d", k))
+	var members []string
+	add := func(id string) string {
+		b.AddTask(id)
+		members = append(members, id)
+		return id
+	}
+	// Entry chains a→b and e→h, cross-feeding every upper task.
+	add("en1a")
+	add("en1b")
+	add("en2a")
+	add("en2b")
+	b.AddEdge("en1a", "en1b")
+	b.AddEdge("en2a", "en2b")
+	for i := 0; i < k; i++ {
+		u := add(fmt.Sprintf("u%d", i))
+		b.AddEdge("en1b", u)
+		b.AddEdge("en2b", u)
+	}
+	for j := 0; j < k; j++ {
+		v := add(fmt.Sprintf("v%d", j))
+		for i := 0; i < k; i++ {
+			b.AddEdge(fmt.Sprintf("u%d", i), v)
+		}
+	}
+	// Exit chains i→j and k→m; lane bypasses keep the whole task unsound.
+	add("ex1a")
+	add("ex1b")
+	add("ex2a")
+	add("ex2b")
+	b.AddEdge("ex1a", "ex1b")
+	b.AddEdge("ex2a", "ex2b")
+	b.AddEdge("en1b", "ex1a") // lane-1 bypass
+	b.AddEdge("en2b", "ex2a") // lane-2 bypass
+	for j := 0; j < k; j++ {
+		b.AddEdge(fmt.Sprintf("v%d", j), "ex2a")
+	}
+	// External context (mirrors x1..x4 / y1..y4 of Figure 3).
+	for _, e := range [][2]string{
+		{"ctx-x1", "en1a"}, {"ctx-x2", "en2a"}, {"ctx-x3", "ex1a"}, {"ctx-x4", "ex2a"},
+	} {
+		b.AddTask(e[0])
+		b.AddEdge(e[0], e[1])
+	}
+	b.AddTask("ctx-y2")
+	b.AddTask("ctx-y3")
+	b.AddEdge("ex1b", "ctx-y2")
+	b.AddEdge("ex2b", "ctx-y3")
+	for j := 0; j < k; j++ {
+		yid := fmt.Sprintf("ctx-yv%d", j)
+		b.AddTask(yid)
+		b.AddEdge(fmt.Sprintf("v%d", j), yid)
+	}
+	wf, err := b.Build()
+	if err != nil {
+		panic("gen: biclique workflow must build: " + err.Error())
+	}
+	idx := make([]int, len(members))
+	for i, id := range members {
+		idx[i] = wf.MustIndex(id)
+	}
+	sort.Ints(idx)
+	return wf, idx
+}
+
+// UnsoundTask generates a workflow embedding one composite task of
+// exactly n members that is guaranteed unsound — the instance family of
+// the E4 corrector sweeps. The members form a layered random DAG;
+// external feeder/drain tasks attach to the borders, and if the random
+// structure happens to be sound, an incomparable member pair is wired to
+// an extra feeder/drain, which manufactures a Definition-2.3 violation.
+// It returns the workflow and the member indices.
+func UnsoundTask(n int, seed int64) (*workflow.Workflow, []int) {
+	if n < 2 {
+		panic("gen: unsound task needs at least 2 members")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := workflow.NewBuilder(fmt.Sprintf("unsound-n%d", n))
+	ids := make([]string, n)
+	layers := 2 + n/6
+	if layers > n {
+		layers = n
+	}
+	layerOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("m%d", i)
+		b.AddTask(ids[i])
+		layerOf[i] = i * layers / n
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if layerOf[j] == layerOf[i]+1 && rng.Float64() < 0.4 {
+				b.AddEdge(ids[i], ids[j])
+			} else if layerOf[j] > layerOf[i] && rng.Float64() < 0.05 {
+				b.AddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	// External context: feeders into layer 0, drains from the last layer,
+	// and sparse mid attachments.
+	feeders, drains := 0, 0
+	for i := 0; i < n; i++ {
+		if layerOf[i] == 0 {
+			fid := fmt.Sprintf("x%d", feeders)
+			feeders++
+			b.AddTask(fid)
+			b.AddEdge(fid, ids[i])
+		}
+		if layerOf[i] == layers-1 {
+			did := fmt.Sprintf("y%d", drains)
+			drains++
+			b.AddTask(did)
+			b.AddEdge(ids[i], did)
+		} else if rng.Float64() < 0.15 {
+			did := fmt.Sprintf("y%d", drains)
+			drains++
+			b.AddTask(did)
+			b.AddEdge(ids[i], did)
+		}
+	}
+	wf, err := b.Build()
+	if err != nil {
+		panic("gen: unsound-task workflow must build: " + err.Error())
+	}
+	members := make([]int, n)
+	for i, id := range ids {
+		members[i] = wf.MustIndex(id)
+	}
+
+	// Guarantee unsoundness: find members u, v with no path u→v, then
+	// attach a feeder to u and a drain to v.
+	reach := wf.Graph().Reachability()
+	var bu, bv = -1, -1
+	for _, u := range members {
+		for _, v := range members {
+			if u != v && !reach.Reaches(u, v) && !reach.Reaches(v, u) {
+				bu, bv = u, v
+				break
+			}
+		}
+		if bu != -1 {
+			break
+		}
+	}
+	if bu == -1 {
+		// Totally ordered members (tiny n): use the reverse of an edge.
+		bu, bv = members[n-1], members[0]
+	}
+	b2 := workflow.NewBuilder(wf.Name())
+	for i := 0; i < wf.N(); i++ {
+		t := wf.Task(i)
+		b2.AddTask(t.ID, workflow.WithName(t.Name), workflow.WithKind(t.Kind))
+	}
+	for _, e := range wf.Edges() {
+		b2.AddEdge(e[0], e[1])
+	}
+	b2.AddTask("xforce")
+	b2.AddTask("yforce")
+	b2.AddEdge("xforce", wf.Task(bu).ID)
+	b2.AddEdge(wf.Task(bv).ID, "yforce")
+	wf2, err := b2.Build()
+	if err != nil {
+		panic("gen: forcing unsoundness must not break the DAG: " + err.Error())
+	}
+	members2 := make([]int, n)
+	for i, id := range ids {
+		members2[i] = wf2.MustIndex(id)
+	}
+	sort.Ints(members2)
+	return wf2, members2
+}

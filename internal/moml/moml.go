@@ -1,0 +1,281 @@
+// Package moml reads and writes a subset of the Modeling Markup Language
+// (MOML), the Ptolemy II / Kepler XML dialect the WOLVES demo imports
+// workflows from [4]. The subset covers what workflow views need:
+//
+//   - a root <entity> for the workflow;
+//   - nested composite <entity> elements (class *CompositeActor) that
+//     define the view: each one becomes a composite task, and top-level
+//     atomic entities become singleton composites;
+//   - atomic <entity> elements for tasks, with optional displayName and
+//     kind <property> elements;
+//   - <relation> elements and <link> elements wiring task ports; ports
+//     are "path.output" / "path.input", and every output→input pair on
+//     one relation becomes a data-dependency edge.
+//
+// Deeper nesting than one composite level is rejected: WOLVES views are
+// flat partitions.
+package moml
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// CompositeClass marks composite (view-defining) entities.
+const CompositeClass = "ptolemy.actor.TypedCompositeActor"
+
+// AtomicClass is the class emitted for atomic tasks.
+const AtomicClass = "wolves.actor.Task"
+
+// RelationClass is the class emitted for relations.
+const RelationClass = "ptolemy.actor.TypedIORelation"
+
+// Errors returned by Decode.
+var (
+	ErrNested   = errors.New("moml: composite entities nested deeper than one level")
+	ErrBadPort  = errors.New("moml: malformed port reference")
+	ErrBadLink  = errors.New("moml: link references unknown relation or entity")
+	ErrNoTasks  = errors.New("moml: no atomic entities")
+	ErrBadInput = errors.New("moml: malformed document")
+)
+
+type xmlProperty struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlRelation struct {
+	Name  string `xml:"name,attr"`
+	Class string `xml:"class,attr"`
+}
+
+type xmlLink struct {
+	Port     string `xml:"port,attr"`
+	Relation string `xml:"relation,attr"`
+}
+
+type xmlEntity struct {
+	XMLName   xml.Name      `xml:"entity"`
+	Name      string        `xml:"name,attr"`
+	Class     string        `xml:"class,attr"`
+	Entities  []xmlEntity   `xml:"entity"`
+	Props     []xmlProperty `xml:"property"`
+	Relations []xmlRelation `xml:"relation"`
+	Links     []xmlLink     `xml:"link"`
+}
+
+func isComposite(class string) bool {
+	return strings.Contains(class, "CompositeActor")
+}
+
+// Document is a decoded MOML file.
+type Document struct {
+	Workflow *workflow.Workflow
+	// View is nil when the file contains no composite entities.
+	View *view.View
+}
+
+// Decode parses a MOML document.
+func Decode(r io.Reader) (*Document, error) {
+	var root xmlEntity
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&root); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	if root.Name == "" {
+		return nil, fmt.Errorf("%w: root entity has no name", ErrBadInput)
+	}
+
+	wb := workflow.NewBuilder(root.Name)
+	// task path (for ports) → task id; composite id → member ids.
+	taskByPath := map[string]string{}
+	comps := map[string][]string{}
+	var compOrder []string
+	atomicCount := 0
+
+	addAtomic := func(e *xmlEntity, pathPrefix string) {
+		opts := []workflow.TaskOption{}
+		for _, p := range e.Props {
+			switch p.Name {
+			case "displayName":
+				opts = append(opts, workflow.WithName(p.Value))
+			case "kind":
+				opts = append(opts, workflow.WithKind(p.Value))
+			}
+		}
+		wb.AddTask(e.Name, opts...)
+		taskByPath[pathPrefix+e.Name] = e.Name
+		// Port references may also use the bare task name.
+		if pathPrefix != "" {
+			taskByPath[e.Name] = e.Name
+		}
+		atomicCount++
+	}
+
+	for i := range root.Entities {
+		e := &root.Entities[i]
+		if !isComposite(e.Class) {
+			addAtomic(e, "")
+			comps[e.Name] = []string{e.Name}
+			compOrder = append(compOrder, e.Name)
+			continue
+		}
+		compOrder = append(compOrder, e.Name)
+		for j := range e.Entities {
+			inner := &e.Entities[j]
+			if isComposite(inner.Class) {
+				return nil, fmt.Errorf("%w: %q inside %q", ErrNested, inner.Name, e.Name)
+			}
+			addAtomic(inner, e.Name+".")
+			comps[e.Name] = append(comps[e.Name], inner.Name)
+		}
+		if len(e.Entities) == 0 {
+			return nil, fmt.Errorf("moml: composite %q is empty", e.Name)
+		}
+	}
+	if atomicCount == 0 {
+		return nil, ErrNoTasks
+	}
+
+	// Relations: collect outputs and inputs, then emit the product.
+	relations := map[string]bool{}
+	for _, rel := range root.Relations {
+		relations[rel.Name] = true
+	}
+	type endpoints struct{ outs, ins []string }
+	eps := map[string]*endpoints{}
+	for _, l := range root.Links {
+		if !relations[l.Relation] {
+			return nil, fmt.Errorf("%w: relation %q", ErrBadLink, l.Relation)
+		}
+		dot := strings.LastIndex(l.Port, ".")
+		if dot <= 0 || dot == len(l.Port)-1 {
+			return nil, fmt.Errorf("%w: %q", ErrBadPort, l.Port)
+		}
+		path, port := l.Port[:dot], l.Port[dot+1:]
+		task, ok := taskByPath[path]
+		if !ok {
+			return nil, fmt.Errorf("%w: entity path %q", ErrBadLink, path)
+		}
+		ep := eps[l.Relation]
+		if ep == nil {
+			ep = &endpoints{}
+			eps[l.Relation] = ep
+		}
+		switch port {
+		case "output":
+			ep.outs = append(ep.outs, task)
+		case "input":
+			ep.ins = append(ep.ins, task)
+		default:
+			return nil, fmt.Errorf("%w: port %q (want input|output)", ErrBadPort, l.Port)
+		}
+	}
+	relNames := make([]string, 0, len(eps))
+	for name := range eps {
+		relNames = append(relNames, name)
+	}
+	sort.Strings(relNames)
+	for _, name := range relNames {
+		ep := eps[name]
+		for _, from := range ep.outs {
+			for _, to := range ep.ins {
+				wb.AddEdge(from, to)
+			}
+		}
+	}
+
+	wf, err := wb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("moml: %w", err)
+	}
+	doc := &Document{Workflow: wf}
+
+	hasComposite := false
+	for i := range root.Entities {
+		if isComposite(root.Entities[i].Class) {
+			hasComposite = true
+			break
+		}
+	}
+	if hasComposite {
+		vb := view.NewBuilder(wf, root.Name+"-view")
+		for _, cid := range compOrder {
+			vb.Assign(cid, comps[cid]...)
+		}
+		v, err := vb.Build()
+		if err != nil {
+			return nil, fmt.Errorf("moml: view: %w", err)
+		}
+		doc.View = v
+	}
+	return doc, nil
+}
+
+// Encode writes wf (and optionally a view v over it) as MOML. With a nil
+// view every task is a top-level atomic entity.
+func Encode(w io.Writer, wf *workflow.Workflow, v *view.View) error {
+	if v != nil && v.Workflow() != wf {
+		return errors.New("moml: view belongs to a different workflow")
+	}
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, "<entity name=%q class=%q>\n", wf.Name(), CompositeClass)
+
+	taskPath := make([]string, wf.N())
+	writeTask := func(indent string, t workflow.Task) {
+		fmt.Fprintf(&b, "%s<entity name=%q class=%q>\n", indent, t.ID, AtomicClass)
+		if t.Name != t.ID {
+			fmt.Fprintf(&b, "%s  <property name=\"displayName\" value=%q/>\n", indent, t.Name)
+		}
+		if t.Kind != "" {
+			fmt.Fprintf(&b, "%s  <property name=\"kind\" value=%q/>\n", indent, t.Kind)
+		}
+		fmt.Fprintf(&b, "%s</entity>\n", indent)
+	}
+
+	if v == nil {
+		for i := 0; i < wf.N(); i++ {
+			t := wf.Task(i)
+			taskPath[i] = t.ID
+			writeTask("  ", t)
+		}
+	} else {
+		for ci := 0; ci < v.N(); ci++ {
+			comp := v.Composite(ci)
+			if comp.Size() == 1 && comp.ID == wf.Task(comp.Members()[0]).ID {
+				// Singleton whose id equals the task: emit flat.
+				t := wf.Task(comp.Members()[0])
+				taskPath[comp.Members()[0]] = t.ID
+				writeTask("  ", t)
+				continue
+			}
+			fmt.Fprintf(&b, "  <entity name=%q class=%q>\n", comp.ID, CompositeClass)
+			for _, ti := range comp.Members() {
+				t := wf.Task(ti)
+				taskPath[ti] = comp.ID + "." + t.ID
+				writeTask("    ", t)
+			}
+			b.WriteString("  </entity>\n")
+		}
+	}
+
+	// One relation per edge keeps the format trivially round-trippable.
+	i := 0
+	wf.Graph().Edges(func(u, vv int) {
+		fmt.Fprintf(&b, "  <relation name=\"r%d\" class=%q/>\n", i, RelationClass)
+		fmt.Fprintf(&b, "  <link port=%q relation=\"r%d\"/>\n", taskPath[u]+".output", i)
+		fmt.Fprintf(&b, "  <link port=%q relation=\"r%d\"/>\n", taskPath[vv]+".input", i)
+		i++
+	})
+	b.WriteString("</entity>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,225 @@
+package moml
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wolves/internal/repo"
+	"wolves/internal/soundness"
+)
+
+const sample = `<?xml version="1.0"?>
+<entity name="pipeline" class="ptolemy.actor.TypedCompositeActor">
+  <entity name="stageA" class="ptolemy.actor.TypedCompositeActor">
+    <entity name="select" class="wolves.actor.Task">
+      <property name="displayName" value="Select entries"/>
+      <property name="kind" value="source"/>
+    </entity>
+    <entity name="split" class="wolves.actor.Task"/>
+  </entity>
+  <entity name="display" class="wolves.actor.Task"/>
+  <relation name="r0" class="ptolemy.actor.TypedIORelation"/>
+  <link port="stageA.select.output" relation="r0"/>
+  <link port="stageA.split.input" relation="r0"/>
+  <relation name="r1" class="ptolemy.actor.TypedIORelation"/>
+  <link port="stageA.split.output" relation="r1"/>
+  <link port="display.input" relation="r1"/>
+</entity>
+`
+
+func TestDecodeSample(t *testing.T) {
+	doc, err := Decode(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := doc.Workflow
+	if wf.Name() != "pipeline" || wf.N() != 3 || wf.M() != 2 {
+		t.Fatalf("workflow = %v", wf)
+	}
+	sel, _ := wf.Index("select")
+	if wf.Task(sel).Name != "Select entries" || wf.Task(sel).Kind != "source" {
+		t.Fatalf("task properties lost: %+v", wf.Task(sel))
+	}
+	if doc.View == nil {
+		t.Fatal("expected a view from the composite entity")
+	}
+	if doc.View.N() != 2 {
+		t.Fatalf("view composites = %d", doc.View.N())
+	}
+	c, ok := doc.View.CompositeByID("stageA")
+	if !ok || c.Size() != 2 {
+		t.Fatalf("stageA = %+v", c)
+	}
+	// Top-level atomic became a singleton composite.
+	if _, ok := doc.View.CompositeByID("display"); !ok {
+		t.Fatal("display must be a singleton composite")
+	}
+}
+
+func TestDecodeNoView(t *testing.T) {
+	const flat = `<entity name="w" class="ptolemy.actor.TypedCompositeActor">
+  <entity name="a" class="wolves.actor.Task"/>
+  <entity name="b" class="wolves.actor.Task"/>
+  <relation name="r" class="ptolemy.actor.TypedIORelation"/>
+  <link port="a.output" relation="r"/>
+  <link port="b.input" relation="r"/>
+</entity>`
+	doc, err := Decode(strings.NewReader(flat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.View != nil {
+		t.Fatal("flat file must not produce a view")
+	}
+	if doc.Workflow.M() != 1 {
+		t.Fatal("edge lost")
+	}
+}
+
+func TestDecodeFanRelation(t *testing.T) {
+	// One relation with two outputs and two inputs → 4 edges.
+	const fan = `<entity name="w" class="ptolemy.actor.TypedCompositeActor">
+  <entity name="a" class="wolves.actor.Task"/>
+  <entity name="b" class="wolves.actor.Task"/>
+  <entity name="c" class="wolves.actor.Task"/>
+  <entity name="d" class="wolves.actor.Task"/>
+  <relation name="r" class="ptolemy.actor.TypedIORelation"/>
+  <link port="a.output" relation="r"/>
+  <link port="b.output" relation="r"/>
+  <link port="c.input" relation="r"/>
+  <link port="d.input" relation="r"/>
+</entity>`
+	doc, err := Decode(strings.NewReader(fan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Workflow.M() != 4 {
+		t.Fatalf("M = %d, want 4", doc.Workflow.M())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		want error
+	}{
+		"garbage":  {"not xml", ErrBadInput},
+		"no name":  {`<entity class="x"><entity name="a" class="t"/></entity>`, ErrBadInput},
+		"no tasks": {`<entity name="w" class="c"/>`, ErrNoTasks},
+		"nested": {`<entity name="w" class="c">
+			<entity name="v1" class="ptolemy.actor.TypedCompositeActor">
+			  <entity name="v2" class="ptolemy.actor.TypedCompositeActor">
+			    <entity name="a" class="t"/>
+			  </entity>
+			</entity></entity>`, ErrNested},
+		"bad relation": {`<entity name="w" class="c">
+			<entity name="a" class="t"/>
+			<link port="a.output" relation="ghost"/></entity>`, ErrBadLink},
+		"bad port": {`<entity name="w" class="c">
+			<entity name="a" class="t"/>
+			<relation name="r" class="x"/>
+			<link port="a.sideways" relation="r"/></entity>`, ErrBadPort},
+		"bad path": {`<entity name="w" class="c">
+			<entity name="a" class="t"/>
+			<relation name="r" class="x"/>
+			<link port="ghost.output" relation="r"/></entity>`, ErrBadLink},
+		"portless": {`<entity name="w" class="c">
+			<entity name="a" class="t"/>
+			<relation name="r" class="x"/>
+			<link port="output" relation="r"/></entity>`, ErrBadPort},
+	}
+	for name, tc := range cases {
+		_, err := Decode(strings.NewReader(tc.in))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, tc.want)
+		}
+	}
+	// Empty composite and cyclic workflow are rejected too.
+	const emptyComp = `<entity name="w" class="c">
+	  <entity name="v" class="ptolemy.actor.TypedCompositeActor"/>
+	  <entity name="a" class="t"/></entity>`
+	if _, err := Decode(strings.NewReader(emptyComp)); err == nil {
+		t.Error("empty composite must error")
+	}
+	const cyclic = `<entity name="w" class="c">
+	  <entity name="a" class="t"/><entity name="b" class="t"/>
+	  <relation name="r1" class="x"/><relation name="r2" class="x"/>
+	  <link port="a.output" relation="r1"/><link port="b.input" relation="r1"/>
+	  <link port="b.output" relation="r2"/><link port="a.input" relation="r2"/>
+	</entity>`
+	if _, err := Decode(strings.NewReader(cyclic)); err == nil {
+		t.Error("cyclic workflow must error")
+	}
+}
+
+func TestRoundTripFigure1(t *testing.T) {
+	wf, v := repo.Figure1()
+	var buf bytes.Buffer
+	if err := Encode(&buf, wf, v); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode of encoded MOML: %v\n%s", err, buf.String())
+	}
+	if doc.Workflow.N() != wf.N() || doc.Workflow.M() != wf.M() {
+		t.Fatalf("workflow shape changed: %v vs %v", doc.Workflow, wf)
+	}
+	if doc.View == nil || doc.View.N() != v.N() {
+		t.Fatalf("view shape changed: %v vs %v", doc.View, v)
+	}
+	// Same composite memberships.
+	for ci := 0; ci < v.N(); ci++ {
+		id := v.Composite(ci).ID
+		c2, ok := doc.View.CompositeByID(id)
+		if !ok {
+			t.Fatalf("composite %q lost", id)
+		}
+		var want, got []string
+		for _, m := range v.Composite(ci).Members() {
+			want = append(want, wf.Task(m).ID)
+		}
+		for _, m := range c2.Members() {
+			got = append(got, doc.Workflow.Task(m).ID)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("composite %q members: %v vs %v", id, want, got)
+		}
+	}
+	// Unsoundness survives the round trip.
+	o := soundness.NewOracle(doc.Workflow)
+	rep := soundness.ValidateView(o, doc.View)
+	if rep.Sound {
+		t.Fatal("figure 1 view must stay unsound after round trip")
+	}
+}
+
+func TestRoundTripNoView(t *testing.T) {
+	wf, _ := repo.Figure1()
+	var buf bytes.Buffer
+	if err := Encode(&buf, wf, nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.View != nil {
+		t.Fatal("flat encode must not create composites")
+	}
+	if doc.Workflow.M() != wf.M() {
+		t.Fatal("edges changed")
+	}
+}
+
+func TestEncodeForeignViewFails(t *testing.T) {
+	wf, _ := repo.Figure1()
+	f3 := repo.Figure3()
+	var buf bytes.Buffer
+	if err := Encode(&buf, wf, f3.View); err == nil {
+		t.Fatal("foreign view must error")
+	}
+}

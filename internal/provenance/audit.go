@@ -1,0 +1,92 @@
+package provenance
+
+import (
+	"wolves/internal/bitset"
+	"wolves/internal/view"
+)
+
+// ViewAudit quantifies the provenance error a view induces, at composite
+// granularity (the granularity at which view users read answers).
+//
+// Ground truth for a pair (A, B): some member of A reaches some member
+// of B in the workflow. The view reports (A, B) when the view graph has
+// a path A→…→B. Quotient views never under-report (every workflow path
+// contracts to a view walk), so errors are always false positives — the
+// paper's "output of task (14) is not part of the provenance of the
+// output of task (18)" scenario.
+type ViewAudit struct {
+	Composites int
+	// TruePairs counts ordered composite pairs (A,B), A≠B, with a real
+	// member-level path; ReportedPairs counts pairs the view claims.
+	TruePairs     int
+	ReportedPairs int
+	// FalsePairs = reported but not real; MissingPairs must be zero.
+	FalsePairs   int
+	MissingPairs int
+	// WrongQueries counts composites whose lineage answer contains at
+	// least one false composite.
+	WrongQueries int
+	// Precision = TruePairs / ReportedPairs (1.0 when nothing reported).
+	Precision float64
+}
+
+// AuditView compares view-level lineage answers with workflow ground
+// truth for every composite.
+func AuditView(e *Engine, v *view.View) *ViewAudit {
+	if v.Workflow() != e.wf {
+		panic("provenance: view belongs to a different workflow")
+	}
+	ve := NewViewEngine(v)
+	k := v.N()
+	a := &ViewAudit{Composites: k}
+
+	// trueReach[A] = set of composites containing a task reachable from
+	// some member of A.
+	n := e.wf.N()
+	trueReach := make([]*bitset.Set, k)
+	for c := 0; c < k; c++ {
+		row := bitset.New(n)
+		for _, t := range v.Composite(c).Members() {
+			row.Or(e.fwd.Row(t))
+		}
+		cs := bitset.New(k)
+		row.ForEach(func(t int) bool {
+			cs.Set(v.CompOf(t))
+			return true
+		})
+		trueReach[c] = cs
+	}
+	for b := 0; b < k; b++ {
+		reported := ve.anc[b]
+		wrong := false
+		for a2 := 0; a2 < k; a2++ {
+			if a2 == b {
+				continue
+			}
+			real := trueReach[a2].Test(b)
+			rep := reported.Test(a2)
+			if real {
+				a.TruePairs++
+			}
+			if rep {
+				a.ReportedPairs++
+			}
+			switch {
+			case rep && !real:
+				a.FalsePairs++
+				wrong = true
+			case real && !rep:
+				a.MissingPairs++
+			}
+		}
+		if wrong {
+			a.WrongQueries++
+		}
+	}
+	if a.ReportedPairs == 0 {
+		a.Precision = 1.0
+	} else {
+		a.Precision = float64(a.ReportedPairs-a.FalsePairs) / float64(a.ReportedPairs)
+	}
+	return a
+}

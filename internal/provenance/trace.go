@@ -1,0 +1,111 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wolves/internal/workflow"
+)
+
+// This file models concrete workflow executions as provenance graphs in
+// the Open Provenance Model style the paper cites [6]: processes (task
+// invocations) and artifacts (data items) connected by used /
+// wasGeneratedBy edges. The simulator produces one invocation per task
+// and one artifact per task output — the simplification the paper itself
+// makes ("the data items flowing between tasks have been omitted").
+
+// Artifact is a data item produced during an execution.
+type Artifact struct {
+	ID       string `json:"id"`
+	Producer string `json:"producer"` // task ID
+}
+
+// UsedEdge records that a task invocation consumed an artifact.
+type UsedEdge struct {
+	Process  string `json:"process"`  // task ID
+	Artifact string `json:"artifact"` // artifact ID
+}
+
+// Trace is one simulated execution of a workflow.
+type Trace struct {
+	RunID     string
+	wf        *workflow.Workflow
+	artifacts []Artifact // artifacts[i] is the output of task i
+	used      []UsedEdge
+}
+
+// Execute simulates a run of wf: every task fires once, consuming the
+// outputs of its predecessors.
+func Execute(wf *workflow.Workflow, runID string) *Trace {
+	tr := &Trace{RunID: runID, wf: wf}
+	for i := 0; i < wf.N(); i++ {
+		tr.artifacts = append(tr.artifacts, Artifact{
+			ID:       fmt.Sprintf("%s/%s/out", runID, wf.Task(i).ID),
+			Producer: wf.Task(i).ID,
+		})
+	}
+	wf.Graph().Edges(func(u, v int) {
+		tr.used = append(tr.used, UsedEdge{
+			Process:  wf.Task(v).ID,
+			Artifact: tr.artifacts[u].ID,
+		})
+	})
+	return tr
+}
+
+// Workflow returns the executed workflow.
+func (tr *Trace) Workflow() *workflow.Workflow { return tr.wf }
+
+// Artifacts returns all artifacts, in task-index order.
+func (tr *Trace) Artifacts() []Artifact { return append([]Artifact(nil), tr.artifacts...) }
+
+// Used returns all consumption edges.
+func (tr *Trace) Used() []UsedEdge { return append([]UsedEdge(nil), tr.used...) }
+
+// ArtifactOf returns the output artifact of the given task ID.
+func (tr *Trace) ArtifactOf(taskID string) (Artifact, error) {
+	i, ok := tr.wf.Index(taskID)
+	if !ok {
+		return Artifact{}, fmt.Errorf("provenance: %w: %q", workflow.ErrUnknownTask, taskID)
+	}
+	return tr.artifacts[i], nil
+}
+
+// ArtifactLineage returns the artifacts that (transitively) contributed
+// to the output of taskID, using engine e for reachability.
+func (tr *Trace) ArtifactLineage(e *Engine, taskID string) ([]Artifact, error) {
+	i, ok := tr.wf.Index(taskID)
+	if !ok {
+		return nil, fmt.Errorf("provenance: %w: %q", workflow.ErrUnknownTask, taskID)
+	}
+	var out []Artifact
+	for _, t := range e.Lineage(i) {
+		out = append(out, tr.artifacts[t])
+	}
+	return out, nil
+}
+
+// opmDocument is the JSON export shape.
+type opmDocument struct {
+	Run       string     `json:"run"`
+	Processes []string   `json:"processes"`
+	Artifacts []Artifact `json:"artifacts"`
+	Used      []UsedEdge `json:"used"`
+	Generated []UsedEdge `json:"wasGeneratedBy"`
+}
+
+// WriteOPM exports the trace as an OPM-style JSON document.
+func (tr *Trace) WriteOPM(w io.Writer) error {
+	doc := opmDocument{Run: tr.RunID, Artifacts: tr.artifacts, Used: tr.used}
+	for i := 0; i < tr.wf.N(); i++ {
+		doc.Processes = append(doc.Processes, tr.wf.Task(i).ID)
+		doc.Generated = append(doc.Generated, UsedEdge{
+			Process:  tr.wf.Task(i).ID,
+			Artifact: tr.artifacts[i].ID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,388 @@
+package repo
+
+import (
+	"fmt"
+	"sort"
+
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// ViewSpec pairs a view with its expected diagnosis, so the E8 survey
+// and the test suite can pin every fixture.
+type ViewSpec struct {
+	View *view.View
+	// WantSound is the hand-verified expected validator verdict.
+	WantSound bool
+	// Origin mimics the paper's sources: "expert" (hand-defined, as in
+	// Kepler/myExperiment) or "auto" (Biton-style construction).
+	Origin string
+}
+
+// Entry is one workflow of the simulated repository.
+type Entry struct {
+	Key      string
+	Title    string
+	Domain   string
+	Source   string // kepler-sim | myexperiment-sim | paper
+	Workflow *workflow.Workflow
+	Views    []ViewSpec
+	Notes    string
+}
+
+// Catalog builds the full simulated repository. Entries are freshly
+// constructed on every call (workflows are immutable but cheap).
+func Catalog() []*Entry {
+	entries := []*Entry{
+		phylogenomicsEntry(),
+		figure3Entry(),
+		genomeAssembly(),
+		climateEnsemble(),
+		astroPipeline(),
+		etlSales(),
+		mlTraining(),
+		textMining(),
+		proteomics(),
+		weatherForecast(),
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries
+}
+
+// Get returns the catalog entry with the given key.
+func Get(key string) (*Entry, error) {
+	for _, e := range Catalog() {
+		if e.Key == key {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("repo: no workflow %q (try `wolves repo list`)", key)
+}
+
+// Keys returns all catalog keys, sorted.
+func Keys() []string {
+	var out []string
+	for _, e := range Catalog() {
+		out = append(out, e.Key)
+	}
+	return out
+}
+
+func phylogenomicsEntry() *Entry {
+	wf, v := Figure1()
+	corrected, err := view.NewBuilder(wf, "fig1-sound").
+		Assign("13", "1", "2").
+		Assign("14", "3").
+		Assign("15", "6").
+		Assign("16a", "4", "5").
+		Assign("16b", "7", "8").
+		Assign("19", "9", "10", "11", "12").
+		Build()
+	if err != nil {
+		panic("repo: fig1 corrected view must build: " + err.Error())
+	}
+	return &Entry{
+		Key:      "phylogenomics",
+		Title:    "Phylogenomic inference of protein biological functions",
+		Domain:   "molecular biology",
+		Source:   "paper",
+		Workflow: wf,
+		Views: []ViewSpec{
+			{View: v, WantSound: false, Origin: "expert"},
+			{View: corrected, WantSound: true, Origin: "expert"},
+		},
+		Notes: "Figure 1 of the paper; composite 16 bundles the annotation and alignment branches.",
+	}
+}
+
+func figure3Entry() *Entry {
+	f := Figure3()
+	return &Entry{
+		Key:      "fig3-running-example",
+		Title:    "Running example of Section 2.2",
+		Domain:   "synthetic",
+		Source:   "paper",
+		Workflow: f.Workflow,
+		Views: []ViewSpec{
+			{View: f.View, WantSound: false, Origin: "expert"},
+		},
+		Notes: "Reconstructed from the Figure 3 prose; weak split = 8 blocks, strong = 5.",
+	}
+}
+
+// buildWF panics on error: catalog fixtures are compile-time data.
+func buildWF(b *workflow.Builder) *workflow.Workflow {
+	wf, err := b.Build()
+	if err != nil {
+		panic("repo: fixture workflow must build: " + err.Error())
+	}
+	return wf
+}
+
+func buildView(wf *workflow.Workflow, name string, assign map[string][]string) *view.View {
+	v, err := view.FromAssignments(wf, name, assign)
+	if err != nil {
+		panic("repo: fixture view must build: " + err.Error())
+	}
+	return v
+}
+
+func genomeAssembly() *Entry {
+	b := workflow.NewBuilder("genome-assembly")
+	for _, t := range []string{"reads", "qc", "trim", "assemble", "polish", "align_ref", "call_variants", "scaffold", "annotate", "report"} {
+		b.AddTask(t)
+	}
+	b.Chain("reads", "qc", "trim")
+	b.Chain("trim", "assemble", "polish")
+	b.Chain("trim", "align_ref", "call_variants")
+	b.AddEdge("polish", "scaffold")
+	b.AddEdge("call_variants", "scaffold")
+	b.Chain("scaffold", "annotate", "report")
+	wf := buildWF(b)
+	// Unsound: bundles the de-novo and reference branches; assemble ∈ in
+	// cannot reach call_variants ∈ out.
+	bad := buildView(wf, "assembly-grouped", map[string][]string{
+		"input":    {"reads", "qc", "trim"},
+		"assembly": {"assemble", "polish", "align_ref", "call_variants"},
+		"finish":   {"scaffold", "annotate", "report"},
+	})
+	good := buildView(wf, "assembly-branches", map[string][]string{
+		"input":  {"reads", "qc", "trim"},
+		"denovo": {"assemble", "polish"},
+		"refmap": {"align_ref", "call_variants"},
+		"finish": {"scaffold", "annotate", "report"},
+	})
+	return &Entry{
+		Key: "genome-assembly", Title: "Hybrid de-novo + reference genome assembly",
+		Domain: "genomics", Source: "kepler-sim", Workflow: wf,
+		Views: []ViewSpec{
+			{View: bad, WantSound: false, Origin: "expert"},
+			{View: good, WantSound: true, Origin: "expert"},
+		},
+		Notes: "Two analysis branches between trim and scaffold; bundling them is the Figure-1 mistake.",
+	}
+}
+
+func climateEnsemble() *Entry {
+	b := workflow.NewBuilder("climate-ensemble")
+	b.AddTask("forcing")
+	b.AddTask("spinup")
+	b.AddEdge("forcing", "spinup")
+	for i := 1; i <= 3; i++ {
+		run := fmt.Sprintf("member%d_run", i)
+		post := fmt.Sprintf("member%d_post", i)
+		b.AddTask(run)
+		b.AddTask(post)
+		b.AddEdge("spinup", run)
+		b.AddEdge(run, post)
+	}
+	b.AddTask("ensemble_mean")
+	b.AddTask("anomaly_maps")
+	b.AddTask("publish")
+	for i := 1; i <= 3; i++ {
+		b.AddEdge(fmt.Sprintf("member%d_post", i), "ensemble_mean")
+	}
+	b.Chain("ensemble_mean", "anomaly_maps", "publish")
+	wf := buildWF(b)
+	bad := buildView(wf, "ensemble-grouped", map[string][]string{
+		"setup": {"forcing", "spinup"},
+		"members": {"member1_run", "member1_post", "member2_run", "member2_post",
+			"member3_run", "member3_post"},
+		"analysis": {"ensemble_mean", "anomaly_maps", "publish"},
+	})
+	good := buildView(wf, "ensemble-permember", map[string][]string{
+		"setup":    {"forcing", "spinup"},
+		"m1":       {"member1_run", "member1_post"},
+		"m2":       {"member2_run", "member2_post"},
+		"m3":       {"member3_run", "member3_post"},
+		"analysis": {"ensemble_mean", "anomaly_maps", "publish"},
+	})
+	return &Entry{
+		Key: "climate-ensemble", Title: "Climate model ensemble with post-processing",
+		Domain: "climate science", Source: "kepler-sim", Workflow: wf,
+		Views: []ViewSpec{
+			{View: bad, WantSound: false, Origin: "expert"},
+			{View: good, WantSound: true, Origin: "expert"},
+		},
+		Notes: "Three independent ensemble members bundled into one composite is unsound.",
+	}
+}
+
+func astroPipeline() *Entry {
+	b := workflow.NewBuilder("astro-image")
+	for _, t := range []string{"raw", "bias", "flat", "align", "stack", "catalog", "publish"} {
+		b.AddTask(t)
+	}
+	b.Chain("raw", "bias", "flat", "align", "stack", "catalog", "publish")
+	wf := buildWF(b)
+	good := buildView(wf, "astro-stages", map[string][]string{
+		"calibrate": {"raw", "bias", "flat"},
+		"combine":   {"align", "stack"},
+		"release":   {"catalog", "publish"},
+	})
+	return &Entry{
+		Key: "astro-image", Title: "Astronomical image calibration pipeline",
+		Domain: "astronomy", Source: "myexperiment-sim", Workflow: wf,
+		Views: []ViewSpec{
+			{View: good, WantSound: true, Origin: "expert"},
+		},
+		Notes: "A pure chain: every interval view is sound.",
+	}
+}
+
+func etlSales() *Entry {
+	b := workflow.NewBuilder("etl-sales")
+	for _, t := range []string{"extract_orders", "extract_customers", "clean_orders",
+		"clean_customers", "join", "aggregate", "report_pdf", "dashboard"} {
+		b.AddTask(t)
+	}
+	b.Chain("extract_orders", "clean_orders", "join")
+	b.Chain("extract_customers", "clean_customers", "join")
+	b.Chain("join", "aggregate")
+	b.AddEdge("aggregate", "report_pdf")
+	b.AddEdge("aggregate", "dashboard")
+	wf := buildWF(b)
+	bad := buildView(wf, "etl-stage-banded", map[string][]string{
+		"extract":   {"extract_orders", "extract_customers"},
+		"clean":     {"clean_orders", "clean_customers"},
+		"integrate": {"join", "aggregate"},
+		"serve":     {"report_pdf", "dashboard"},
+	})
+	good := buildView(wf, "etl-per-source", map[string][]string{
+		"orders":    {"extract_orders", "clean_orders"},
+		"customers": {"extract_customers", "clean_customers"},
+		"integrate": {"join", "aggregate"},
+		"serve":     {"report_pdf", "dashboard"},
+	})
+	return &Entry{
+		Key: "etl-sales", Title: "Retail ETL with two sources",
+		Domain: "business", Source: "myexperiment-sim", Workflow: wf,
+		Views: []ViewSpec{
+			{View: bad, WantSound: false, Origin: "expert"},
+			{View: good, WantSound: true, Origin: "expert"},
+		},
+		Notes: "Stage-banded views bundle the two cleaning tasks: clean_orders cannot reach clean_customers.",
+	}
+}
+
+func mlTraining() *Entry {
+	b := workflow.NewBuilder("ml-training")
+	for _, t := range []string{"ingest", "featurize", "split", "train_model", "eval_model",
+		"train_baseline", "eval_baseline", "compare", "report"} {
+		b.AddTask(t)
+	}
+	b.Chain("ingest", "featurize", "split")
+	b.Chain("split", "train_model", "eval_model", "compare")
+	b.Chain("split", "train_baseline", "eval_baseline", "compare")
+	b.AddEdge("compare", "report")
+	wf := buildWF(b)
+	bad := buildView(wf, "ml-train-grouped", map[string][]string{
+		"prep":     {"ingest", "featurize", "split"},
+		"training": {"train_model", "train_baseline"},
+		"eval":     {"eval_model", "eval_baseline"},
+		"wrap":     {"compare", "report"},
+	})
+	good := buildView(wf, "ml-per-arm", map[string][]string{
+		"prep":     {"ingest", "featurize", "split"},
+		"model":    {"train_model", "eval_model"},
+		"baseline": {"train_baseline", "eval_baseline"},
+		"wrap":     {"compare", "report"},
+	})
+	return &Entry{
+		Key: "ml-training", Title: "Model-vs-baseline training comparison",
+		Domain: "machine learning", Source: "myexperiment-sim", Workflow: wf,
+		Views: []ViewSpec{
+			{View: bad, WantSound: false, Origin: "auto"},
+			{View: good, WantSound: true, Origin: "expert"},
+		},
+		Notes: "Grouping by pipeline stage rather than by arm is unsound.",
+	}
+}
+
+func textMining() *Entry {
+	b := workflow.NewBuilder("text-mining")
+	for _, t := range []string{"crawl", "dedupe", "tokenize", "tfidf", "cluster",
+		"ner", "link_entities", "index", "search_ui"} {
+		b.AddTask(t)
+	}
+	b.Chain("crawl", "dedupe", "tokenize")
+	b.Chain("tokenize", "tfidf", "cluster", "index")
+	b.Chain("tokenize", "ner", "link_entities", "index")
+	b.AddEdge("index", "search_ui")
+	wf := buildWF(b)
+	bad := buildView(wf, "text-analysis-grouped", map[string][]string{
+		"acquire":  {"crawl", "dedupe", "tokenize"},
+		"analysis": {"tfidf", "cluster", "ner", "link_entities"},
+		"serve":    {"index", "search_ui"},
+	})
+	good := buildView(wf, "text-per-branch", map[string][]string{
+		"acquire":  {"crawl", "dedupe", "tokenize"},
+		"topics":   {"tfidf", "cluster"},
+		"entities": {"ner", "link_entities"},
+		"serve":    {"index", "search_ui"},
+	})
+	return &Entry{
+		Key: "text-mining", Title: "Corpus mining with topic and entity branches",
+		Domain: "information retrieval", Source: "myexperiment-sim", Workflow: wf,
+		Views: []ViewSpec{
+			{View: bad, WantSound: false, Origin: "expert"},
+			{View: good, WantSound: true, Origin: "expert"},
+		},
+		Notes: "The analysis composite mixes two parallel branches.",
+	}
+}
+
+func proteomics() *Entry {
+	b := workflow.NewBuilder("proteomics-ms")
+	for _, t := range []string{"sample", "digest", "lc_ms", "identify", "validate",
+		"quantify", "normalize", "integrate", "report"} {
+		b.AddTask(t)
+	}
+	b.Chain("sample", "digest", "lc_ms")
+	b.Chain("lc_ms", "identify", "validate", "integrate")
+	b.Chain("lc_ms", "quantify", "normalize", "integrate")
+	b.AddEdge("integrate", "report")
+	wf := buildWF(b)
+	bad := buildView(wf, "ms-analysis-grouped", map[string][]string{
+		"wet":      {"sample", "digest", "lc_ms"},
+		"analysis": {"identify", "validate", "quantify", "normalize"},
+		"out":      {"integrate", "report"},
+	})
+	return &Entry{
+		Key: "proteomics-ms", Title: "Mass-spectrometry proteomics quantification",
+		Domain: "proteomics", Source: "kepler-sim", Workflow: wf,
+		Views: []ViewSpec{
+			{View: bad, WantSound: false, Origin: "auto"},
+		},
+		Notes: "Identification and quantification branches bundled: unsound.",
+	}
+}
+
+func weatherForecast() *Entry {
+	b := workflow.NewBuilder("weather-forecast")
+	for _, t := range []string{"obs_satellite", "obs_station", "qc_satellite", "qc_station",
+		"assimilate", "forecast", "verify", "publish"} {
+		b.AddTask(t)
+	}
+	b.Chain("obs_satellite", "qc_satellite", "assimilate")
+	b.Chain("obs_station", "qc_station", "assimilate")
+	b.Chain("assimilate", "forecast")
+	b.AddEdge("forecast", "verify")
+	b.AddEdge("forecast", "publish")
+	wf := buildWF(b)
+	good := buildView(wf, "forecast-per-source", map[string][]string{
+		"satellite": {"obs_satellite", "qc_satellite"},
+		"stations":  {"obs_station", "qc_station"},
+		"model":     {"assimilate", "forecast"},
+		"verify":    {"verify"},
+		"publish":   {"publish"},
+	})
+	return &Entry{
+		Key: "weather-forecast", Title: "Operational forecast with data assimilation",
+		Domain: "meteorology", Source: "kepler-sim", Workflow: wf,
+		Views: []ViewSpec{
+			{View: good, WantSound: true, Origin: "expert"},
+		},
+		Notes: "Per-source grouping keeps every composite single-entry: sound.",
+	}
+}

@@ -1,0 +1,77 @@
+// Package repo is the simulated workflow repository: hand-modelled
+// scientific and business workflows with expert-style views, standing in
+// for the Kepler [1] and myExperiment [5] repositories the paper
+// surveyed. It also hosts the two instances defined by the paper itself:
+// the Figure 1 phylogenomics case study and the Figure 3 running example.
+//
+// Several views are deliberately unsound, mirroring the paper's survey
+// finding that "a well-curated workflow repository revealed unsound
+// views"; each entry records the expected diagnosis so the E8 experiment
+// and the test suite can pin it.
+package repo
+
+import (
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// Figure1 builds the phylogenomics workflow of Figure 1(a) and the view
+// of Figure 1(b).
+//
+// Tasks (numbered as in the paper):
+//
+//	1 Select entries (GenBank)   7 Create alignment
+//	2 Split entries              8 Format alignment
+//	3 Extract annotations        9 Check additional annotations
+//	4 Curate annotations        10 Process additional annotations
+//	5 Format annotations        11 Build phylogenomic tree
+//	6 Extract sequences         12 Display tree
+//
+// The view groups them into composites 13–19; composite 16 = {4,7} is
+// unsound: 4 ∈ 16.in cannot reach 7 ∈ 16.out (the paper's witness), and
+// the view gains the spurious path 14→…→18 although task 3 (inside 14)
+// never reaches task 8 (inside 18).
+func Figure1() (*workflow.Workflow, *view.View) {
+	wf, err := workflow.NewBuilder("phylogenomics").
+		AddTask("1", workflow.WithName("Select entries"), workflow.WithKind("source")).
+		AddTask("2", workflow.WithName("Split entries")).
+		AddTask("3", workflow.WithName("Extract annotations")).
+		AddTask("4", workflow.WithName("Curate annotations")).
+		AddTask("5", workflow.WithName("Format annotations")).
+		AddTask("6", workflow.WithName("Extract sequences")).
+		AddTask("7", workflow.WithName("Create alignment")).
+		AddTask("8", workflow.WithName("Format alignment")).
+		AddTask("9", workflow.WithName("Check additional annotations"), workflow.WithKind("source")).
+		AddTask("10", workflow.WithName("Process additional annotations")).
+		AddTask("11", workflow.WithName("Build phylogenomic tree")).
+		AddTask("12", workflow.WithName("Display tree"), workflow.WithKind("sink")).
+		AddEdge("1", "2").
+		AddEdge("2", "3").
+		AddEdge("2", "6").
+		AddEdge("3", "4").
+		AddEdge("4", "5").
+		AddEdge("5", "11").
+		AddEdge("6", "7").
+		AddEdge("7", "8").
+		AddEdge("8", "11").
+		AddEdge("9", "10").
+		AddEdge("10", "11").
+		AddEdge("11", "12").
+		Build()
+	if err != nil {
+		panic("repo: figure 1 workflow must build: " + err.Error())
+	}
+	v, err := view.NewBuilder(wf, "fig1b").
+		Assign("13", "1", "2").Named("13", "Prepare Entries").
+		Assign("14", "3").Named("14", "Extract Annotations").
+		Assign("15", "6").Named("15", "Extract Sequences").
+		Assign("16", "4", "7").Named("16", "Curate & Align").
+		Assign("17", "5").Named("17", "Format Annotations").
+		Assign("18", "8").Named("18", "Format Alignment").
+		Assign("19", "9", "10", "11", "12").Named("19", "Build Phylo Tree").
+		Build()
+	if err != nil {
+		panic("repo: figure 1 view must build: " + err.Error())
+	}
+	return wf, v
+}

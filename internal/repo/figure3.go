@@ -1,0 +1,78 @@
+package repo
+
+import (
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// Fig3 packages the Figure 3 running example. The figure itself is
+// unreadable in the paper source, so the instance was reconstructed from
+// the prose constraints (see DESIGN.md):
+//
+//   - the composite task T over {a,b,c,d,e,f,g,h,i,j,k,m} is unsound;
+//   - a weakly local optimal split has 8 blocks with c, d, f, g left as
+//     singletons (Figure 3(b));
+//   - merging f and g alone is unsound, witnessed by g ∈ in, f ∈ out;
+//   - merging {c,d,f,g} yields a sound block, giving the strongly local
+//     optimal 5-block split of Figure 3(c).
+type Fig3 struct {
+	Workflow *workflow.Workflow
+	// View has one composite "T" holding the 12 letters plus singleton
+	// composites for the external context tasks.
+	View *view.View
+	// T lists the task indices of the unsound composite.
+	T []int
+	// WeakBlocks and StrongBlocks are the expected splits, as task IDs.
+	WeakBlocks   [][]string
+	StrongBlocks [][]string
+}
+
+// Figure3 builds the reconstructed running example.
+func Figure3() *Fig3 {
+	b := workflow.NewBuilder("fig3")
+	for _, id := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "m",
+		"x1", "x2", "x3", "x4", "y1", "y2", "y3", "y4"} {
+		b.AddTask(id)
+	}
+	edges := [][2]string{
+		// Entry chains, cross-feeding the biclique.
+		{"a", "b"}, {"e", "h"},
+		{"b", "c"}, {"b", "d"}, {"h", "c"}, {"h", "d"},
+		// The biclique c,d → f,g.
+		{"c", "f"}, {"c", "g"}, {"d", "f"}, {"d", "g"},
+		// Lane bypasses and exit chains.
+		{"b", "i"}, {"h", "k"},
+		{"i", "j"}, {"f", "k"}, {"g", "k"}, {"k", "m"},
+		// External context.
+		{"x1", "a"}, {"x2", "e"}, {"x3", "i"}, {"x4", "k"},
+		{"f", "y1"}, {"g", "y4"}, {"j", "y2"}, {"m", "y3"},
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	wf, err := b.Build()
+	if err != nil {
+		panic("repo: figure 3 workflow must build: " + err.Error())
+	}
+	vb := view.NewBuilder(wf, "fig3a").
+		Assign("T", "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "m").
+		Named("T", "Unsound Composite Task")
+	for _, ext := range []string{"x1", "x2", "x3", "x4", "y1", "y2", "y3", "y4"} {
+		vb.Assign("X-"+ext, ext)
+	}
+	v, err := vb.Build()
+	if err != nil {
+		panic("repo: figure 3 view must build: " + err.Error())
+	}
+	f := &Fig3{Workflow: wf, View: v}
+	for _, id := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "m"} {
+		f.T = append(f.T, wf.MustIndex(id))
+	}
+	f.WeakBlocks = [][]string{
+		{"a", "b"}, {"c"}, {"d"}, {"e", "h"}, {"f"}, {"g"}, {"i", "j"}, {"k", "m"},
+	}
+	f.StrongBlocks = [][]string{
+		{"a", "b"}, {"c", "d", "f", "g"}, {"e", "h"}, {"i", "j"}, {"k", "m"},
+	}
+	return f
+}

@@ -1,0 +1,98 @@
+package soundness
+
+import (
+	"errors"
+
+	"wolves/internal/view"
+)
+
+// The paper (§2.1): "checking whether a view is sound can take
+// exponential time, if Definition 2.1 is directly applied by checking all
+// possible paths in a graph." This file implements that strawman for the
+// E6 experiment: workflow-level path existence is decided by enumerating
+// simple paths with plain backtracking (no visited-set memoization across
+// branches), so its cost grows with the number of paths, not the number
+// of edges.
+
+// ErrBudget is returned when the naive validator exceeds its step budget.
+var ErrBudget = errors.New("soundness: naive validator exceeded step budget")
+
+// NaiveValidator validates views by brute-force path enumeration.
+type NaiveValidator struct {
+	o *Oracle
+	// Budget bounds the total number of DFS steps; 0 means no bound.
+	Budget int
+	steps  int
+}
+
+// NewNaiveValidator wraps an oracle's workflow. The oracle's closure is
+// deliberately not consulted.
+func NewNaiveValidator(o *Oracle, budget int) *NaiveValidator {
+	return &NaiveValidator{o: o, Budget: budget}
+}
+
+// Steps returns the number of DFS steps consumed so far.
+func (nv *NaiveValidator) Steps() int { return nv.steps }
+
+// pathExists enumerates simple paths from u until it hits v.
+func (nv *NaiveValidator) pathExists(u, v int, onPath []bool) (bool, error) {
+	nv.steps++
+	if nv.Budget > 0 && nv.steps > nv.Budget {
+		return false, ErrBudget
+	}
+	if u == v {
+		return true, nil
+	}
+	onPath[u] = true
+	for _, s := range nv.o.g.Succs(u) {
+		if onPath[s] {
+			continue
+		}
+		found, err := nv.pathExists(int(s), v, onPath)
+		if err != nil {
+			onPath[u] = false
+			return false, err
+		}
+		if found {
+			onPath[u] = false
+			return true, nil
+		}
+	}
+	onPath[u] = false
+	return false, nil
+}
+
+// ValidateView applies Definition 2.3 per composite, but decides each
+// in→out reachability question by simple-path enumeration. Results match
+// ValidateView exactly (tested); only the cost model differs.
+func (nv *NaiveValidator) ValidateView(v *view.View) (*Report, error) {
+	rep := &Report{View: v.Name(), Sound: true}
+	onPath := make([]bool, nv.o.g.N())
+	for ci := 0; ci < v.N(); ci++ {
+		cr := CompositeReport{ID: v.Composite(ci).ID, Index: ci, Sound: true}
+		members := MemberSet(v, ci)
+		cr.In, cr.Out = nv.o.InOut(members)
+	scan:
+		for _, u := range cr.In {
+			for _, w := range cr.Out {
+				found, err := nv.pathExists(u, w, onPath)
+				if err != nil {
+					return nil, err
+				}
+				if !found {
+					cr.Sound = false
+					cr.Violations = append(cr.Violations, Violation{From: u, To: w})
+					if len(cr.Violations) >= MaxViolations {
+						break scan
+					}
+				}
+			}
+		}
+		if !cr.Sound {
+			rep.Sound = false
+			rep.Unsound = append(rep.Unsound, ci)
+		}
+		rep.Composites = append(rep.Composites, cr)
+	}
+	return rep, nil
+}

@@ -1,0 +1,169 @@
+package soundness
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wolves/internal/bitset"
+)
+
+// naiveInOut recomputes Definition 2.2 with plain maps, independent of
+// the bitset implementation.
+func naiveInOut(o *Oracle, members map[int]bool) (in, out map[int]bool) {
+	in, out = map[int]bool{}, map[int]bool{}
+	g := o.Workflow().Graph()
+	for t := range members {
+		for _, p := range g.Preds(t) {
+			if !members[int(p)] {
+				in[t] = true
+			}
+		}
+		for _, s := range g.Succs(t) {
+			if !members[int(s)] {
+				out[t] = true
+			}
+		}
+	}
+	return in, out
+}
+
+// naiveSound applies Definition 2.3 with per-pair DFS reachability.
+func naiveSound(o *Oracle, members map[int]bool) bool {
+	in, out := naiveInOut(o, members)
+	g := o.Workflow().Graph()
+	reaches := func(u, v int) bool {
+		seen := map[int]bool{u: true}
+		stack := []int{u}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if x == v {
+				return true
+			}
+			for _, s := range g.Succs(x) {
+				if !seen[int(s)] {
+					seen[int(s)] = true
+					stack = append(stack, int(s))
+				}
+			}
+		}
+		return false
+	}
+	for u := range in {
+		for v := range out {
+			if !reaches(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: the bitset oracle agrees with an independent naive
+// implementation of Definitions 2.2 and 2.3 on random sets.
+func TestQuickOracleAgreesWithNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wf := randomWorkflow(rng, 3+rng.Intn(18))
+		o := NewOracle(wf)
+		for trial := 0; trial < 5; trial++ {
+			members := map[int]bool{}
+			set := bitset.New(wf.N())
+			for i := 0; i < wf.N(); i++ {
+				if rng.Intn(2) == 0 {
+					members[i] = true
+					set.Set(i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			in, out := o.InOut(set)
+			nIn, nOut := naiveInOut(o, members)
+			if len(in) != len(nIn) || len(out) != len(nOut) {
+				return false
+			}
+			for _, x := range in {
+				if !nIn[x] {
+					return false
+				}
+			}
+			for _, x := range out {
+				if !nOut[x] {
+					return false
+				}
+			}
+			gotSound, _ := o.SetSound(set)
+			if gotSound != naiveSound(o, members) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: soundness violations are genuine witnesses — the violation
+// pair really is (in-node, out-node) with no connecting path.
+func TestQuickViolationWitnesses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wf := randomWorkflow(rng, 3+rng.Intn(18))
+		o := NewOracle(wf)
+		set := bitset.New(wf.N())
+		for i := 0; i < wf.N(); i++ {
+			if rng.Intn(2) == 0 {
+				set.Set(i)
+			}
+		}
+		if set.None() {
+			return true
+		}
+		ok, viol := o.SetSound(set)
+		if ok {
+			return viol == nil
+		}
+		if viol == nil {
+			return false
+		}
+		in, out := o.InOut(set)
+		inSet, outSet := map[int]bool{}, map[int]bool{}
+		for _, x := range in {
+			inSet[x] = true
+		}
+		for _, x := range out {
+			outSet[x] = true
+		}
+		return inSet[viol.From] && outSet[viol.To] && !o.Reach().Reaches(viol.From, viol.To)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: singletons and the full task set are always sound; adding
+// every task to any set can only ever end sound (in = ∅ at the top).
+func TestQuickBoundarySets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wf := randomWorkflow(rng, 2+rng.Intn(15))
+		o := NewOracle(wf)
+		for i := 0; i < wf.N(); i++ {
+			s := bitset.New(wf.N())
+			s.Set(i)
+			if ok, _ := o.SetSound(s); !ok {
+				return false
+			}
+		}
+		all := bitset.New(wf.N())
+		all.Fill()
+		ok, _ := o.SetSound(all)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

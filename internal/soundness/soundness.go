@@ -1,0 +1,235 @@
+// Package soundness implements the Workflow View Validator of WOLVES.
+//
+// It provides the set-soundness oracle used by every corrector
+// (Definition 2.3: a composite task is sound iff every member receiving
+// external input reaches every member producing external output), the
+// task-level view validator justified by Proposition 2.1, a direct
+// Definition-2.1 path-preservation check, and the exponential
+// path-enumeration strawman the paper contrasts against.
+package soundness
+
+import (
+	"fmt"
+
+	"wolves/internal/bitset"
+	"wolves/internal/dag"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// Violation is a witness of unsoundness: an in-node of a composite that
+// cannot reach one of its out-nodes in the workflow (Definition 2.3).
+type Violation struct {
+	From int // workflow task index in T.in
+	To   int // workflow task index in T.out
+}
+
+// Oracle answers set-soundness queries against one workflow, reusing a
+// precomputed reachability closure. It is safe for concurrent readers.
+type Oracle struct {
+	wf    *workflow.Workflow
+	g     *dag.Graph
+	reach *dag.Closure
+	// checks counts SetSound invocations (experiment instrumentation).
+	checks int
+}
+
+// NewOracle builds an oracle for wf, computing the reachability closure.
+func NewOracle(wf *workflow.Workflow) *Oracle {
+	return &Oracle{wf: wf, g: wf.Graph(), reach: wf.Graph().Reachability()}
+}
+
+// Workflow returns the underlying workflow.
+func (o *Oracle) Workflow() *workflow.Workflow { return o.wf }
+
+// Reach returns the workflow reachability closure.
+func (o *Oracle) Reach() *dag.Closure { return o.reach }
+
+// Checks returns the number of SetSound calls served so far.
+func (o *Oracle) Checks() int { return o.checks }
+
+// ResetChecks zeroes the SetSound counter.
+func (o *Oracle) ResetChecks() { o.checks = 0 }
+
+// InOut computes U.in and U.out per Definition 2.2 for an arbitrary task
+// set U (not necessarily a composite of any view): members with at least
+// one predecessor (resp. successor) outside U.
+func (o *Oracle) InOut(members *bitset.Set) (in, out []int) {
+	members.ForEach(func(t int) bool {
+		for _, p := range o.g.Preds(t) {
+			if !members.Test(int(p)) {
+				in = append(in, t)
+				break
+			}
+		}
+		for _, s := range o.g.Succs(t) {
+			if !members.Test(int(s)) {
+				out = append(out, t)
+				break
+			}
+		}
+		return true
+	})
+	return in, out
+}
+
+// SetSound reports whether the task set U is sound (Definition 2.3) and,
+// when it is not, returns the first violation in ascending (from, to)
+// order. Reachability is reflexive, so singletons are always sound.
+func (o *Oracle) SetSound(members *bitset.Set) (bool, *Violation) {
+	o.checks++
+	in, out := o.InOut(members)
+	if len(in) == 0 || len(out) == 0 {
+		return true, nil
+	}
+	outMask := bitset.New(o.g.N())
+	for _, t := range out {
+		outMask.Set(t)
+	}
+	for _, u := range in {
+		if missing := outMask.FirstNotIn(o.reach.Row(u)); missing != -1 {
+			return false, &Violation{From: u, To: missing}
+		}
+	}
+	return true, nil
+}
+
+// SoundSlice is SetSound over a task-index slice.
+func (o *Oracle) SoundSlice(members []int) (bool, *Violation) {
+	s := bitset.New(o.g.N())
+	for _, t := range members {
+		s.Set(t)
+	}
+	return o.SetSound(s)
+}
+
+// MemberSet converts a composite of v into a bitset over workflow tasks.
+func MemberSet(v *view.View, ci int) *bitset.Set {
+	s := bitset.New(v.Workflow().N())
+	for _, t := range v.Composite(ci).Members() {
+		s.Set(t)
+	}
+	return s
+}
+
+// CompositeReport is the validation result for a single composite task.
+type CompositeReport struct {
+	ID         string
+	Index      int
+	Sound      bool
+	In, Out    []int       // Definition 2.2 interface sets (task indices)
+	Violations []Violation // capped at MaxViolations witnesses
+}
+
+// MaxViolations bounds the witnesses gathered per composite so that
+// reports on pathological views stay readable.
+const MaxViolations = 16
+
+// Report is the result of validating a view.
+type Report struct {
+	View       string
+	Sound      bool
+	Composites []CompositeReport
+	// Unsound lists indices of unsound composites, ascending.
+	Unsound []int
+}
+
+// ValidateView checks every composite of v (Proposition 2.1) and returns
+// a full diagnosis with witnesses.
+func ValidateView(o *Oracle, v *view.View) *Report {
+	if v.Workflow() != o.wf {
+		panic("soundness: view belongs to a different workflow")
+	}
+	rep := &Report{View: v.Name(), Sound: true}
+	for ci := 0; ci < v.N(); ci++ {
+		cr := CompositeReport{ID: v.Composite(ci).ID, Index: ci, Sound: true}
+		members := MemberSet(v, ci)
+		cr.In, cr.Out = o.InOut(members)
+		outMask := bitset.New(o.g.N())
+		for _, t := range cr.Out {
+			outMask.Set(t)
+		}
+	scan:
+		for _, u := range cr.In {
+			miss := outMask.Clone()
+			miss.AndNot(o.reach.Row(u))
+			for to := miss.NextSet(0); to != -1; to = miss.NextSet(to + 1) {
+				cr.Sound = false
+				cr.Violations = append(cr.Violations, Violation{From: u, To: to})
+				if len(cr.Violations) >= MaxViolations {
+					break scan
+				}
+			}
+		}
+		if !cr.Sound {
+			rep.Sound = false
+			rep.Unsound = append(rep.Unsound, ci)
+		}
+		rep.Composites = append(rep.Composites, cr)
+	}
+	return rep
+}
+
+// FalsePath is a Definition-2.1 witness at the view level: composites
+// From → To are connected in the view graph although no member of From
+// reaches any member of To in the workflow.
+type FalsePath struct {
+	From, To int // composite indices
+}
+
+// PathReport is the direct Definition-2.1 diagnosis of a view.
+type PathReport struct {
+	Sound      bool
+	FalsePaths []FalsePath
+	// MissingPaths would witness workflow paths absent from the view;
+	// quotient views can never miss paths, so this is always empty and
+	// retained only to document the asymmetry.
+	MissingPaths []FalsePath
+}
+
+// ValidateViewPaths applies Definition 2.1 literally (but polynomially,
+// via closures): the view has a path between two composites iff some pair
+// of their members is connected in the workflow. Unsound views only ever
+// add paths; the test suite pins the corner case where this view-level
+// check passes although a composite violates Definition 2.3.
+func ValidateViewPaths(o *Oracle, v *view.View) *PathReport {
+	rep := &PathReport{Sound: true}
+	q := v.Graph()
+	qReach := q.Reachability()
+	k := v.N()
+	// blockRow[c] = union of workflow reach rows of members of c.
+	blockRow := make([]*bitset.Set, k)
+	memberMask := make([]*bitset.Set, k)
+	for c := 0; c < k; c++ {
+		row := bitset.New(o.g.N())
+		for _, t := range v.Composite(c).Members() {
+			row.Or(o.reach.Row(t))
+		}
+		blockRow[c] = row
+		memberMask[c] = MemberSet(v, c)
+	}
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			if a == b {
+				continue
+			}
+			viewPath := qReach.Reaches(a, b)
+			wfPath := blockRow[a].Intersects(memberMask[b])
+			if viewPath && !wfPath {
+				rep.Sound = false
+				rep.FalsePaths = append(rep.FalsePaths, FalsePath{From: a, To: b})
+			}
+			if wfPath && !viewPath {
+				rep.Sound = false
+				rep.MissingPaths = append(rep.MissingPaths, FalsePath{From: a, To: b})
+			}
+		}
+	}
+	return rep
+}
+
+// DescribeViolation renders a violation with task IDs.
+func DescribeViolation(wf *workflow.Workflow, viol Violation) string {
+	return fmt.Sprintf("%s ∈ T.in cannot reach %s ∈ T.out",
+		wf.Task(viol.From).ID, wf.Task(viol.To).ID)
+}

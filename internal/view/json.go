@@ -1,0 +1,64 @@
+package view
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wolves/internal/workflow"
+)
+
+// jsonView is the on-disk JSON shape of a view: composite → member IDs.
+type jsonView struct {
+	Name       string          `json:"name"`
+	Workflow   string          `json:"workflow"`
+	Composites []jsonComposite `json:"composites"`
+}
+
+type jsonComposite struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name,omitempty"`
+	Members []string `json:"members"`
+}
+
+// MarshalJSON encodes the view in a stable format.
+func (v *View) MarshalJSON() ([]byte, error) {
+	jv := jsonView{Name: v.name, Workflow: v.wf.Name()}
+	for i := range v.comps {
+		c := &v.comps[i]
+		jc := jsonComposite{ID: c.ID, Members: v.MemberIDs(i)}
+		if c.Name != c.ID {
+			jc.Name = c.Name
+		}
+		jv.Composites = append(jv.Composites, jc)
+	}
+	return json.Marshal(jv)
+}
+
+// DecodeJSON reads a view over wf from r and validates the partition.
+func DecodeJSON(wf *workflow.Workflow, r io.Reader) (*View, error) {
+	var jv jsonView
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jv); err != nil {
+		return nil, fmt.Errorf("view: decode: %w", err)
+	}
+	if jv.Workflow != "" && jv.Workflow != wf.Name() {
+		return nil, fmt.Errorf("view: file targets workflow %q, got %q", jv.Workflow, wf.Name())
+	}
+	b := NewBuilder(wf, jv.Name)
+	for _, c := range jv.Composites {
+		b.Assign(c.ID, c.Members...)
+		if c.Name != "" {
+			b.Named(c.ID, c.Name)
+		}
+	}
+	return b.Build()
+}
+
+// EncodeJSON writes the view as indented JSON.
+func (v *View) EncodeJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,65 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonWorkflow is the on-disk JSON shape of a workflow specification.
+type jsonWorkflow struct {
+	Name  string      `json:"name"`
+	Tasks []jsonTask  `json:"tasks"`
+	Edges [][2]string `json:"edges"`
+}
+
+type jsonTask struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// MarshalJSON encodes the workflow in a stable, human-editable format.
+func (w *Workflow) MarshalJSON() ([]byte, error) {
+	jw := jsonWorkflow{Name: w.name, Edges: w.Edges()}
+	for _, t := range w.tasks {
+		jt := jsonTask{ID: t.ID, Kind: t.Kind}
+		if t.Name != t.ID {
+			jt.Name = t.Name
+		}
+		jw.Tasks = append(jw.Tasks, jt)
+	}
+	return json.Marshal(jw)
+}
+
+// DecodeJSON reads and validates a workflow from r.
+func DecodeJSON(r io.Reader) (*Workflow, error) {
+	var jw jsonWorkflow
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jw); err != nil {
+		return nil, fmt.Errorf("workflow: decode: %w", err)
+	}
+	b := NewBuilder(jw.Name)
+	for _, t := range jw.Tasks {
+		opts := []TaskOption{}
+		if t.Name != "" {
+			opts = append(opts, WithName(t.Name))
+		}
+		if t.Kind != "" {
+			opts = append(opts, WithKind(t.Kind))
+		}
+		b.AddTask(t.ID, opts...)
+	}
+	for _, e := range jw.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// EncodeJSON writes the workflow as indented JSON.
+func (w *Workflow) EncodeJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(w)
+}
