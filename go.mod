@@ -1,0 +1,3 @@
+module wolves
+
+go 1.24

@@ -197,6 +197,31 @@ func (s *Set) FirstNotIn(o *Set) int {
 	return -1
 }
 
+// ForEachNotIn calls fn for every bit set in s but not in o, ascending,
+// without materializing the difference (the allocation-free form of
+// Clone-then-AndNot-then-iterate). If fn returns false the iteration
+// stops.
+func (s *Set) ForEachNotIn(o *Set, fn func(i int) bool) {
+	s.same(o)
+	for wi, w := range s.words {
+		for d := w &^ o.words[wi]; d != 0; d &= d - 1 {
+			if !fn(wi*wordBits + bits.TrailingZeros64(d)) {
+				return
+			}
+		}
+	}
+}
+
+// CountNotIn returns |s \ o| without materializing the difference.
+func (s *Set) CountNotIn(o *Set) int {
+	s.same(o)
+	c := 0
+	for wi, w := range s.words {
+		c += bits.OnesCount64(w &^ o.words[wi])
+	}
+	return c
+}
+
 // NextSet returns the smallest set bit ≥ i, or -1 if none exists.
 func (s *Set) NextSet(i int) int {
 	if i < 0 {

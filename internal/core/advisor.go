@@ -29,8 +29,7 @@ func (a *Advisor) CanAdd(composite []int, task int) bool {
 		s.Set(t)
 	}
 	s.Set(task)
-	ok, _ := a.o.SetSound(s)
-	return ok
+	return a.o.SetSoundQuick(s)
 }
 
 // SafeAdditions returns the candidate tasks whose individual addition
@@ -47,11 +46,13 @@ func (a *Advisor) SafeAdditions(composite []int, candidates []int) []int {
 		if base.Test(c) {
 			continue
 		}
-		s := base.Clone()
-		s.Set(c)
-		if ok, _ := a.o.SetSound(s); ok {
+		// c is outside the composite, so set-test-clear restores base
+		// without cloning it per candidate.
+		base.Set(c)
+		if a.o.SetSoundQuick(base) {
 			out = append(out, c)
 		}
+		base.Clear(c)
 	}
 	sort.Ints(out)
 	return out
@@ -135,12 +136,13 @@ func Compact(o *soundness.Oracle, v *view.View, maxMerges int) (*view.View, int,
 			}
 			sets = append(sets, s)
 		}
+		u := bitset.New(n)
 	pairs:
 		for i := 0; i < k; i++ {
 			for j := i + 1; j < k; j++ {
-				u := sets[i].Clone()
+				u.CopyFrom(sets[i])
 				u.Or(sets[j])
-				if ok, _ := o.SetSound(u); !ok {
+				if !o.SetSoundQuick(u) {
 					continue
 				}
 				merged, err := cur.MergeComposites(

@@ -54,8 +54,7 @@ func Combinable(o *soundness.Oracle, sets ...[]int) bool {
 			u.Set(t)
 		}
 	}
-	ok, _ := o.SetSound(u)
-	return ok
+	return o.SetSoundQuick(u)
 }
 
 // WeakOptimal checks Definition 2.5: no two blocks are combinable. On
@@ -95,14 +94,18 @@ func StrongOptimal(o *soundness.Oracle, blocks [][]int, limit int) (optimal bool
 			continue
 		}
 		u.Reset()
-		var sel []int
 		for b := 0; b < k; b++ {
 			if mask&(1<<b) != 0 {
 				u.Or(sets[b])
-				sel = append(sel, b)
 			}
 		}
-		if ok, _ := o.SetSound(u); ok {
+		if o.SetSoundQuick(u) {
+			sel := make([]int, 0, popcount(mask))
+			for b := 0; b < k; b++ {
+				if mask&(1<<b) != 0 {
+					sel = append(sel, b)
+				}
+			}
 			return false, sel, true
 		}
 	}

@@ -194,12 +194,27 @@ type partitioner struct {
 	aliveN    int
 	stats     Stats
 	scratch   *bitset.Set
+	// Reusable scratch state for the merge phases (see strong.go). The
+	// block-id space is fixed at len(members): merges only retire ids.
+	idMark     *bitset.Set // block-id marks: closedPhase union, growSeed union ids
+	idSeen     *bitset.Set // block-id marks: blockClosure visited set
+	unionSet   *bitset.Set // growSeed candidate union over task indices
+	nodeQueue  []int       // blockClosure work queue
+	closureIDs []int       // blockClosure result buffer
+	phaseIDs   []int       // closedPhase union buffer
+	growIDs    []int       // growSeed merged-id buffer
+	inBuf      []int       // InOutAppend buffers for growSeed
+	outBuf     []int
+	insBuf     []int // interfaceNodes buffers
+	outsBuf    []int
+	selBuf     []int // exhaustivePhase subset buffer
 	// doomIn[t] marks members whose forced close-in cascade towards the
 	// committed out-node t provably escapes the composite; doomOut[s] is
 	// the successor-side dual. Both depend only on the member set, so
-	// they are cached for the whole split. See strong.go.
-	doomIn  map[int]*bitset.Set
-	doomOut map[int]*bitset.Set
+	// they are cached for the whole split (slice-indexed by task, lazily
+	// filled). See strong.go.
+	doomIn  []*bitset.Set
+	doomOut []*bitset.Set
 	topo    []int // members in workflow topological order
 }
 
@@ -211,6 +226,11 @@ func newPartitioner(o *soundness.Oracle, members []int) *partitioner {
 		memberSet: bitset.New(n),
 		blockOf:   make([]int, n),
 		scratch:   bitset.New(n),
+		unionSet:  bitset.New(n),
+		idMark:    bitset.New(len(members)),
+		idSeen:    bitset.New(len(members)),
+		doomIn:    make([]*bitset.Set, n),
+		doomOut:   make([]*bitset.Set, n),
 	}
 	for i := range p.blockOf {
 		p.blockOf[i] = -1
@@ -229,8 +249,6 @@ func newPartitioner(o *soundness.Oracle, members []int) *partitioner {
 		p.alive = append(p.alive, true)
 	}
 	p.aliveN = len(p.blockSets)
-	p.doomIn = map[int]*bitset.Set{}
-	p.doomOut = map[int]*bitset.Set{}
 	order, err := o.Workflow().Graph().TopoOrder()
 	if err != nil {
 		panic("core: built workflows are acyclic")
@@ -249,8 +267,15 @@ func (p *partitioner) unionSound(ids ...int) bool {
 	for _, id := range ids {
 		p.scratch.Or(p.blockSets[id])
 	}
-	ok, _ := p.o.SetSound(p.scratch)
-	return ok
+	return p.o.SetSoundQuick(p.scratch)
+}
+
+// pairSound is unionSound for exactly two blocks without the variadic
+// slice allocation (the weak corrector probes O(k²) pairs).
+func (p *partitioner) pairSound(i, j int) bool {
+	p.scratch.CopyFrom(p.blockSets[i])
+	p.scratch.Or(p.blockSets[j])
+	return p.o.SetSoundQuick(p.scratch)
 }
 
 // mergeBlocks folds the listed blocks into the lowest id among them.
@@ -291,7 +316,7 @@ func (p *partitioner) weakPass() bool {
 				if !p.alive[j] {
 					continue
 				}
-				if p.unionSound(i, j) {
+				if p.pairSound(i, j) {
 					p.mergeBlocks([]int{i, j})
 					merged = true
 					changed = true

@@ -100,20 +100,25 @@ func (p *partitioner) descendantPhase() bool {
 
 func (p *partitioner) closedPhase(ancestors bool) bool {
 	g := p.o.Workflow().Graph()
-	var union []int
-	inUnion := map[int]bool{}
-	for _, b := range p.aliveIDs() {
-		ids, ok := p.blockClosure(b, ancestors, g)
+	union := p.phaseIDs[:0]
+	inUnion := p.idMark
+	inUnion.Reset()
+	for id := range p.blockSets {
+		if !p.alive[id] {
+			continue
+		}
+		ids, ok := p.blockClosure(id, ancestors, g)
 		if !ok {
 			continue
 		}
 		for _, id := range ids {
-			if !inUnion[id] {
-				inUnion[id] = true
+			if !inUnion.Test(id) {
+				inUnion.Set(id)
 				union = append(union, id)
 			}
 		}
 	}
+	p.phaseIDs = union
 	if len(union) < 2 {
 		return false
 	}
@@ -123,11 +128,22 @@ func (p *partitioner) closedPhase(ancestors bool) bool {
 
 // blockClosure grows block b by repeatedly absorbing the blocks of all
 // external predecessors (or successors) of its members. It fails when a
-// predecessor (successor) lies outside the composite.
+// predecessor (successor) lies outside the composite. The returned slice
+// aliases a reusable buffer: consume it before the next call.
 func (p *partitioner) blockClosure(b int, ancestors bool, g graphNeighbors) ([]int, bool) {
-	ids := []int{b}
-	seen := map[int]bool{b: true}
-	queue := p.blockSets[b].Members()
+	ids := append(p.closureIDs[:0], b)
+	seen := p.idSeen
+	seen.Reset()
+	seen.Set(b)
+	queue := p.nodeQueue[:0]
+	p.blockSets[b].ForEach(func(t int) bool {
+		queue = append(queue, t)
+		return true
+	})
+	defer func() {
+		p.closureIDs = ids[:0]
+		p.nodeQueue = queue[:0]
+	}()
 	for len(queue) > 0 {
 		t := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -143,10 +159,13 @@ func (p *partitioner) blockClosure(b int, ancestors bool, g graphNeighbors) ([]i
 				return nil, false // closure escapes the composite
 			}
 			xb := p.blockOf[x]
-			if !seen[xb] {
-				seen[xb] = true
+			if !seen.Test(xb) {
+				seen.Set(xb)
 				ids = append(ids, xb)
-				queue = append(queue, p.blockSets[xb].Members()...)
+				p.blockSets[xb].ForEach(func(m int) bool {
+					queue = append(queue, m)
+					return true
+				})
 			}
 		}
 	}
@@ -176,6 +195,8 @@ const (
 func (p *partitioner) seededPhase() bool {
 	changed := false
 	ins, outs := p.interfaceNodes()
+	// growSeed shares no buffers with ins/outs (insBuf/outsBuf), so the
+	// seed scan stays valid across merges inside the loop.
 	for _, s := range ins {
 		row := p.o.Reach().Row(s)
 		for _, t := range outs {
@@ -195,9 +216,12 @@ func (p *partitioner) seededPhase() bool {
 	return changed
 }
 
-// interfaceNodes returns all block-level in-nodes and out-nodes.
+// interfaceNodes returns all block-level in-nodes and out-nodes. The
+// slices alias reusable buffers valid until the next call.
 func (p *partitioner) interfaceNodes() (ins, outs []int) {
 	g := p.o.Workflow().Graph()
+	ins, outs = p.insBuf[:0], p.outsBuf[:0]
+	defer func() { p.insBuf, p.outsBuf = ins[:0], outs[:0] }()
 	for _, t := range p.members {
 		bt := p.blockOf[t]
 		for _, q := range g.Preds(t) {
@@ -223,7 +247,7 @@ func (p *partitioner) interfaceNodes() (ins, outs []int) {
 // node (absorbing it forces the same dead end). Computed once per t in
 // topological order and cached; it depends only on the member set.
 func (p *partitioner) doomedIn(t int) *bitset.Set {
-	if s, ok := p.doomIn[t]; ok {
+	if s := p.doomIn[t]; s != nil {
 		return s
 	}
 	g := p.o.Workflow().Graph()
@@ -246,7 +270,7 @@ func (p *partitioner) doomedIn(t int) *bitset.Set {
 
 // doomedOut is the successor-side dual for the committed in-node s.
 func (p *partitioner) doomedOut(s int) *bitset.Set {
-	if d, ok := p.doomOut[s]; ok {
+	if d := p.doomOut[s]; d != nil {
 		return d
 	}
 	g := p.o.Workflow().Graph()
@@ -277,10 +301,15 @@ func (p *partitioner) growSeed(s, t int, bias closureBias) ([]int, bool) {
 	reach := p.o.Reach()
 	doomIn := p.doomedIn(t)
 	doomOut := p.doomedOut(s)
-	u := p.blockSets[p.blockOf[s]].Clone()
+	u := p.unionSet
+	u.CopyFrom(p.blockSets[p.blockOf[s]])
 	u.Or(p.blockSets[p.blockOf[t]])
-	ids := []int{p.blockOf[s], p.blockOf[t]}
-	inIDs := map[int]bool{p.blockOf[s]: true, p.blockOf[t]: true}
+	ids := append(p.growIDs[:0], p.blockOf[s], p.blockOf[t])
+	defer func() { p.growIDs = ids[:0] }()
+	inIDs := p.idMark
+	inIDs.Reset()
+	inIDs.Set(p.blockOf[s])
+	inIDs.Set(p.blockOf[t])
 
 	absorbPreds := func(x int) bool {
 		progress := false
@@ -296,8 +325,8 @@ func (p *partitioner) growSeed(s, t int, bias closureBias) ([]int, bool) {
 				return false // q's own cascade provably escapes
 			}
 			qb := p.blockOf[q]
-			if !inIDs[qb] {
-				inIDs[qb] = true
+			if !inIDs.Test(qb) {
+				inIDs.Set(qb)
 				ids = append(ids, qb)
 				u.Or(p.blockSets[qb])
 				progress = true
@@ -319,8 +348,8 @@ func (p *partitioner) growSeed(s, t int, bias closureBias) ([]int, bool) {
 				return false
 			}
 			qb := p.blockOf[q]
-			if !inIDs[qb] {
-				inIDs[qb] = true
+			if !inIDs.Test(qb) {
+				inIDs.Set(qb)
 				ids = append(ids, qb)
 				u.Or(p.blockSets[qb])
 				progress = true
@@ -330,7 +359,8 @@ func (p *partitioner) growSeed(s, t int, bias closureBias) ([]int, bool) {
 	}
 
 	for iter := 0; iter <= len(p.members); iter++ {
-		in, out := p.o.InOut(u)
+		in, out := p.o.InOutAppend(u, p.inBuf[:0], p.outBuf[:0])
+		p.inBuf, p.outBuf = in[:0], out[:0]
 		// Locate the first violation (allocation-free scan).
 		var vu, vv = -1, -1
 		outMask := p.scratch
@@ -395,12 +425,13 @@ func (p *partitioner) exhaustivePhase(limit int) bool {
 			if popcount(mask) < 2 {
 				continue
 			}
-			var sel []int
+			sel := p.selBuf[:0]
 			for b := 0; b < k; b++ {
 				if mask&(1<<b) != 0 {
 					sel = append(sel, ids[b])
 				}
 			}
+			p.selBuf = sel[:0]
 			if p.unionSound(sel...) {
 				p.mergeBlocks(sel)
 				found = true

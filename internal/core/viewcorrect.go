@@ -39,7 +39,7 @@ func CorrectView(o *soundness.Oracle, v *view.View, crit Criterion, opts *Option
 		return nil, fmt.Errorf("core: view %q belongs to a different workflow", v.Name())
 	}
 	start := time.Now()
-	rep := soundness.ValidateView(o, v)
+	rep := soundness.ValidateViewParallel(o, v, 0)
 	vc := &ViewCorrection{Criterion: crit, CompositesBefore: v.N()}
 	cur := v
 	for _, ci := range rep.Unsound {

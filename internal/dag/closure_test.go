@@ -1,0 +1,138 @@
+package dag
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// referenceClosure is the obviously-correct oracle the Matrix-backed
+// closure is pinned against: one boolean-matrix BFS per source, no
+// bitsets, no shared state.
+func referenceClosure(g *Graph) [][]bool {
+	n := g.N()
+	out := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		row := make([]bool, n)
+		row[s] = true
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Succs(u) {
+				if !row[v] {
+					row[v] = true
+					queue = append(queue, int(v))
+				}
+			}
+		}
+		out[s] = row
+	}
+	return out
+}
+
+func checkClosureAgainstReference(t *testing.T, g *Graph, c *Closure) {
+	t.Helper()
+	want := referenceClosure(g)
+	if c.N() != g.N() {
+		t.Fatalf("closure covers %d nodes, graph has %d", c.N(), g.N())
+	}
+	for u := 0; u < g.N(); u++ {
+		row := c.Row(u)
+		if row.Cap() != g.N() {
+			t.Fatalf("row %d capacity %d, want %d", u, row.Cap(), g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if row.Test(v) != want[u][v] || c.Reaches(u, v) != want[u][v] {
+				t.Fatalf("closure[%d][%d] = %v, reference says %v",
+					u, v, row.Test(v), want[u][v])
+			}
+		}
+	}
+}
+
+// TestClosureMatrixEquivalenceRandomDAGs pins the flat-Matrix closure to
+// the reference result on random DAGs (the DP path) across densities.
+func TestClosureMatrixEquivalenceRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(60)
+		g := randomDAG(rng, n, rng.Float64()*0.4)
+		checkClosureAgainstReference(t, g, g.Reachability())
+		checkClosureAgainstReference(t, g, g.ReachabilityBFS())
+	}
+}
+
+// TestClosureMatrixEquivalenceCyclicQuotients pins the BFS fallback on
+// cyclic graphs arising exactly as in production: quotients of random
+// DAGs under random partitions (plus raw random digraphs for good
+// measure).
+func TestClosureMatrixEquivalenceCyclicQuotients(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sawCycle := false
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(50)
+		g := randomDAG(rng, n, 0.15+rng.Float64()*0.3)
+		k := 1 + rng.Intn(n/2+1)
+		partOf := make([]int, n)
+		for u := range partOf {
+			partOf[u] = rng.Intn(k)
+		}
+		q, err := g.Quotient(partOf, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.IsAcyclic() {
+			sawCycle = true
+		}
+		checkClosureAgainstReference(t, q, q.Reachability())
+		checkClosureAgainstReference(t, q, q.ReachabilityBFS())
+	}
+	if !sawCycle {
+		t.Fatal("test workload never produced a cyclic quotient; strengthen it")
+	}
+	// Raw cyclic digraphs.
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.MustAddEdge(u, v)
+			}
+		}
+		checkClosureAgainstReference(t, g, g.Reachability())
+	}
+}
+
+// TestClosureParallelPaths forces the worker-pool construction paths
+// (level-parallel DP, per-source-sharded BFS) by raising GOMAXPROCS
+// above one and crossing the size threshold, then pins the result to
+// the reference closure.
+func TestClosureParallelPaths(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	if parallelThreshold > 600 {
+		t.Fatalf("test graph no longer crosses parallelThreshold = %d", parallelThreshold)
+	}
+
+	g := layeredDAG(600, 20, 0.05, 0.004, 13)
+	if closureWorkers(g.N()) < 2 {
+		t.Fatal("expected a multi-worker closure build")
+	}
+	checkClosureAgainstReference(t, g, g.Reachability())
+
+	// Cyclic: random digraph exercises the sharded BFS fallback.
+	rng := rand.New(rand.NewSource(5))
+	c := New(600)
+	for e := 0; e < 2400; e++ {
+		u, v := rng.Intn(600), rng.Intn(600)
+		if u != v {
+			c.MustAddEdge(u, v)
+		}
+	}
+	if c.IsAcyclic() {
+		t.Fatal("random digraph should be cyclic")
+	}
+	checkClosureAgainstReference(t, c, c.Reachability())
+}

@@ -12,17 +12,24 @@ package dag
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"wolves/internal/bitset"
 )
 
 // Graph is a directed graph over nodes 0..n-1 with forward and reverse
 // adjacency. Parallel edges are collapsed; self-loops are rejected.
+//
+// Successor lists keep insertion order (Edges and Succs are part of the
+// deterministic output surface); a sorted mirror of each successor list
+// is maintained alongside so HasEdge — and therefore bulk AddEdge
+// deduplication — runs in O(log d) instead of a linear scan.
 type Graph struct {
-	n     int
-	m     int
-	succs [][]int32
-	preds [][]int32
+	n      int
+	m      int
+	succs  [][]int32
+	preds  [][]int32
+	sorted [][]int32 // per-node successors, ascending (dedup index)
 }
 
 // ErrCycle is returned by TopoOrder when the graph is not acyclic.
@@ -33,7 +40,12 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("dag: negative node count")
 	}
-	return &Graph{n: n, succs: make([][]int32, n), preds: make([][]int32, n)}
+	return &Graph{
+		n:      n,
+		succs:  make([][]int32, n),
+		preds:  make([][]int32, n),
+		sorted: make([][]int32, n),
+	}
 }
 
 // N returns the number of nodes.
@@ -48,6 +60,11 @@ func (g *Graph) checkNode(u int) {
 	}
 }
 
+// mirrorMinDeg is the out-degree at which a node switches from linear
+// duplicate scans to the sorted successor mirror: below it a handful of
+// int32 compares beats the insert memmove and the extra allocation.
+const mirrorMinDeg = 16
+
 // AddEdge inserts the edge u→v. Self-loops are an error; duplicate edges
 // are ignored. It returns true when a new edge was inserted.
 func (g *Graph) AddEdge(u, v int) (bool, error) {
@@ -56,13 +73,43 @@ func (g *Graph) AddEdge(u, v int) (bool, error) {
 	if u == v {
 		return false, fmt.Errorf("dag: self-loop on node %d", u)
 	}
-	if g.HasEdge(u, v) {
+	if g.hasEdgeFast(u, v) {
 		return false, nil
 	}
+	g.addEdgeUnchecked(u, v)
+	return true, nil
+}
+
+// hasEdgeFast is the dedup membership test behind AddEdge/HasEdge:
+// binary search when the sorted mirror exists, linear scan otherwise.
+func (g *Graph) hasEdgeFast(u, v int) bool {
+	if s := g.sorted[u]; s != nil {
+		_, ok := slices.BinarySearch(s, int32(v))
+		return ok
+	}
+	for _, w := range g.succs[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// addEdgeUnchecked appends a pre-deduplicated, pre-validated edge,
+// building or maintaining the sorted mirror past the degree threshold.
+func (g *Graph) addEdgeUnchecked(u, v int) {
 	g.succs[u] = append(g.succs[u], int32(v))
 	g.preds[v] = append(g.preds[v], int32(u))
 	g.m++
-	return true, nil
+	switch s := g.sorted[u]; {
+	case s != nil:
+		pos, _ := slices.BinarySearch(s, int32(v))
+		g.sorted[u] = slices.Insert(s, pos, int32(v))
+	case len(g.succs[u]) >= mirrorMinDeg:
+		mirror := append(make([]int32, 0, 2*len(g.succs[u])), g.succs[u]...)
+		slices.Sort(mirror)
+		g.sorted[u] = mirror
+	}
 }
 
 // MustAddEdge is AddEdge for construction code with validated inputs.
@@ -76,12 +123,7 @@ func (g *Graph) MustAddEdge(u, v int) {
 func (g *Graph) HasEdge(u, v int) bool {
 	g.checkNode(u)
 	g.checkNode(v)
-	for _, w := range g.succs[u] {
-		if int(w) == v {
-			return true
-		}
-	}
-	return false
+	return g.hasEdgeFast(u, v)
 }
 
 // Succs returns the successors of u. The slice is shared; do not mutate.
@@ -140,43 +182,44 @@ func (g *Graph) Clone() *Graph {
 	for u := 0; u < g.n; u++ {
 		c.succs[u] = append([]int32(nil), g.succs[u]...)
 		c.preds[u] = append([]int32(nil), g.preds[u]...)
+		c.sorted[u] = append([]int32(nil), g.sorted[u]...)
 	}
 	return c
 }
 
 // TopoOrder returns a topological order (Kahn's algorithm, smallest node
-// first for determinism) or ErrCycle.
+// first for determinism) or ErrCycle. The ready set is a bitset with a
+// monotone cursor: popping the minimum is a word-skipping first-set-bit
+// scan instead of the seed's O(n) min-scan per pop (or a heap's pointer
+// chasing), so the whole sort is close to O(n + m) on real graphs.
 func (g *Graph) TopoOrder() ([]int, error) {
 	indeg := make([]int, g.n)
+	ready := bitset.New(g.n)
 	for u := 0; u < g.n; u++ {
 		indeg[u] = len(g.preds[u])
-	}
-	// A simple binary-heap-free approach: repeatedly scan a ready list
-	// kept sorted by construction (we push in ascending node order and
-	// pop from the front; ties broken by node id via bucket scan).
-	ready := make([]int, 0, g.n)
-	for u := 0; u < g.n; u++ {
 		if indeg[u] == 0 {
-			ready = append(ready, u)
+			ready.Set(u)
 		}
 	}
 	order := make([]int, 0, g.n)
-	for len(ready) > 0 {
-		// Pop the smallest ready node for deterministic output.
-		mi := 0
-		for i := 1; i < len(ready); i++ {
-			if ready[i] < ready[mi] {
-				mi = i
-			}
+	// Invariant: no ready bit lies below cursor.
+	cursor := 0
+	for {
+		u := ready.NextSet(cursor)
+		if u == -1 {
+			break
 		}
-		u := ready[mi]
-		ready[mi] = ready[len(ready)-1]
-		ready = ready[:len(ready)-1]
+		ready.Clear(u)
+		cursor = u
 		order = append(order, u)
-		for _, v := range g.succs[u] {
+		for _, v32 := range g.succs[u] {
+			v := int(v32)
 			indeg[v]--
 			if indeg[v] == 0 {
-				ready = append(ready, int(v))
+				ready.Set(v)
+				if v < cursor {
+					cursor = v
+				}
 			}
 		}
 	}
@@ -186,10 +229,37 @@ func (g *Graph) TopoOrder() ([]int, error) {
 	return order, nil
 }
 
+// topoAnyOrder returns some topological order using a FIFO Kahn queue
+// (O(n+m), no heap). The closure DP only needs a valid order — the
+// closure itself is unique — so the deterministic-smallest-first
+// guarantee of TopoOrder is not paid for on that hot path.
+func (g *Graph) topoAnyOrder() ([]int, bool) {
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		indeg[u] = len(g.preds[u])
+	}
+	queue := make([]int, 0, g.n)
+	for u := 0; u < g.n; u++ {
+		if indeg[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return queue, len(queue) == g.n
+}
+
 // IsAcyclic reports whether g has no directed cycle.
 func (g *Graph) IsAcyclic() bool {
-	_, err := g.TopoOrder()
-	return err == nil
+	_, ok := g.topoAnyOrder()
+	return ok
 }
 
 // SCC returns the strongly connected components of g (Tarjan, iterative),
@@ -251,7 +321,7 @@ func (g *Graph) SCC() [][]int {
 						break
 					}
 				}
-				sortInts(comp)
+				slices.Sort(comp)
 				comps = append(comps, comp)
 			}
 			frames = frames[:len(frames)-1]
@@ -264,11 +334,7 @@ func (g *Graph) SCC() [][]int {
 		}
 	}
 	// Order components by smallest member for determinism.
-	for i := 1; i < len(comps); i++ {
-		for j := i; j > 0 && comps[j][0] < comps[j-1][0]; j-- {
-			comps[j], comps[j-1] = comps[j-1], comps[j]
-		}
-	}
+	slices.SortFunc(comps, func(a, b []int) int { return a[0] - b[0] })
 	return comps
 }
 
@@ -276,13 +342,10 @@ type frame struct {
 	u, i int
 }
 
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
+// maxDenseQuotientBits caps the k×k dedup bitset of Quotient at 8 MiB;
+// larger quotients fall back to the map so memory stays proportional to
+// the edge count.
+const maxDenseQuotientBits = 1 << 26
 
 // Quotient builds the quotient graph induced by the partition partOf,
 // where partOf[u] ∈ [0,k) names u's block. Inter-block multi-edges are
@@ -293,7 +356,15 @@ func (g *Graph) Quotient(partOf []int, k int) (*Graph, error) {
 		return nil, fmt.Errorf("dag: partition has %d entries, graph has %d nodes", len(partOf), g.n)
 	}
 	q := New(k)
-	seen := make(map[int64]bool, g.m)
+	// Dedup inter-block edges with a flat k×k bitset (one allocation,
+	// O(1) membership) instead of a map keyed by bu*k+bv.
+	var seenBits *bitset.Set
+	var seenMap map[int64]bool
+	if k > 0 && k <= maxDenseQuotientBits/k {
+		seenBits = bitset.New(k * k)
+	} else {
+		seenMap = make(map[int64]bool, g.m)
+	}
 	for u := 0; u < g.n; u++ {
 		bu := partOf[u]
 		if bu < 0 || bu >= k {
@@ -307,13 +378,20 @@ func (g *Graph) Quotient(partOf []int, k int) (*Graph, error) {
 			if bu == bv {
 				continue
 			}
-			key := int64(bu)*int64(k) + int64(bv)
-			if !seen[key] {
-				seen[key] = true
-				q.succs[bu] = append(q.succs[bu], int32(bv))
-				q.preds[bv] = append(q.preds[bv], int32(bu))
-				q.m++
+			if seenBits != nil {
+				key := bu*k + bv
+				if seenBits.Test(key) {
+					continue
+				}
+				seenBits.Set(key)
+			} else {
+				key := int64(bu)*int64(k) + int64(bv)
+				if seenMap[key] {
+					continue
+				}
+				seenMap[key] = true
 			}
+			q.addEdgeUnchecked(bu, bv)
 		}
 	}
 	return q, nil
@@ -321,101 +399,72 @@ func (g *Graph) Quotient(partOf []int, k int) (*Graph, error) {
 
 // TransitiveReduction returns a copy of g with every edge u→v removed
 // when an alternative path u→…→v of length ≥ 2 exists. g must be acyclic.
+//
+// An edge u→v is redundant iff some other successor w of u reaches v
+// (closure row test). Sweeping u's successor list forward and backward
+// against a running union of closure rows catches every such witness —
+// whichever side of v it appears on — with one Or plus one Test per
+// edge and no nested successor scans.
 func (g *Graph) TransitiveReduction() (*Graph, error) {
 	if !g.IsAcyclic() {
 		return nil, ErrCycle
 	}
 	cl := g.Reachability()
 	r := New(g.n)
+	covered := bitset.New(g.n)
+	var drop []bool
+	indeg := make([]int, g.n)
 	for u := 0; u < g.n; u++ {
-		for _, v32 := range g.succs[u] {
-			v := int(v32)
-			redundant := false
-			for _, w32 := range g.succs[u] {
-				w := int(w32)
-				if w != v && cl.Reaches(w, v) {
-					redundant = true
-					break
+		succs := g.succs[u]
+		if len(succs) == 0 {
+			continue
+		}
+		keep := make([]int32, 0, len(succs))
+		if len(succs) == 1 {
+			keep = append(keep, succs[0])
+		} else {
+			if cap(drop) < len(succs) {
+				drop = make([]bool, len(succs))
+			}
+			drop = drop[:len(succs)]
+			for i := range drop {
+				drop[i] = false
+			}
+			covered.Reset()
+			for i, w := range succs { // witnesses listed before v
+				if covered.Test(int(w)) {
+					drop[i] = true
+				}
+				covered.Or(cl.Row(int(w)))
+			}
+			covered.Reset()
+			for i := len(succs) - 1; i >= 0; i-- { // witnesses after v
+				if covered.Test(int(succs[i])) {
+					drop[i] = true
+				}
+				covered.Or(cl.Row(int(succs[i])))
+			}
+			for i, w := range succs {
+				if !drop[i] {
+					keep = append(keep, w)
 				}
 			}
-			if !redundant {
-				r.MustAddEdge(u, v)
-			}
+		}
+		r.succs[u] = keep
+		r.m += len(keep)
+		for _, v := range keep {
+			indeg[v]++
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if indeg[v] > 0 {
+			r.preds[v] = make([]int32, 0, indeg[v])
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range r.succs[u] {
+			r.preds[v] = append(r.preds[v], int32(u))
 		}
 	}
 	return r, nil
-}
-
-// Closure is a reachability matrix: one bitset row per node holding the
-// reflexive-transitive successors of that node.
-type Closure struct {
-	rows []*bitset.Set
-}
-
-// Reachability computes the reflexive-transitive closure of g. Acyclic
-// graphs use a reverse-topological dynamic program (each row is the union
-// of successor rows); cyclic graphs fall back to per-node BFS, so view
-// quotient graphs with cycles are still handled.
-func (g *Graph) Reachability() *Closure {
-	if order, err := g.TopoOrder(); err == nil {
-		return g.reachabilityDP(order)
-	}
-	return g.ReachabilityBFS()
-}
-
-func (g *Graph) reachabilityDP(order []int) *Closure {
-	rows := make([]*bitset.Set, g.n)
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		row := bitset.New(g.n)
-		row.Set(u)
-		for _, v := range g.succs[u] {
-			row.Or(rows[v])
-		}
-		rows[u] = row
-	}
-	return &Closure{rows: rows}
-}
-
-// ReachabilityBFS computes the closure with one BFS per node. Exposed for
-// the A3 ablation benchmark; Reachability chooses automatically.
-func (g *Graph) ReachabilityBFS() *Closure {
-	rows := make([]*bitset.Set, g.n)
-	queue := make([]int, 0, g.n)
-	for s := 0; s < g.n; s++ {
-		row := bitset.New(g.n)
-		row.Set(s)
-		queue = append(queue[:0], s)
-		for len(queue) > 0 {
-			u := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			for _, v := range g.succs[u] {
-				if !row.Test(int(v)) {
-					row.Set(int(v))
-					queue = append(queue, int(v))
-				}
-			}
-		}
-		rows[s] = row
-	}
-	return &Closure{rows: rows}
-}
-
-// Reaches reports whether u reaches v (reflexively: Reaches(u,u) = true).
-func (c *Closure) Reaches(u, v int) bool { return c.rows[u].Test(v) }
-
-// Row returns the reachability row of u. Shared storage; do not mutate.
-func (c *Closure) Row(u int) *bitset.Set { return c.rows[u] }
-
-// N returns the number of nodes covered by the closure.
-func (c *Closure) N() int { return len(c.rows) }
-
-// Pairs returns the number of ordered reachable pairs, excluding the
-// reflexive ones. This is the "size" of the provenance relation.
-func (c *Closure) Pairs() int {
-	total := 0
-	for _, r := range c.rows {
-		total += r.Count() - 1
-	}
-	return total
 }

@@ -3,13 +3,16 @@
 // It provides the set-soundness oracle used by every corrector
 // (Definition 2.3: a composite task is sound iff every member receiving
 // external input reaches every member producing external output), the
-// task-level view validator justified by Proposition 2.1, a direct
-// Definition-2.1 path-preservation check, and the exponential
-// path-enumeration strawman the paper contrasts against.
+// task-level view validator justified by Proposition 2.1 (sequential and
+// parallel), a direct Definition-2.1 path-preservation check, and the
+// exponential path-enumeration strawman the paper contrasts against.
 package soundness
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"wolves/internal/bitset"
 	"wolves/internal/dag"
@@ -25,18 +28,34 @@ type Violation struct {
 }
 
 // Oracle answers set-soundness queries against one workflow, reusing a
-// precomputed reachability closure. It is safe for concurrent readers.
+// precomputed reachability closure. It is safe for concurrent readers:
+// per-call scratch state lives in a sync.Pool, and the instrumentation
+// counter is atomic.
 type Oracle struct {
 	wf    *workflow.Workflow
 	g     *dag.Graph
 	reach *dag.Closure
 	// checks counts SetSound invocations (experiment instrumentation).
-	checks int
+	checks atomic.Int64
+	// scratch pools the per-call buffers of SetSound/InOut so the steady
+	// state allocates nothing per query.
+	scratch sync.Pool
+}
+
+// oracleScratch is the reusable per-call state of a soundness query.
+type oracleScratch struct {
+	in, out []int
+	outMask *bitset.Set
 }
 
 // NewOracle builds an oracle for wf, computing the reachability closure.
 func NewOracle(wf *workflow.Workflow) *Oracle {
-	return &Oracle{wf: wf, g: wf.Graph(), reach: wf.Graph().Reachability()}
+	o := &Oracle{wf: wf, g: wf.Graph(), reach: wf.Graph().Reachability()}
+	n := o.g.N()
+	o.scratch.New = func() any {
+		return &oracleScratch{outMask: bitset.New(n)}
+	}
+	return o
 }
 
 // Workflow returns the underlying workflow.
@@ -46,15 +65,21 @@ func (o *Oracle) Workflow() *workflow.Workflow { return o.wf }
 func (o *Oracle) Reach() *dag.Closure { return o.reach }
 
 // Checks returns the number of SetSound calls served so far.
-func (o *Oracle) Checks() int { return o.checks }
+func (o *Oracle) Checks() int { return int(o.checks.Load()) }
 
 // ResetChecks zeroes the SetSound counter.
-func (o *Oracle) ResetChecks() { o.checks = 0 }
+func (o *Oracle) ResetChecks() { o.checks.Store(0) }
 
 // InOut computes U.in and U.out per Definition 2.2 for an arbitrary task
 // set U (not necessarily a composite of any view): members with at least
 // one predecessor (resp. successor) outside U.
 func (o *Oracle) InOut(members *bitset.Set) (in, out []int) {
+	return o.InOutAppend(members, nil, nil)
+}
+
+// InOutAppend is InOut appending into caller-owned buffers (pass
+// buf[:0] to reuse capacity across calls on hot paths).
+func (o *Oracle) InOutAppend(members *bitset.Set, in, out []int) ([]int, []int) {
 	members.ForEach(func(t int) bool {
 		for _, p := range o.g.Preds(t) {
 			if !members.Test(int(p)) {
@@ -75,23 +100,43 @@ func (o *Oracle) InOut(members *bitset.Set) (in, out []int) {
 
 // SetSound reports whether the task set U is sound (Definition 2.3) and,
 // when it is not, returns the first violation in ascending (from, to)
-// order. Reachability is reflexive, so singletons are always sound.
+// order. Reachability is reflexive, so singletons are always sound. The
+// sound path performs zero allocations.
 func (o *Oracle) SetSound(members *bitset.Set) (bool, *Violation) {
-	o.checks++
-	in, out := o.InOut(members)
-	if len(in) == 0 || len(out) == 0 {
-		return true, nil
-	}
-	outMask := bitset.New(o.g.N())
-	for _, t := range out {
-		outMask.Set(t)
-	}
-	for _, u := range in {
-		if missing := outMask.FirstNotIn(o.reach.Row(u)); missing != -1 {
-			return false, &Violation{From: u, To: missing}
-		}
+	if from, to := o.setSound(members); from != -1 {
+		return false, &Violation{From: from, To: to}
 	}
 	return true, nil
+}
+
+// SetSoundQuick is SetSound without the witness: correctors probing
+// block unions discard the violation, so this variant stays
+// allocation-free on both outcomes.
+func (o *Oracle) SetSoundQuick(members *bitset.Set) bool {
+	from, _ := o.setSound(members)
+	return from == -1
+}
+
+// setSound returns the first violation as (from, to), or (-1, -1).
+func (o *Oracle) setSound(members *bitset.Set) (int, int) {
+	o.checks.Add(1)
+	sc := o.scratch.Get().(*oracleScratch)
+	defer o.scratch.Put(sc)
+	sc.in, sc.out = o.InOutAppend(members, sc.in[:0], sc.out[:0])
+	if len(sc.in) == 0 || len(sc.out) == 0 {
+		return -1, -1
+	}
+	outMask := sc.outMask
+	outMask.Reset()
+	for _, t := range sc.out {
+		outMask.Set(t)
+	}
+	for _, u := range sc.in {
+		if missing := outMask.FirstNotIn(o.reach.Row(u)); missing != -1 {
+			return u, missing
+		}
+	}
+	return -1, -1
 }
 
 // SoundSlice is SetSound over a task-index slice.
@@ -110,6 +155,14 @@ func MemberSet(v *view.View, ci int) *bitset.Set {
 		s.Set(t)
 	}
 	return s
+}
+
+// memberSetInto fills dst with the members of composite ci.
+func memberSetInto(dst *bitset.Set, v *view.View, ci int) {
+	dst.Reset()
+	for _, t := range v.Composite(ci).Members() {
+		dst.Set(t)
+	}
 }
 
 // CompositeReport is the validation result for a single composite task.
@@ -134,40 +187,123 @@ type Report struct {
 	Unsound []int
 }
 
+// validatorScratch is the reusable per-worker state of view validation.
+type validatorScratch struct {
+	members *bitset.Set
+	outMask *bitset.Set
+}
+
+// validateComposite builds the report for composite ci using sc for all
+// intermediate sets. Only the report payload (In, Out, Violations) is
+// allocated.
+func validateComposite(o *Oracle, v *view.View, ci int, sc *validatorScratch) CompositeReport {
+	comp := v.Composite(ci)
+	cr := CompositeReport{ID: comp.ID, Index: ci, Sound: true}
+	memberSetInto(sc.members, v, ci)
+	// One exact-fit allocation each: |In|, |Out| ≤ composite size. Empty
+	// interface sets stay nil so reports keep matching the historical
+	// shape (and NaiveValidator's, which still appends from nil).
+	size := comp.Size()
+	cr.In, cr.Out = o.InOutAppend(sc.members, make([]int, 0, size), make([]int, 0, size))
+	if len(cr.In) == 0 {
+		cr.In = nil
+	}
+	if len(cr.Out) == 0 {
+		cr.Out = nil
+	}
+	outMask := sc.outMask
+	outMask.Reset()
+	for _, t := range cr.Out {
+		outMask.Set(t)
+	}
+	for _, u := range cr.In {
+		full := false
+		outMask.ForEachNotIn(o.reach.Row(u), func(to int) bool {
+			cr.Sound = false
+			if cr.Violations == nil {
+				cr.Violations = make([]Violation, 0, MaxViolations)
+			}
+			cr.Violations = append(cr.Violations, Violation{From: u, To: to})
+			full = len(cr.Violations) >= MaxViolations
+			return !full
+		})
+		if full {
+			break
+		}
+	}
+	return cr
+}
+
+// assembleReport folds per-composite results into the view report.
+func assembleReport(v *view.View, composites []CompositeReport) *Report {
+	rep := &Report{View: v.Name(), Sound: true, Composites: composites}
+	for ci := range composites {
+		if !composites[ci].Sound {
+			rep.Sound = false
+			rep.Unsound = append(rep.Unsound, ci)
+		}
+	}
+	return rep
+}
+
 // ValidateView checks every composite of v (Proposition 2.1) and returns
 // a full diagnosis with witnesses.
 func ValidateView(o *Oracle, v *view.View) *Report {
 	if v.Workflow() != o.wf {
 		panic("soundness: view belongs to a different workflow")
 	}
-	rep := &Report{View: v.Name(), Sound: true}
+	n := o.g.N()
+	sc := &validatorScratch{members: bitset.New(n), outMask: bitset.New(n)}
+	composites := make([]CompositeReport, v.N())
 	for ci := 0; ci < v.N(); ci++ {
-		cr := CompositeReport{ID: v.Composite(ci).ID, Index: ci, Sound: true}
-		members := MemberSet(v, ci)
-		cr.In, cr.Out = o.InOut(members)
-		outMask := bitset.New(o.g.N())
-		for _, t := range cr.Out {
-			outMask.Set(t)
-		}
-	scan:
-		for _, u := range cr.In {
-			miss := outMask.Clone()
-			miss.AndNot(o.reach.Row(u))
-			for to := miss.NextSet(0); to != -1; to = miss.NextSet(to + 1) {
-				cr.Sound = false
-				cr.Violations = append(cr.Violations, Violation{From: u, To: to})
-				if len(cr.Violations) >= MaxViolations {
-					break scan
-				}
-			}
-		}
-		if !cr.Sound {
-			rep.Sound = false
-			rep.Unsound = append(rep.Unsound, ci)
-		}
-		rep.Composites = append(rep.Composites, cr)
+		composites[ci] = validateComposite(o, v, ci, sc)
 	}
-	return rep
+	return assembleReport(v, composites)
+}
+
+// parallelValidateThreshold is the composite count below which
+// ValidateViewParallel stays sequential: worker fan-out costs more than
+// it saves on small views.
+const parallelValidateThreshold = 8
+
+// ValidateViewParallel is ValidateView with composites fanned out over a
+// pool of workers (runtime.GOMAXPROCS when workers <= 0). The report is
+// identical to the sequential one: composites are validated
+// independently and reassembled in index order.
+func ValidateViewParallel(o *Oracle, v *view.View, workers int) *Report {
+	if v.Workflow() != o.wf {
+		panic("soundness: view belongs to a different workflow")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	k := v.N()
+	if workers > k {
+		workers = k
+	}
+	if workers < 2 || k < parallelValidateThreshold {
+		return ValidateView(o, v)
+	}
+	n := o.g.N()
+	composites := make([]CompositeReport, k)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &validatorScratch{members: bitset.New(n), outMask: bitset.New(n)}
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= k {
+					return
+				}
+				composites[ci] = validateComposite(o, v, ci, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	return assembleReport(v, composites)
 }
 
 // FalsePath is a Definition-2.1 witness at the view level: composites

@@ -111,6 +111,13 @@ func NewOracle(wf *Workflow) *Oracle { return soundness.NewOracle(wf) }
 // Validate checks every composite of v (Proposition 2.1) with witnesses.
 func Validate(o *Oracle, v *View) *Report { return soundness.ValidateView(o, v) }
 
+// ValidateParallel is Validate with composites fanned out over a worker
+// pool (runtime.GOMAXPROCS workers when workers <= 0). The report is
+// identical to the sequential one.
+func ValidateParallel(o *Oracle, v *View, workers int) *Report {
+	return soundness.ValidateViewParallel(o, v, workers)
+}
+
 // ValidatePaths applies Definition 2.1 literally at the view level.
 func ValidatePaths(o *Oracle, v *View) *PathReport { return soundness.ValidateViewPaths(o, v) }
 
