@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -74,7 +75,8 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := soundness.NewOracle(wf)
+	eng := newEngine()
+	o := eng.Oracle(wf)
 	if err := display.Summary(os.Stdout, o, v); err != nil {
 		return err
 	}
@@ -83,7 +85,7 @@ func cmdValidate(args []string) error {
 		fmt.Printf("definition-2.1 path check: sound=%v false-paths=%d\n",
 			prep.Sound, len(prep.FalsePaths))
 	}
-	return reportSound(o, v)
+	return reportSound(eng, wf, v)
 }
 
 func cmdCorrect(args []string) error {
@@ -93,15 +95,28 @@ func cmdCorrect(args []string) error {
 	crit := fs.String("criterion", "strong", "weak|strong|strong-audited|optimal")
 	out := fs.String("out", "", "write the corrected view as JSON to this file")
 	mergeUp := fs.Bool("merge-up", false, "correct by merging composites instead of splitting")
+	timeout := fs.Duration("timeout", 0, "abort the correction after this long (0 = no bound)")
 	fs.Parse(args)
 	wf, v, err := in.load(true)
 	if err != nil {
 		return err
 	}
-	o := soundness.NewOracle(wf)
+	eng := newEngine()
+	o := eng.Oracle(wf)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var corrected *view.View
 	if *mergeUp {
+		if *timeout > 0 {
+			// MergeUp has no cancellation path yet; silently ignoring the
+			// flag would promise a bound that does not exist.
+			return errors.New("-timeout is not supported with -merge-up")
+		}
 		res, err := core.MergeUp(o, v)
 		if err != nil {
 			return err
@@ -114,7 +129,7 @@ func cmdCorrect(args []string) error {
 		if err != nil {
 			return err
 		}
-		vc, err := core.CorrectView(o, v, c, nil)
+		vc, err := eng.CorrectWithOracle(ctx, o, v, c, nil)
 		if err != nil {
 			return err
 		}
@@ -265,7 +280,7 @@ func cmdSession(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := feedback.NewSession(wf, v)
+	s, err := feedback.NewSessionWith(newEngine(), wf, v)
 	if err != nil {
 		return err
 	}

@@ -22,13 +22,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"wolves/internal/core"
-	"wolves/internal/soundness"
+	"wolves/internal/engine"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
 )
@@ -119,8 +120,17 @@ func (in *inputFlags) load(needView bool) (*workflow.Workflow, *view.View, error
 	return wf, v, nil
 }
 
-func reportSound(o *soundness.Oracle, v *view.View) error {
-	rep := soundness.ValidateView(o, v)
+// newEngine builds the one Engine each CLI invocation runs through —
+// the same pipeline object wolvesd serves from.
+func newEngine() *engine.Engine {
+	return engine.New(engine.WithOracleCache(4))
+}
+
+func reportSound(eng *engine.Engine, wf *workflow.Workflow, v *view.View) error {
+	rep, err := eng.Validate(context.Background(), wf, v)
+	if err != nil {
+		return err
+	}
 	if !rep.Sound {
 		var ids []string
 		for _, ci := range rep.Unsound {

@@ -1,0 +1,95 @@
+// Command wolvesd serves the WOLVES pipeline over HTTP: the production
+// face of the system. One long-lived Engine owns a fingerprint-keyed
+// LRU of soundness oracles, so the reachability closure of a workflow is
+// built once and shared by every request — exactly the shape needed to
+// serve heavy validate/correct traffic over a repository of workflows.
+//
+// Usage:
+//
+//	wolvesd [-addr :8342] [-workers N] [-cache N]
+//	        [-optimal-timeout 2s] [-read-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/validate  {"workflow": …, "view": …}
+//	POST /v1/correct   {"workflow": …, "view": …, "criterion": "strong"}
+//	POST /v1/batch     {"jobs": [{"op": "validate", …}, …]}
+//	GET  /healthz
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to 10 seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wolves/internal/engine"
+	"wolves/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wolvesd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wolvesd", flag.ExitOnError)
+	addr := fs.String("addr", ":8342", "listen address")
+	workers := fs.Int("workers", 0, "fan-out width (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", engine.DefaultCacheSize, "oracle-cache capacity (0 disables)")
+	optimalTimeout := fs.Duration("optimal-timeout", 2*time.Second,
+		"per-request bound on the exponential optimal corrector (0 = unbounded)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng := engine.New(
+		engine.WithWorkers(*workers),
+		engine.WithOracleCache(*cacheSize),
+		engine.WithOptimalTimeout(*optimalTimeout),
+	)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng).Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("wolvesd listening on %s (workers=%d cache=%d optimal-timeout=%v)",
+			*addr, eng.Workers(), *cacheSize, *optimalTimeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("wolvesd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunBadAddr: an unusable listen address must surface as an error,
+// not a hang.
+func TestRunBadAddr(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "256.0.0.1:http"}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected listen error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return on a bad address")
+	}
+}
+
+// TestRunServesAndShutsDown boots the daemon on a free port, hits
+// /healthz, then delivers SIGTERM and expects a clean drain.
+func TestRunServesAndShutsDown(t *testing.T) {
+	// Reserve a free port, then hand its address to the daemon.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-cache", "4", "-optimal-timeout", "100ms"})
+	}()
+
+	healthy := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			healthy = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatal("daemon never became healthy")
+	}
+
+	// SIGTERM is caught by signal.NotifyContext inside run, which drains
+	// and returns nil; the test process itself is unaffected while the
+	// handler is registered.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}

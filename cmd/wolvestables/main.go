@@ -11,20 +11,28 @@
 package main
 
 import (
-	"fmt"
-	"os"
-
 	"flag"
+	"fmt"
+	"io"
+	"os"
 
 	"wolves/internal/experiments"
 )
 
 func main() {
-	fs := flag.NewFlagSet("wolvestables", flag.ExitOnError)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command; it returns the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wolvestables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment id (e1..e9, a1, a2) or 'all'")
 	fast := fs.Bool("fast", false, "trimmed sweeps")
 	md := fs.Bool("md", false, "markdown output")
-	fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var tables []*experiments.Table
 	if *exp == "all" {
@@ -32,21 +40,22 @@ func main() {
 	} else {
 		t, err := experiments.ByID(*exp, *fast)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wolvestables:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "wolvestables:", err)
+			return 1
 		}
 		tables = []*experiments.Table{t}
 	}
 	for _, t := range tables {
 		var err error
 		if *md {
-			err = t.Markdown(os.Stdout)
+			err = t.Markdown(stdout)
 		} else {
-			err = t.Render(os.Stdout)
+			err = t.Render(stdout)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wolvestables:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "wolvestables:", err)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSingleExperiment renders one fast experiment in both formats.
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "e1", "-fast"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "== E1") {
+		t.Fatalf("text output missing experiment header:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-exp", "e2", "-fast", "-md"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "### E2") || !strings.Contains(out.String(), "|") {
+		t.Fatalf("markdown output malformed:\n%s", out.String())
+	}
+}
+
+// TestRunUnknownExperiment exits 1 with a diagnostic.
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "e99"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown id") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+// TestRunBadFlag exits 2 on flag errors instead of os.Exit-ing the
+// process.
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRunCaseInsensitiveID mirrors the ByID contract through the CLI.
+func TestRunCaseInsensitiveID(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "E8"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("no output for E8")
+	}
+}

@@ -65,6 +65,15 @@ func TestExamplesRun(t *testing.T) {
 				"final: sound=true",
 			},
 		},
+		{
+			dir: "engine-service",
+			want: []string{
+				"UNSOUND",
+				"oracle cache:",
+				"corrected ",
+				"expired context: code=canceled",
+			},
+		},
 	}
 	for _, tc := range cases {
 		tc := tc

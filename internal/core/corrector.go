@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -81,23 +82,30 @@ func ParseCriterion(s string) (Criterion, error) {
 // Options tunes the correctors.
 type Options struct {
 	// OptimalLimit caps the composite size accepted by the Optimal
-	// corrector (the DP allocates 2^n state). Default 20.
+	// corrector (the DP allocates 2^n state). Zero means the default of
+	// 20; a negative limit explicitly rejects every composite (the
+	// Optimal corrector then always returns ErrOptimalLimit).
 	OptimalLimit int
 	// AuditLimit caps the block count for exhaustive Definition-2.6
-	// audits. Default 22.
+	// audits. Zero means the default of 22; a negative limit explicitly
+	// disables the audit (StrongAudited then never sets Audited).
 	AuditLimit int
 }
 
 // DefaultOptions returns the documented defaults.
 func DefaultOptions() *Options { return &Options{OptimalLimit: 20, AuditLimit: 22} }
 
+// withDefaults substitutes defaults for unset (zero) fields only.
+// Explicitly-set values — including small and negative limits — pass
+// through untouched, so a caller who asks for a tight cap gets that cap
+// instead of a silent reset to the default.
 func (o *Options) withDefaults() Options {
 	out := Options{OptimalLimit: 20, AuditLimit: 22}
 	if o != nil {
-		if o.OptimalLimit > 0 {
+		if o.OptimalLimit != 0 {
 			out.OptimalLimit = o.OptimalLimit
 		}
-		if o.AuditLimit > 0 {
+		if o.AuditLimit != 0 {
 			out.AuditLimit = o.AuditLimit
 		}
 	}
@@ -124,16 +132,45 @@ type Result struct {
 	Stats   Stats
 }
 
-// ErrOptimalTooLarge is returned when the composite exceeds OptimalLimit.
-var ErrOptimalTooLarge = errors.New("core: composite too large for the optimal corrector")
+// ErrOptimalLimit is returned when the composite exceeds OptimalLimit.
+var ErrOptimalLimit = errors.New("core: composite too large for the optimal corrector")
+
+// ErrOptimalTooLarge is the historical name of ErrOptimalLimit.
+//
+// Deprecated: test against ErrOptimalLimit.
+var ErrOptimalTooLarge = ErrOptimalLimit
+
+// ErrCanceled wraps a context cancellation observed inside a corrector;
+// errors.Is(err, context.Canceled) (or context.DeadlineExceeded) also
+// matches, since the context's own error is wrapped alongside.
+var ErrCanceled = errors.New("core: correction canceled")
+
+// canceledErr builds the error returned when ctx fires mid-correction.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
 
 // SplitTask splits the given member set (the atomic tasks of one
 // composite) into sound blocks under the chosen criterion. A member set
 // that is already sound is returned as a single block under every
 // criterion.
 func SplitTask(o *soundness.Oracle, members []int, crit Criterion, opts *Options) (*Result, error) {
+	return SplitTaskCtx(context.Background(), o, members, crit, opts)
+}
+
+// SplitTaskCtx is SplitTask with cooperative cancellation. The
+// polynomial phases poll ctx between merge passes; the exponential
+// phases (the Optimal subset DP and the StrongAudited exhaustive
+// auditor) poll it inside their enumeration loops every few thousand
+// states, so even a 2^20-state run aborts within milliseconds of ctx
+// firing. A canceled run returns an error wrapping both ErrCanceled and
+// the context's own error, and no partial result.
+func SplitTaskCtx(ctx context.Context, o *soundness.Oracle, members []int, crit Criterion, opts *Options) (*Result, error) {
 	if len(members) == 0 {
 		return nil, errors.New("core: empty member set")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(ctx)
 	}
 	opt := opts.withDefaults()
 	start := time.Now()
@@ -153,20 +190,28 @@ func SplitTask(o *soundness.Oracle, members []int, crit Criterion, opts *Options
 	switch crit {
 	case Weak:
 		p := newPartitioner(o, members)
+		p.ctx = ctx
 		p.weakPass()
+		if err := p.err(); err != nil {
+			return nil, err
+		}
 		res.Blocks = p.blocks()
 		res.Stats = p.stats
 	case Strong, StrongAudited:
 		p := newPartitioner(o, members)
+		p.ctx = ctx
 		p.strongFixpoint()
-		if crit == StrongAudited {
+		if crit == StrongAudited && p.err() == nil {
 			complete := p.exhaustivePhase(opt.AuditLimit)
 			res.Audited = complete
+		}
+		if err := p.err(); err != nil {
+			return nil, err
 		}
 		res.Blocks = p.blocks()
 		res.Stats = p.stats
 	case Optimal:
-		blocks, err := optimalSplit(o, members, opt.OptimalLimit)
+		blocks, err := optimalSplit(ctx, o, members, opt.OptimalLimit)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +229,12 @@ func SplitTask(o *soundness.Oracle, members []int, crit Criterion, opts *Options
 // blocks (bitsets over workflow task indices) and implements the merge
 // phases shared by the weak and strong correctors.
 type partitioner struct {
-	o         *soundness.Oracle
+	o *soundness.Oracle
+	// ctx carries cooperative cancellation into the merge phases; nil
+	// means "never canceled". stopped latches the first observation so
+	// every later phase exits immediately.
+	ctx       context.Context
+	stopped   bool
 	n         int // workflow size
 	memberSet *bitset.Set
 	members   []int // ascending
@@ -302,11 +352,36 @@ func (p *partitioner) mergeBlocks(ids []int) int {
 	return target
 }
 
+// canceled reports (and latches) whether the partitioner's context has
+// fired. Phases poll it at loop boundaries and unwind without merging
+// further.
+func (p *partitioner) canceled() bool {
+	if p.stopped {
+		return true
+	}
+	if p.ctx != nil && p.ctx.Err() != nil {
+		p.stopped = true
+		return true
+	}
+	return false
+}
+
+// err returns the cancellation error once canceled() has latched.
+func (p *partitioner) err() error {
+	if !p.stopped {
+		return nil
+	}
+	return canceledErr(p.ctx)
+}
+
 // weakPass greedily merges combinable pairs until none remain, yielding
 // a weakly local optimal partition. Returns whether anything merged.
 func (p *partitioner) weakPass() bool {
 	changed := false
 	for {
+		if p.canceled() {
+			return changed
+		}
 		merged := false
 		for i := 0; i < len(p.blockSets); i++ {
 			if !p.alive[i] {

@@ -70,6 +70,9 @@ func SplitTaskPhases(o *soundness.Oracle, members []int, closed, seeded bool) (*
 // strongFixpoint runs all phases to a joint fixpoint.
 func (p *partitioner) strongFixpoint() {
 	for {
+		if p.canceled() {
+			return
+		}
 		changed := p.weakPass()
 		if p.ancestorPhase() {
 			changed = true
@@ -198,6 +201,9 @@ func (p *partitioner) seededPhase() bool {
 	// growSeed shares no buffers with ins/outs (insBuf/outsBuf), so the
 	// seed scan stays valid across merges inside the loop.
 	for _, s := range ins {
+		if p.canceled() {
+			return changed
+		}
 		row := p.o.Reach().Row(s)
 		for _, t := range outs {
 			if p.blockOf[s] == p.blockOf[t] || !row.Test(t) {
@@ -412,6 +418,9 @@ func (p *partitioner) growSeed(s, t int, bias closureBias) ([]int, bool) {
 // optimal.
 func (p *partitioner) exhaustivePhase(limit int) bool {
 	for {
+		if p.canceled() {
+			return false
+		}
 		ids := p.aliveIDs()
 		k := len(ids)
 		if k > limit {
@@ -422,6 +431,9 @@ func (p *partitioner) exhaustivePhase(limit int) bool {
 		}
 		found := false
 		for mask := 3; mask < 1<<k; mask++ {
+			if mask&0xFFF == 0 && p.canceled() {
+				return false
+			}
 			if popcount(mask) < 2 {
 				continue
 			}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"wolves/internal/soundness"
 	"wolves/internal/view"
+	"wolves/internal/workflow"
 )
 
 // TaskCorrection records how one unsound composite was repaired.
@@ -35,16 +37,35 @@ type ViewCorrection struct {
 // another, and the result is sound by construction (verified by the
 // caller-facing report).
 func CorrectView(o *soundness.Oracle, v *view.View, crit Criterion, opts *Options) (*ViewCorrection, error) {
-	if v.Workflow() != o.Workflow() {
+	return CorrectViewCtx(context.Background(), o, v, crit, opts)
+}
+
+// CorrectViewCtx is CorrectView with cooperative cancellation: the
+// initial validation and every per-composite split observe ctx, so a
+// fired context aborts the repair promptly — even mid-way through an
+// exponential Optimal split — returning an error that wraps ErrCanceled.
+func CorrectViewCtx(ctx context.Context, o *soundness.Oracle, v *view.View, crit Criterion, opts *Options) (*ViewCorrection, error) {
+	return CorrectViewWorkersCtx(ctx, o, v, crit, opts, 0)
+}
+
+// CorrectViewWorkersCtx is CorrectViewCtx with an explicit fan-out width
+// for the initial validation (0 = GOMAXPROCS, 1 = sequential). Callers
+// that already occupy a worker pool — the Engine's batch entry points —
+// pass 1 so a configured fan-out cap is not multiplied per job.
+func CorrectViewWorkersCtx(ctx context.Context, o *soundness.Oracle, v *view.View, crit Criterion, opts *Options, workers int) (*ViewCorrection, error) {
+	if !workflow.Same(v.Workflow(), o.Workflow()) {
 		return nil, fmt.Errorf("core: view %q belongs to a different workflow", v.Name())
 	}
 	start := time.Now()
-	rep := soundness.ValidateViewParallel(o, v, 0)
+	rep, err := soundness.ValidateViewParallelCtx(ctx, o, v, workers)
+	if err != nil {
+		return nil, canceledErr(ctx)
+	}
 	vc := &ViewCorrection{Criterion: crit, CompositesBefore: v.N()}
 	cur := v
 	for _, ci := range rep.Unsound {
 		comp := v.Composite(ci)
-		res, err := SplitTask(o, comp.Members(), crit, opts)
+		res, err := SplitTaskCtx(ctx, o, comp.Members(), crit, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: splitting composite %q: %w", comp.ID, err)
 		}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"wolves/internal/core"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// Code classifies an Engine error for programmatic handling (and maps
+// one-to-one onto wolvesd HTTP statuses).
+type Code string
+
+// Error codes. The names mirror the conditions they classify; use
+// errors.As to recover the *Error and switch on Code.
+const (
+	// ErrBadInput: a nil or structurally invalid argument.
+	ErrBadInput Code = "bad_input"
+	// ErrUnknownTask: a task ID that does not exist in the workflow.
+	ErrUnknownTask Code = "unknown_task"
+	// ErrUnknownComposite: a composite ID that does not exist in the view.
+	ErrUnknownComposite Code = "unknown_composite"
+	// ErrWorkflowMismatch: the view belongs to a structurally different
+	// workflow than the one given.
+	ErrWorkflowMismatch Code = "workflow_mismatch"
+	// ErrOptimalLimit: the composite exceeds Options.OptimalLimit.
+	ErrOptimalLimit Code = "optimal_limit"
+	// ErrCanceled: the context was canceled or its deadline expired.
+	ErrCanceled Code = "canceled"
+	// ErrInternal: everything else.
+	ErrInternal Code = "internal"
+)
+
+// Error is the structured error type of every Engine method. It always
+// wraps the underlying cause, so errors.Is against sentinel errors
+// (context.Canceled, core.ErrOptimalLimit, workflow.ErrUnknownTask, …)
+// keeps working through it.
+type Error struct {
+	Code    Code   `json:"code"`
+	Op      string `json:"op,omitempty"` // "validate", "correct", "split", "audit", …
+	Message string `json:"message"`
+	Err     error  `json:"-"`
+}
+
+// Error renders "wolves: <op>: <message> [<code>]".
+func (e *Error) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("wolves: %s: %s [%s]", e.Op, e.Message, e.Code)
+	}
+	return fmt.Sprintf("wolves: %s [%s]", e.Message, e.Code)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// wrapErr classifies err into an *Error. nil stays nil.
+func wrapErr(op string, err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var ee *Error
+	if errors.As(err, &ee) {
+		return ee
+	}
+	code := ErrInternal
+	switch {
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, core.ErrCanceled):
+		code = ErrCanceled
+	case errors.Is(err, core.ErrOptimalLimit):
+		code = ErrOptimalLimit
+	case errors.Is(err, workflow.ErrUnknownTask):
+		code = ErrUnknownTask
+	case errors.Is(err, view.ErrUnknownComp):
+		code = ErrUnknownComposite
+	}
+	return &Error{Code: code, Op: op, Message: err.Error(), Err: err}
+}
+
+// errf builds an *Error from scratch with an explicit code.
+func errf(code Code, op, format string, args ...any) *Error {
+	return &Error{Code: code, Op: op, Message: fmt.Sprintf(format, args...)}
+}

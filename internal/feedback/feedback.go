@@ -10,6 +10,7 @@ package feedback
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"wolves/internal/core"
+	"wolves/internal/engine"
 	"wolves/internal/soundness"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
@@ -32,8 +34,12 @@ type Event struct {
 }
 
 // Session drives the validate → correct → feedback loop over one view.
+// Every pipeline operation runs through a wolves Engine, so sessions
+// sharing an Engine share its oracle cache — there is exactly one way to
+// run the pipeline.
 type Session struct {
-	oracle   *soundness.Oracle
+	eng      *engine.Engine
+	wf       *workflow.Workflow
 	current  *view.View
 	history  []*view.View
 	log      []Event
@@ -43,12 +49,19 @@ type Session struct {
 // ErrAccepted is returned when mutating an accepted session.
 var ErrAccepted = errors.New("feedback: session already accepted")
 
-// NewSession starts a session on view v.
+// NewSession starts a session on view v with a private single-workflow
+// Engine.
 func NewSession(wf *workflow.Workflow, v *view.View) (*Session, error) {
-	if v.Workflow() != wf {
+	return NewSessionWith(engine.New(engine.WithOracleCache(1)), wf, v)
+}
+
+// NewSessionWith starts a session on view v backed by eng (shared
+// engines amortize the oracle cache across sessions).
+func NewSessionWith(eng *engine.Engine, wf *workflow.Workflow, v *view.View) (*Session, error) {
+	if !workflow.Same(v.Workflow(), wf) {
 		return nil, errors.New("feedback: view belongs to a different workflow")
 	}
-	s := &Session{oracle: soundness.NewOracle(wf), current: v}
+	s := &Session{eng: eng, wf: wf, current: v}
 	s.record("open", v.Name())
 	return s, nil
 }
@@ -57,7 +70,7 @@ func NewSession(wf *workflow.Workflow, v *view.View) (*Session, error) {
 func (s *Session) Current() *view.View { return s.current }
 
 // Oracle exposes the session's soundness oracle (shared closure).
-func (s *Session) Oracle() *soundness.Oracle { return s.oracle }
+func (s *Session) Oracle() *soundness.Oracle { return s.eng.Oracle(s.wf) }
 
 // Accepted reports whether the user has accepted the view.
 func (s *Session) Accepted() bool { return s.accepted }
@@ -65,8 +78,19 @@ func (s *Session) Accepted() bool { return s.accepted }
 // Log returns the event log.
 func (s *Session) Log() []Event { return append([]Event(nil), s.log...) }
 
+// validate runs the engine validator on the current view. The session
+// holds a validated (wf, view) pair and an uncancelable context, so the
+// engine cannot fail here.
+func (s *Session) validate() *soundness.Report {
+	rep, err := s.eng.Validate(context.Background(), s.wf, s.current)
+	if err != nil {
+		panic("feedback: validating a session view must not fail: " + err.Error())
+	}
+	return rep
+}
+
 func (s *Session) record(op, detail string) {
-	rep := soundness.ValidateView(s.oracle, s.current)
+	rep := s.validate()
 	s.log = append(s.log, Event{
 		At: time.Now(), Op: op, Detail: detail,
 		Sound: rep.Sound, Composites: s.current.N(),
@@ -75,7 +99,7 @@ func (s *Session) record(op, detail string) {
 
 // Validate runs the validator on the current view.
 func (s *Session) Validate() *soundness.Report {
-	rep := soundness.ValidateView(s.oracle, s.current)
+	rep := s.validate()
 	s.log = append(s.log, Event{
 		At: time.Now(), Op: "validate", Detail: s.current.Name(),
 		Sound: rep.Sound, Composites: s.current.N(),
@@ -91,10 +115,16 @@ func (s *Session) push(v *view.View, op, detail string) {
 
 // Correct repairs the whole view under the chosen criterion.
 func (s *Session) Correct(crit core.Criterion, opts *core.Options) (*core.ViewCorrection, error) {
+	return s.CorrectCtx(context.Background(), crit, opts)
+}
+
+// CorrectCtx is Correct with cooperative cancellation (an interactive
+// UI's cancel button maps straight onto ctx).
+func (s *Session) CorrectCtx(ctx context.Context, crit core.Criterion, opts *core.Options) (*core.ViewCorrection, error) {
 	if s.accepted {
 		return nil, ErrAccepted
 	}
-	vc, err := core.CorrectView(s.oracle, s.current, crit, opts)
+	vc, err := s.eng.CorrectWithOracle(ctx, s.Oracle(), s.current, crit, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +141,7 @@ func (s *Session) SplitTask(compID string, crit core.Criterion, opts *core.Optio
 	if !ok {
 		return nil, fmt.Errorf("feedback: %w: %q", view.ErrUnknownComp, compID)
 	}
-	res, err := core.SplitTask(s.oracle, comp.Members(), crit, opts)
+	res, err := s.eng.SplitWithOracle(context.Background(), s.Oracle(), comp.Members(), crit, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +159,7 @@ func (s *Session) Compact(maxMerges int) (int, error) {
 	if s.accepted {
 		return 0, ErrAccepted
 	}
-	compacted, merges, err := core.Compact(s.oracle, s.current, maxMerges)
+	compacted, merges, err := core.Compact(s.Oracle(), s.current, maxMerges)
 	if err != nil {
 		return 0, err
 	}
@@ -266,7 +296,7 @@ func (s *Session) runCommand(fields []string, out io.Writer) error {
 		fmt.Fprintf(out, "undo: %d composites\n", s.current.N())
 	case "accept":
 		s.Accept()
-		rep := soundness.ValidateView(s.oracle, s.current)
+		rep := s.validate()
 		fmt.Fprintf(out, "accept: sound=%v composites=%d\n", rep.Sound, s.current.N())
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])

@@ -3,6 +3,7 @@ package provenance
 import (
 	"wolves/internal/bitset"
 	"wolves/internal/view"
+	"wolves/internal/workflow"
 )
 
 // ViewAudit quantifies the provenance error a view induces, at composite
@@ -33,7 +34,7 @@ type ViewAudit struct {
 // AuditView compares view-level lineage answers with workflow ground
 // truth for every composite.
 func AuditView(e *Engine, v *view.View) *ViewAudit {
-	if v.Workflow() != e.wf {
+	if !workflow.Same(v.Workflow(), e.wf) {
 		panic("provenance: view belongs to a different workflow")
 	}
 	ve := NewViewEngine(v)

@@ -1,0 +1,409 @@
+// Package server exposes a wolves Engine over HTTP: the wolvesd wire
+// protocol. Requests carry the workflow and view inline as the same JSON
+// documents the CLI reads from disk; responses carry the exact Report /
+// correction structures of the in-process API, so an HTTP round-trip and
+// a direct Engine call are interchangeable. The Engine's oracle cache
+// makes the serving story scale: the first request for a workflow builds
+// its reachability closure, every later request (same fingerprint) only
+// pays the per-view validation.
+//
+// Endpoints:
+//
+//	POST /v1/validate  {"workflow": …, "view": …}
+//	POST /v1/correct   {"workflow": …, "view": …, "criterion": "strong"}
+//	POST /v1/batch     {"jobs": [{"op": "validate"|"correct", …}, …]}
+//	GET  /healthz
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wolves/internal/core"
+	"wolves/internal/engine"
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// MaxBodyBytes caps request bodies; a million-user service does not read
+// unbounded uploads into memory.
+const MaxBodyBytes = 8 << 20
+
+// Server wires an Engine to the HTTP endpoints.
+type Server struct {
+	eng      *engine.Engine
+	start    time.Time
+	requests atomic.Int64
+}
+
+// New wraps eng in a Server.
+func New(eng *engine.Engine) *Server {
+	return &Server{eng: eng, start: time.Now()}
+}
+
+// Handler returns the wolvesd route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/validate", s.handleValidate)
+	mux.HandleFunc("POST /v1/correct", s.handleCorrect)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// --- wire types ---------------------------------------------------------------
+
+// ValidateRequest is the body of POST /v1/validate.
+type ValidateRequest struct {
+	Workflow json.RawMessage `json:"workflow"`
+	View     json.RawMessage `json:"view"`
+}
+
+// ValidateResponse carries the in-process Report verbatim.
+type ValidateResponse struct {
+	Report *soundness.Report `json:"report"`
+}
+
+// CorrectRequest is the body of POST /v1/correct.
+type CorrectRequest struct {
+	Workflow  json.RawMessage `json:"workflow"`
+	View      json.RawMessage `json:"view"`
+	Criterion string          `json:"criterion,omitempty"` // default "strong"
+}
+
+// TaskSummary summarizes one composite repair on the wire.
+type TaskSummary struct {
+	CompositeID string `json:"composite_id"`
+	Before      int    `json:"before"`
+	After       int    `json:"after"`
+	SoundChecks int    `json:"sound_checks"`
+	Merges      int    `json:"merges"`
+}
+
+// CorrectResponse is the body of a successful correction.
+type CorrectResponse struct {
+	Criterion        string          `json:"criterion"`
+	CompositesBefore int             `json:"composites_before"`
+	CompositesAfter  int             `json:"composites_after"`
+	Tasks            []TaskSummary   `json:"tasks,omitempty"`
+	CorrectedView    json.RawMessage `json:"corrected_view"`
+	// Report re-validates the corrected view (always sound; included so
+	// clients need no second round-trip to show the diagnosis).
+	Report *soundness.Report `json:"report"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Jobs []BatchJob `json:"jobs"`
+}
+
+// BatchJob is one unit of batch work.
+type BatchJob struct {
+	Op        string          `json:"op"` // "validate" | "correct"
+	Workflow  json.RawMessage `json:"workflow"`
+	View      json.RawMessage `json:"view"`
+	Criterion string          `json:"criterion,omitempty"`
+}
+
+// BatchResult is the per-job outcome; exactly one of Error, Report, or
+// Correct is set.
+type BatchResult struct {
+	Error   *engine.Error     `json:"error,omitempty"`
+	Report  *soundness.Report `json:"report,omitempty"`
+	Correct *CorrectResponse  `json:"correct,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/batch.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string            `json:"status"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      int64             `json:"requests"`
+	Workers       int               `json:"workers"`
+	Cache         engine.CacheStats `json:"cache"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error *engine.Error `json:"error"`
+}
+
+// --- handlers -----------------------------------------------------------------
+
+// statusFor maps engine error codes onto HTTP statuses.
+func statusFor(e *engine.Error) int {
+	switch e.Code {
+	case engine.ErrBadInput, engine.ErrUnknownTask,
+		engine.ErrUnknownComposite, engine.ErrWorkflowMismatch:
+		return http.StatusBadRequest
+	case engine.ErrOptimalLimit:
+		return http.StatusUnprocessableEntity
+	case engine.ErrCanceled:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body) // the status line is already out; nothing to salvage
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var ee *engine.Error
+	if !errors.As(err, &ee) {
+		ee = &engine.Error{Code: engine.ErrInternal, Message: err.Error()}
+	}
+	writeJSON(w, statusFor(ee), errorResponse{Error: ee})
+}
+
+// decodeBody reads a JSON body with the size cap applied.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		return &engine.Error{Code: engine.ErrBadInput, Op: "decode", Message: err.Error(), Err: err}
+	}
+	return nil
+}
+
+// decodePair turns raw workflow/view JSON into validated model objects.
+func decodePair(wfRaw, vRaw json.RawMessage) (*workflow.Workflow, *view.View, error) {
+	if len(wfRaw) == 0 {
+		return nil, nil, &engine.Error{Code: engine.ErrBadInput, Op: "decode", Message: "missing workflow"}
+	}
+	if len(vRaw) == 0 {
+		return nil, nil, &engine.Error{Code: engine.ErrBadInput, Op: "decode", Message: "missing view"}
+	}
+	wf, err := workflow.DecodeJSON(bytes.NewReader(wfRaw))
+	if err != nil {
+		return nil, nil, &engine.Error{Code: engine.ErrBadInput, Op: "decode", Message: err.Error(), Err: err}
+	}
+	v, err := view.DecodeJSON(wf, bytes.NewReader(vRaw))
+	if err != nil {
+		return nil, nil, &engine.Error{Code: engine.ErrBadInput, Op: "decode", Message: err.Error(), Err: err}
+	}
+	return wf, v, nil
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req ValidateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	wf, v, err := decodePair(req.Workflow, req.View)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rep, err := s.eng.Validate(r.Context(), wf, v)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ValidateResponse{Report: rep})
+}
+
+// correctResponse runs one correction and shapes the wire response.
+func (s *Server) correctResponse(r *http.Request, wfRaw, vRaw json.RawMessage, criterion string) (*CorrectResponse, error) {
+	wf, v, err := decodePair(wfRaw, vRaw)
+	if err != nil {
+		return nil, err
+	}
+	if criterion == "" {
+		criterion = "strong"
+	}
+	crit, err := core.ParseCriterion(criterion)
+	if err != nil {
+		return nil, &engine.Error{Code: engine.ErrBadInput, Op: "correct", Message: err.Error(), Err: err}
+	}
+	vc, err := s.eng.Correct(r.Context(), wf, v, crit)
+	if err != nil {
+		return nil, err
+	}
+	return s.shapeCorrection(r, engine.CorrectJob{Workflow: wf, View: v, Criterion: crit}, vc)
+}
+
+func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req CorrectRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.correctResponse(r, req.Workflow, req.View, req.Criterion)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, &engine.Error{Code: engine.ErrBadInput, Op: "batch", Message: "no jobs"})
+		return
+	}
+	results := make([]BatchResult, len(req.Jobs))
+
+	// Decode and partition by op; the engine batch entry points fan the
+	// decoded jobs over the worker pool.
+	var vjobs []engine.ValidateJob
+	var vIdx []int
+	var cjobs []engine.CorrectJob
+	var cIdx []int
+	for i, j := range req.Jobs {
+		switch j.Op {
+		case "validate":
+			wf, v, err := decodePair(j.Workflow, j.View)
+			if err != nil {
+				results[i] = BatchResult{Error: asEngineError(err)}
+				continue
+			}
+			vjobs = append(vjobs, engine.ValidateJob{Workflow: wf, View: v})
+			vIdx = append(vIdx, i)
+		case "correct":
+			wf, v, err := decodePair(j.Workflow, j.View)
+			if err != nil {
+				results[i] = BatchResult{Error: asEngineError(err)}
+				continue
+			}
+			criterion := j.Criterion
+			if criterion == "" {
+				criterion = "strong"
+			}
+			crit, err := core.ParseCriterion(criterion)
+			if err != nil {
+				results[i] = BatchResult{Error: &engine.Error{
+					Code: engine.ErrBadInput, Op: "batch", Message: err.Error(), Err: err}}
+				continue
+			}
+			cjobs = append(cjobs, engine.CorrectJob{Workflow: wf, View: v, Criterion: crit})
+			cIdx = append(cIdx, i)
+		default:
+			results[i] = BatchResult{Error: &engine.Error{
+				Code: engine.ErrBadInput, Op: "batch",
+				Message: fmt.Sprintf("unknown op %q (want validate|correct)", j.Op)}}
+		}
+	}
+
+	// The two op groups are independent: run them concurrently so a slow
+	// correction does not serialize behind (or ahead of) the validations.
+	// The engine's fan-out cap is split between the groups (wV + wC =
+	// Workers()) so one /v1/batch never exceeds the configured width; a
+	// single-worker engine, or a single-op batch, runs the groups in
+	// sequence at full width instead.
+	drainValidate := func(workers int) {
+		for k, res := range s.eng.ValidateBatchN(r.Context(), vjobs, workers) {
+			i := vIdx[k]
+			if res.Err != nil {
+				results[i] = BatchResult{Error: res.Err}
+				continue
+			}
+			results[i] = BatchResult{Report: res.Report}
+		}
+	}
+	drainCorrect := func(workers int) {
+		for k, res := range s.eng.CorrectBatchN(r.Context(), cjobs, workers) {
+			i := cIdx[k]
+			if res.Err != nil {
+				results[i] = BatchResult{Error: res.Err}
+				continue
+			}
+			cr, err := s.shapeCorrection(r, cjobs[k], res.Correction)
+			if err != nil {
+				results[i] = BatchResult{Error: asEngineError(err)}
+				continue
+			}
+			results[i] = BatchResult{Correct: cr}
+		}
+	}
+	width := s.eng.Workers()
+	if len(vjobs) == 0 || len(cjobs) == 0 || width < 2 {
+		drainValidate(0)
+		drainCorrect(0)
+	} else {
+		wV := width * len(vjobs) / (len(vjobs) + len(cjobs))
+		if wV < 1 {
+			wV = 1
+		}
+		if wV > width-1 {
+			wV = width - 1
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); drainValidate(wV) }()
+		go func() { defer wg.Done(); drainCorrect(width - wV) }()
+		wg.Wait()
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// shapeCorrection converts an in-process correction to the wire shape.
+func (s *Server) shapeCorrection(r *http.Request, job engine.CorrectJob, vc *core.ViewCorrection) (*CorrectResponse, error) {
+	rep, err := s.eng.Validate(r.Context(), job.Workflow, vc.Corrected)
+	if err != nil {
+		return nil, err
+	}
+	corrected, err := json.Marshal(vc.Corrected)
+	if err != nil {
+		return nil, err
+	}
+	resp := &CorrectResponse{
+		Criterion:        vc.Criterion.String(),
+		CompositesBefore: vc.CompositesBefore,
+		CompositesAfter:  vc.CompositesAfter,
+		CorrectedView:    corrected,
+		Report:           rep,
+	}
+	for _, tc := range vc.Tasks {
+		resp.Tasks = append(resp.Tasks, TaskSummary{
+			CompositeID: tc.CompositeID,
+			Before:      tc.Before,
+			After:       tc.After,
+			SoundChecks: tc.Result.Stats.SoundChecks,
+			Merges:      tc.Result.Stats.Merges,
+		})
+	}
+	return resp, nil
+}
+
+func asEngineError(err error) *engine.Error {
+	var ee *engine.Error
+	if errors.As(err, &ee) {
+		return ee
+	}
+	return &engine.Error{Code: engine.ErrInternal, Message: err.Error(), Err: err}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Workers:       s.eng.Workers(),
+		Cache:         s.eng.CacheStats(),
+	})
+}

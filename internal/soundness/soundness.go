@@ -9,6 +9,7 @@
 package soundness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -246,12 +247,20 @@ func assembleReport(v *view.View, composites []CompositeReport) *Report {
 	return rep
 }
 
+// checkSameWorkflow panics unless v's workflow is interchangeable with
+// the oracle's: the same object or a structurally identical one (equal
+// fingerprints). Structural identity is what lets a long-lived oracle
+// cache serve workflows decoded independently per request.
+func (o *Oracle) checkSameWorkflow(v *view.View) {
+	if !workflow.Same(v.Workflow(), o.wf) {
+		panic("soundness: view belongs to a different workflow")
+	}
+}
+
 // ValidateView checks every composite of v (Proposition 2.1) and returns
 // a full diagnosis with witnesses.
 func ValidateView(o *Oracle, v *view.View) *Report {
-	if v.Workflow() != o.wf {
-		panic("soundness: view belongs to a different workflow")
-	}
+	o.checkSameWorkflow(v)
 	n := o.g.N()
 	sc := &validatorScratch{members: bitset.New(n), outMask: bitset.New(n)}
 	composites := make([]CompositeReport, v.N())
@@ -259,6 +268,23 @@ func ValidateView(o *Oracle, v *view.View) *Report {
 		composites[ci] = validateComposite(o, v, ci, sc)
 	}
 	return assembleReport(v, composites)
+}
+
+// ValidateViewCtx is ValidateView with cooperative cancellation: ctx is
+// polled between composites, and a canceled context aborts the scan with
+// ctx's error.
+func ValidateViewCtx(ctx context.Context, o *Oracle, v *view.View) (*Report, error) {
+	o.checkSameWorkflow(v)
+	n := o.g.N()
+	sc := &validatorScratch{members: bitset.New(n), outMask: bitset.New(n)}
+	composites := make([]CompositeReport, v.N())
+	for ci := 0; ci < v.N(); ci++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		composites[ci] = validateComposite(o, v, ci, sc)
+	}
+	return assembleReport(v, composites), nil
 }
 
 // parallelValidateThreshold is the composite count below which
@@ -271,9 +297,20 @@ const parallelValidateThreshold = 8
 // identical to the sequential one: composites are validated
 // independently and reassembled in index order.
 func ValidateViewParallel(o *Oracle, v *view.View, workers int) *Report {
-	if v.Workflow() != o.wf {
-		panic("soundness: view belongs to a different workflow")
+	rep, err := ValidateViewParallelCtx(context.Background(), o, v, workers)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic("soundness: background validation canceled: " + err.Error())
 	}
+	return rep
+}
+
+// ValidateViewParallelCtx is ValidateViewParallel with cooperative
+// cancellation: every worker polls ctx before claiming the next
+// composite, so a canceled context drains the pool early and the call
+// returns ctx's error instead of a partial report.
+func ValidateViewParallelCtx(ctx context.Context, o *Oracle, v *view.View, workers int) (*Report, error) {
+	o.checkSameWorkflow(v)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -282,7 +319,7 @@ func ValidateViewParallel(o *Oracle, v *view.View, workers int) *Report {
 		workers = k
 	}
 	if workers < 2 || k < parallelValidateThreshold {
-		return ValidateView(o, v)
+		return ValidateViewCtx(ctx, o, v)
 	}
 	n := o.g.N()
 	composites := make([]CompositeReport, k)
@@ -293,7 +330,7 @@ func ValidateViewParallel(o *Oracle, v *view.View, workers int) *Report {
 		go func() {
 			defer wg.Done()
 			sc := &validatorScratch{members: bitset.New(n), outMask: bitset.New(n)}
-			for {
+			for ctx.Err() == nil {
 				ci := int(next.Add(1)) - 1
 				if ci >= k {
 					return
@@ -303,7 +340,10 @@ func ValidateViewParallel(o *Oracle, v *view.View, workers int) *Report {
 		}()
 	}
 	wg.Wait()
-	return assembleReport(v, composites)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return assembleReport(v, composites), nil
 }
 
 // FalsePath is a Definition-2.1 witness at the view level: composites

@@ -139,9 +139,24 @@ func TestValidateViewWitnesses(t *testing.T) {
 
 func TestValidateViewMismatchPanics(t *testing.T) {
 	wf := chainPair(t)
-	wf2 := chainPair(t)
+	// A structurally identical workflow (equal fingerprint) is
+	// interchangeable: oracle caches rely on this to serve views decoded
+	// from separate requests.
+	twin := chainPair(t)
 	o := NewOracle(wf)
-	v := view.Atomic(wf2)
+	if rep := ValidateView(o, view.Atomic(twin)); !rep.Sound {
+		t.Fatalf("atomic view on structural twin: %+v", rep)
+	}
+	// A structurally different workflow must still panic.
+	other, err := workflow.NewBuilder("cp").
+		AddTask("x").AddTask("a").AddTask("b").AddTask("y").AddTask("z").
+		Chain("x", "a", "b", "y").
+		AddEdge("b", "z"). // reversed edge: different structure
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Atomic(other)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on foreign view")

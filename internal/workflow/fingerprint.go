@@ -1,0 +1,69 @@
+package workflow
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"sort"
+)
+
+// Fingerprint returns a stable content hash of the workflow's structure:
+// the task IDs in index order followed by the canonical edge list. Two
+// workflows with equal fingerprints have identical task-index spaces and
+// dependency graphs, so every index-based artifact computed for one
+// (reachability closures, soundness oracles, validation reports) is valid
+// for the other. Names and kinds are deliberately excluded: they do not
+// affect soundness. The hash is computed once and cached; Workflow is
+// immutable.
+func (w *Workflow) Fingerprint() string {
+	w.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf8 [8]byte
+		// Task count plus length-prefixed IDs: an unambiguous encoding.
+		// (A bare separator byte would let IDs containing that byte make
+		// structurally different workflows collide.)
+		binary.LittleEndian.PutUint64(buf8[:], uint64(len(w.tasks)))
+		h.Write(buf8[:])
+		for _, t := range w.tasks {
+			binary.LittleEndian.PutUint64(buf8[:], uint64(len(t.ID)))
+			h.Write(buf8[:])
+			io.WriteString(h, t.ID)
+		}
+		// Graph.Edges yields successors in insertion order, which is a
+		// serialization artifact (two JSON files listing the same edges in
+		// different orders must fingerprint identically), so sort the edge
+		// list into canonical (u, v) order before hashing.
+		edges := make([][2]int, 0, w.g.M())
+		w.g.Edges(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+		sort.Slice(edges, func(a, b int) bool {
+			if edges[a][0] != edges[b][0] {
+				return edges[a][0] < edges[b][0]
+			}
+			return edges[a][1] < edges[b][1]
+		})
+		for _, e := range edges {
+			binary.LittleEndian.PutUint32(buf8[:4], uint32(e[0]))
+			binary.LittleEndian.PutUint32(buf8[4:], uint32(e[1]))
+			h.Write(buf8[:])
+		}
+		w.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return w.fp
+}
+
+// Same reports whether a and b are interchangeable for index-based
+// computations: the same object, or structurally identical workflows
+// (equal fingerprints). Packages that precompute per-workflow state
+// (soundness oracles, lineage engines) use Same instead of pointer
+// equality so cached state can serve structurally identical workflows
+// decoded from separate requests.
+func Same(a, b *Workflow) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Fingerprint() == b.Fingerprint()
+}

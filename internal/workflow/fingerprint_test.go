@@ -1,0 +1,72 @@
+package workflow
+
+import "testing"
+
+func mustBuild(t *testing.T, b *Builder) *Workflow {
+	t.Helper()
+	wf, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+// TestFingerprintEdgeOrderInvariant: the same edges declared in a
+// different order (a pure serialization artifact) must fingerprint
+// identically, or the oracle cache splits on producers' JSON ordering.
+func TestFingerprintEdgeOrderInvariant(t *testing.T) {
+	a := mustBuild(t, NewBuilder("w").
+		AddTask("x").AddTask("y").AddTask("z").
+		AddEdge("x", "y").AddEdge("x", "z").AddEdge("y", "z"))
+	b := mustBuild(t, NewBuilder("w").
+		AddTask("x").AddTask("y").AddTask("z").
+		AddEdge("y", "z").AddEdge("x", "z").AddEdge("x", "y"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("edge declaration order changed the fingerprint")
+	}
+	if !Same(a, b) {
+		t.Fatal("Same must accept edge-order twins")
+	}
+}
+
+// TestFingerprintDistinguishes: task order (the index space), task set,
+// and edge set must each change the fingerprint.
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := mustBuild(t, NewBuilder("w").
+		AddTask("x").AddTask("y").AddTask("z").
+		AddEdge("x", "y"))
+	reordered := mustBuild(t, NewBuilder("w").
+		AddTask("y").AddTask("x").AddTask("z").
+		AddEdge("x", "y"))
+	if base.Fingerprint() == reordered.Fingerprint() {
+		t.Fatal("task index order must affect the fingerprint (indices differ)")
+	}
+	extraEdge := mustBuild(t, NewBuilder("w").
+		AddTask("x").AddTask("y").AddTask("z").
+		AddEdge("x", "y").AddEdge("y", "z"))
+	if base.Fingerprint() == extraEdge.Fingerprint() {
+		t.Fatal("edge set must affect the fingerprint")
+	}
+	// Name differences do NOT: structural identity only.
+	renamed := mustBuild(t, NewBuilder("other-name").
+		AddTask("x").AddTask("y").AddTask("z").
+		AddEdge("x", "y"))
+	if !Same(base, renamed) {
+		t.Fatal("workflow name must not affect structural identity")
+	}
+}
+
+// TestFingerprintNulSafeIDs: task IDs are arbitrary strings (JSON allows
+// "\u0000"), so the ID encoding must be unambiguous — a separator-based
+// scheme would collide "a\x00b" (one task) with "a","b" (two tasks) and
+// let the oracle cache serve a wrongly-sized closure.
+func TestFingerprintNulSafeIDs(t *testing.T) {
+	one := mustBuild(t, NewBuilder("x").AddTask("a\x00b"))
+	two := mustBuild(t, NewBuilder("x").AddTask("a").AddTask("b"))
+	if one.Fingerprint() == two.Fingerprint() {
+		t.Fatal("NUL-containing ID collided with a two-task workflow")
+	}
+	if Same(one, two) {
+		t.Fatal("Same must reject workflows of different task counts")
+	}
+}

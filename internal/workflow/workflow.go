@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"wolves/internal/dag"
 )
@@ -30,6 +31,9 @@ type Workflow struct {
 	tasks []Task
 	index map[string]int
 	g     *dag.Graph
+
+	fpOnce sync.Once // guards fp (see Fingerprint)
+	fp     string
 }
 
 // Errors reported by Builder.Build and the accessors.

@@ -13,6 +13,12 @@
 //
 // # Quick start
 //
+// The pipeline runs through a long-lived, concurrency-safe Engine. It
+// owns an LRU cache of soundness oracles keyed by a workflow fingerprint
+// (a hash of the canonical edge list), so repeated requests for the same
+// workflow — even decoded independently from JSON — build the expensive
+// reachability closure exactly once:
+//
 //	wf, _ := wolves.NewWorkflowBuilder("demo").
 //		AddTask("extract").AddTask("cleanA").AddTask("cleanB").AddTask("load").
 //		AddEdge("extract", "cleanA").AddEdge("extract", "cleanB").
@@ -21,10 +27,34 @@
 //	v, _ := wolves.ViewFromAssignments(wf, "v", map[string][]string{
 //		"in": {"extract"}, "clean": {"cleanA", "cleanB"}, "out": {"load"},
 //	})
-//	oracle := wolves.NewOracle(wf)
-//	report := wolves.Validate(oracle, v)       // clean is unsound
-//	fixed, _ := wolves.Correct(oracle, v, wolves.Strong, nil)
-//	_ = fixed.Corrected                         // sound view
+//	eng := wolves.NewEngine()
+//	ctx := context.Background()
+//	report, _ := eng.Validate(ctx, wf, v)               // clean is unsound
+//	fixed, _ := eng.Correct(ctx, wf, v, wolves.Strong)  // fixed.Corrected is sound
+//
+// Engines take functional options — WithWorkers (fan-out width),
+// WithOracleCache (LRU capacity), WithCorrectorOptions, and
+// WithOptimalTimeout — and expose batch entry points (ValidateBatch,
+// CorrectBatch) that spread independent jobs over the worker pool.
+// cmd/wolvesd serves the same Engine over HTTP.
+//
+// # Errors and cancellation
+//
+// Engine methods return *Error values whose Code classifies the failure
+// (ErrUnknownTask, ErrOptimalLimit, ErrCanceled, …); errors.Is still
+// reaches the wrapped cause. Every method observes ctx. In particular,
+// Correct under wolves.Optimal runs an exponential subset DP: the DP
+// polls cancellation inside its enumeration loops, so a canceled or
+// expired context aborts the correction within milliseconds (bounded
+// ~100ms even on 2^20-state instances), returning an ErrCanceled-coded
+// error and no partial result. WithOptimalTimeout imposes such a bound
+// engine-wide; polynomial criteria (Weak, Strong) are unaffected.
+//
+// # Compatibility shim
+//
+// The original free functions (NewOracle, Validate, Correct, SplitTask,
+// …) remain as thin deprecated wrappers over a shared default Engine so
+// existing callers keep working; new code should construct an Engine.
 //
 // The deeper machinery (bit-level soundness oracle, correction phases,
 // MOML codec, workload generators, the simulated repository, the
@@ -33,10 +63,13 @@
 package wolves
 
 import (
+	"context"
 	"io"
+	"sync"
 
 	"wolves/internal/core"
 	"wolves/internal/display"
+	"wolves/internal/engine"
 	"wolves/internal/estimate"
 	"wolves/internal/feedback"
 	"wolves/internal/gen"
@@ -47,6 +80,75 @@ import (
 	"wolves/internal/view"
 	"wolves/internal/workflow"
 )
+
+// --- engine -------------------------------------------------------------------
+
+// Engine is the long-lived service facade: a concurrency-safe pipeline
+// object owning a fingerprint-keyed LRU cache of soundness oracles. See
+// the package documentation for the serving model.
+type Engine = engine.Engine
+
+// EngineOption configures an Engine at construction time.
+type EngineOption = engine.Option
+
+// Batch job and result types of Engine.ValidateBatch / Engine.CorrectBatch.
+type (
+	// ValidateJob is one unit of Engine.ValidateBatch work.
+	ValidateJob = engine.ValidateJob
+	// ValidateResult pairs a batch job's report with its typed error.
+	ValidateResult = engine.ValidateResult
+	// CorrectJob is one unit of Engine.CorrectBatch work.
+	CorrectJob = engine.CorrectJob
+	// CorrectResult pairs a batch job's correction with its typed error.
+	CorrectResult = engine.CorrectResult
+	// EngineCacheStats snapshots the oracle cache counters.
+	EngineCacheStats = engine.CacheStats
+)
+
+// NewEngine constructs an Engine.
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
+
+// Functional options for NewEngine.
+var (
+	// WithWorkers sets the fan-out width (0 = GOMAXPROCS).
+	WithWorkers = engine.WithWorkers
+	// WithOracleCache sets the oracle LRU capacity (0 disables caching).
+	WithOracleCache = engine.WithOracleCache
+	// WithCorrectorOptions sets default corrector options.
+	WithCorrectorOptions = engine.WithCorrectorOptions
+	// WithOptimalTimeout bounds every Optimal correction.
+	WithOptimalTimeout = engine.WithOptimalTimeout
+)
+
+// Error is the structured error returned by every Engine method.
+type Error = engine.Error
+
+// ErrorCode classifies an Error for programmatic handling.
+type ErrorCode = engine.Code
+
+// Error codes carried by *Error.
+const (
+	ErrBadInput         = engine.ErrBadInput
+	ErrUnknownTask      = engine.ErrUnknownTask
+	ErrUnknownComposite = engine.ErrUnknownComposite
+	ErrWorkflowMismatch = engine.ErrWorkflowMismatch
+	ErrOptimalLimit     = engine.ErrOptimalLimit
+	ErrCanceled         = engine.ErrCanceled
+	ErrInternal         = engine.ErrInternal
+)
+
+// defaultEngine backs the deprecated free-function layer.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngineVal  *Engine
+)
+
+// DefaultEngine returns the process-wide Engine behind the deprecated
+// free functions. Prefer constructing your own with NewEngine.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngineVal = engine.New() })
+	return defaultEngineVal
+}
 
 // --- workflow model ---------------------------------------------------------
 
@@ -106,14 +208,29 @@ type Violation = soundness.Violation
 type PathReport = soundness.PathReport
 
 // NewOracle builds the soundness oracle for wf.
+//
+// Deprecated: Engine.Oracle caches oracles by workflow fingerprint;
+// building one directly bypasses the cache.
 func NewOracle(wf *Workflow) *Oracle { return soundness.NewOracle(wf) }
 
 // Validate checks every composite of v (Proposition 2.1) with witnesses.
-func Validate(o *Oracle, v *View) *Report { return soundness.ValidateView(o, v) }
+//
+// Deprecated: use Engine.Validate, which is context-aware and reuses
+// cached oracles. This wrapper routes through the default Engine.
+func Validate(o *Oracle, v *View) *Report {
+	rep, err := DefaultEngine().ValidateWithOracle(context.Background(), o, v)
+	if err != nil {
+		// Matches the historical contract: a foreign view panics.
+		panic(err)
+	}
+	return rep
+}
 
 // ValidateParallel is Validate with composites fanned out over a worker
 // pool (runtime.GOMAXPROCS workers when workers <= 0). The report is
 // identical to the sequential one.
+//
+// Deprecated: use Engine.Validate with WithWorkers.
 func ValidateParallel(o *Oracle, v *View, workers int) *Report {
 	return soundness.ValidateViewParallel(o, v, workers)
 }
@@ -155,13 +272,20 @@ type MergeUpResult = core.MergeUpResult
 func ParseCriterion(s string) (Criterion, error) { return core.ParseCriterion(s) }
 
 // SplitTask splits one composite's member set into sound blocks.
+//
+// Deprecated: use Engine.SplitTask, which is context-aware. This
+// wrapper routes through the default Engine.
 func SplitTask(o *Oracle, members []int, crit Criterion, opts *CorrectorOptions) (*SplitResult, error) {
-	return core.SplitTask(o, members, crit, opts)
+	return DefaultEngine().SplitWithOracle(context.Background(), o, members, crit, opts)
 }
 
 // Correct repairs every unsound composite of v; the result is sound.
+//
+// Deprecated: use Engine.Correct, which is context-aware (under
+// wolves.Optimal a canceled ctx aborts the exponential DP promptly) and
+// reuses cached oracles. This wrapper routes through the default Engine.
 func Correct(o *Oracle, v *View, crit Criterion, opts *CorrectorOptions) (*ViewCorrection, error) {
-	return core.CorrectView(o, v, crit, opts)
+	return DefaultEngine().CorrectWithOracle(context.Background(), o, v, crit, opts)
 }
 
 // MergeUp repairs an unsound view by merging composites instead of
@@ -233,11 +357,19 @@ func EncodeMOML(w io.Writer, wf *Workflow, v *View) error { return moml.Encode(w
 
 // --- sessions (feedback loop) ---------------------------------------------------
 
-// Session drives the validate → correct → user-feedback loop.
+// Session drives the validate → correct → user-feedback loop. Sessions
+// run every operation through an Engine.
 type Session = feedback.Session
 
-// NewSession starts an interactive correction session on v.
+// NewSession starts an interactive correction session on v with a
+// private single-workflow Engine.
 func NewSession(wf *Workflow, v *View) (*Session, error) { return feedback.NewSession(wf, v) }
+
+// NewSessionWith starts a session backed by eng, sharing its oracle
+// cache with every other consumer of that Engine.
+func NewSessionWith(eng *Engine, wf *Workflow, v *View) (*Session, error) {
+	return feedback.NewSessionWith(eng, wf, v)
+}
 
 // --- estimator -------------------------------------------------------------------
 
