@@ -3,18 +3,35 @@
 // LRU of soundness oracles, so the reachability closure of a workflow is
 // built once and shared by every request — exactly the shape needed to
 // serve heavy validate/correct traffic over a repository of workflows.
+// A live workflow registry sits beside it: clients register a workflow
+// once, then stream cheap mutation batches; the daemon maintains every
+// attached view's soundness report incrementally (dirty-set
+// revalidation over an incrementally updated closure) instead of
+// re-deriving the world per request.
 //
 // Usage:
 //
-//	wolvesd [-addr :8342] [-workers N] [-cache N]
+//	wolvesd [-addr :8342] [-workers N] [-cache N] [-live-workflows N]
 //	        [-optimal-timeout 2s] [-read-timeout 30s]
 //
-// Endpoints:
+// Stateless endpoints:
 //
 //	POST /v1/validate  {"workflow": …, "view": …}
 //	POST /v1/correct   {"workflow": …, "view": …, "criterion": "strong"}
 //	POST /v1/batch     {"jobs": [{"op": "validate", …}, …]}
 //	GET  /healthz
+//
+// Live workflow resources:
+//
+//	PUT    /v1/workflows/{id}                      register workflow + views
+//	GET    /v1/workflows/{id}                      metadata + document
+//	DELETE /v1/workflows/{id}
+//	POST   /v1/workflows/{id}/mutate               apply a task/edge batch
+//	PUT    /v1/workflows/{id}/views/{vid}          attach/replace a view
+//	DELETE /v1/workflows/{id}/views/{vid}
+//	POST   /v1/workflows/{id}/views/{vid}/validate maintained report (lookup)
+//	POST   /v1/workflows/{id}/views/{vid}/correct  propose a sound split
+//	POST   /v1/workflows/{id}/views/{vid}/lineage  view vs exact provenance
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds.
@@ -48,6 +65,8 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8342", "listen address")
 	workers := fs.Int("workers", 0, "fan-out width (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", engine.DefaultCacheSize, "oracle-cache capacity (0 disables)")
+	liveWorkflows := fs.Int("live-workflows", engine.DefaultRegistryCapacity,
+		"live workflow registry capacity (LRU-evicted beyond it)")
 	optimalTimeout := fs.Duration("optimal-timeout", 2*time.Second,
 		"per-request bound on the exponential optimal corrector (0 = unbounded)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
@@ -60,9 +79,10 @@ func run(args []string) error {
 		engine.WithOracleCache(*cacheSize),
 		engine.WithOptimalTimeout(*optimalTimeout),
 	)
+	reg := engine.NewRegistry(eng, engine.WithRegistryCapacity(*liveWorkflows))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng).Handler(),
+		Handler:           server.New(eng, server.WithRegistry(reg)).Handler(),
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -72,8 +92,8 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("wolvesd listening on %s (workers=%d cache=%d optimal-timeout=%v)",
-			*addr, eng.Workers(), *cacheSize, *optimalTimeout)
+		log.Printf("wolvesd listening on %s (workers=%d cache=%d live-workflows=%d optimal-timeout=%v)",
+			*addr, eng.Workers(), *cacheSize, *liveWorkflows, *optimalTimeout)
 		errc <- srv.ListenAndServe()
 	}()
 

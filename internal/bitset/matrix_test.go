@@ -147,3 +147,59 @@ func TestForEachNotIn(t *testing.T) {
 		}
 	}
 }
+
+func TestMatrixEqualCloneEmbed(t *testing.T) {
+	m := NewMatrix(3, 70)
+	m.SetBit(0, 0)
+	m.SetBit(1, 69)
+	m.SetBit(2, 64)
+
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.SetBit(0, 5)
+	if m.Equal(c) {
+		t.Fatal("mutated clone still equal (storage shared?)")
+	}
+	if m.Equal(NewMatrix(3, 71)) || m.Equal(NewMatrix(4, 70)) {
+		t.Fatal("dimension mismatch reported equal")
+	}
+
+	// Embed into a strictly larger matrix: all bits land at the same
+	// (row, bit) coordinates, the extra area stays zero — including
+	// destination bits inside src's final partial word (bit 100 lives in
+	// the word src's 70 bits end in).
+	big := NewMatrix(5, 130)
+	big.SetBit(0, 100)
+	big.Embed(m)
+	if !big.TestBit(0, 100) {
+		t.Fatal("embed cleared a destination bit beyond src's capacity")
+	}
+	big.words[1] &^= 1 << (100 - 64) // clear it again for the zero sweep below
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 70; i++ {
+			if big.TestBit(r, i) != m.TestBit(r, i) {
+				t.Fatalf("bit (%d,%d) lost in embed", r, i)
+			}
+		}
+	}
+	for r := 0; r < 5; r++ {
+		lo := 0
+		if r < 3 {
+			lo = 70
+		}
+		for i := lo; i < 130; i++ {
+			if big.TestBit(r, i) {
+				t.Fatalf("embed set spurious bit (%d,%d)", r, i)
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("embedding a larger matrix into a smaller one must panic")
+		}
+	}()
+	m.Embed(big)
+}

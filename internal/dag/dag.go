@@ -112,6 +112,62 @@ func (g *Graph) addEdgeUnchecked(u, v int) {
 	}
 }
 
+// AddNodes appends k isolated nodes and returns the index of the first
+// new node. It is the node-growth half of live workflow mutation; the
+// IncrementalClosure grows its matrices in step via Grow.
+func (g *Graph) AddNodes(k int) int {
+	if k < 0 {
+		panic("dag: negative node count")
+	}
+	first := g.n
+	g.n += k
+	g.succs = append(g.succs, make([][]int32, k)...)
+	g.preds = append(g.preds, make([][]int32, k)...)
+	g.sorted = append(g.sorted, make([][]int32, k)...)
+	return first
+}
+
+// PopEdge removes the edge u→v, which must be the most recently inserted
+// entry of both u's successor list and v's predecessor list. Unwinding a
+// sequence of AddEdge calls in reverse (LIFO) order always satisfies
+// this; it exists only for the registry's mutation rollback.
+func (g *Graph) PopEdge(u, v int) {
+	g.checkNode(u)
+	g.checkNode(v)
+	su, pv := g.succs[u], g.preds[v]
+	if len(su) == 0 || int(su[len(su)-1]) != v || len(pv) == 0 || int(pv[len(pv)-1]) != u {
+		panic(fmt.Sprintf("dag: PopEdge(%d,%d): not the most recent edge", u, v))
+	}
+	g.succs[u] = su[:len(su)-1]
+	g.preds[v] = pv[:len(pv)-1]
+	g.m--
+	if s := g.sorted[u]; s != nil {
+		pos, ok := slices.BinarySearch(s, int32(v))
+		if !ok {
+			panic(fmt.Sprintf("dag: PopEdge(%d,%d): sorted mirror out of sync", u, v))
+		}
+		g.sorted[u] = slices.Delete(s, pos, pos+1)
+	}
+}
+
+// TruncateNodes shrinks the graph back to n nodes. Every node being
+// removed must be isolated (callers pop its edges first); this is the
+// rollback counterpart of AddNodes.
+func (g *Graph) TruncateNodes(n int) {
+	if n < 0 || n > g.n {
+		panic(fmt.Sprintf("dag: cannot truncate %d-node graph to %d", g.n, n))
+	}
+	for u := n; u < g.n; u++ {
+		if len(g.succs[u])+len(g.preds[u]) > 0 {
+			panic(fmt.Sprintf("dag: TruncateNodes: node %d still has edges", u))
+		}
+	}
+	g.succs = g.succs[:n]
+	g.preds = g.preds[:n]
+	g.sorted = g.sorted[:n]
+	g.n = n
+}
+
 // MustAddEdge is AddEdge for construction code with validated inputs.
 func (g *Graph) MustAddEdge(u, v int) {
 	if _, err := g.AddEdge(u, v); err != nil {

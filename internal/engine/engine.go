@@ -12,6 +12,12 @@
 // the failure, and every method observes ctx: in particular the
 // exponential Optimal corrector aborts within milliseconds of
 // cancellation.
+//
+// Beside the stateless pipeline sits the live workflow Registry
+// (registry.go): named, versioned workflows mutated in place, whose
+// reachability closures are maintained incrementally and whose attached
+// views are revalidated over dirty composites only — see the registry
+// documentation for versioning, concurrency and eviction semantics.
 package engine
 
 import (

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"wolves/internal/core"
+	"wolves/internal/dag"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
 )
@@ -30,6 +31,18 @@ const (
 	ErrOptimalLimit Code = "optimal_limit"
 	// ErrCanceled: the context was canceled or its deadline expired.
 	ErrCanceled Code = "canceled"
+	// ErrUnknownWorkflow: a registry workflow ID that is not registered
+	// (wolvesd maps it to 404).
+	ErrUnknownWorkflow Code = "unknown_workflow"
+	// ErrUnknownView: a view ID not attached to the live workflow
+	// (wolvesd maps it to 404).
+	ErrUnknownView Code = "unknown_view"
+	// ErrVersionConflict: a conditional mutation named a version other
+	// than the live workflow's current one (wolvesd maps it to 409).
+	ErrVersionConflict Code = "version_conflict"
+	// ErrCycleRejected: a mutation edge would create a dependency cycle;
+	// the whole batch was rolled back (wolvesd maps it to 422).
+	ErrCycleRejected Code = "cycle_rejected"
 	// ErrInternal: everything else.
 	ErrInternal Code = "internal"
 )
@@ -73,6 +86,8 @@ func wrapErr(op string, err error) *Error {
 		code = ErrCanceled
 	case errors.Is(err, core.ErrOptimalLimit):
 		code = ErrOptimalLimit
+	case errors.Is(err, dag.ErrCycle):
+		code = ErrCycleRejected
 	case errors.Is(err, workflow.ErrUnknownTask):
 		code = ErrUnknownTask
 	case errors.Is(err, view.ErrUnknownComp):

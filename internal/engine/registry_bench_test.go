@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wolves/internal/gen"
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// benchWorkload is one live-mutation scenario: a layered workflow, an
+// attached interval view, and a pool of fresh candidate edges that all
+// respect a single topological order (so any prefix of the stream is
+// acyclic and both benchmark variants process the identical mutations).
+type benchWorkload struct {
+	wf         *workflow.Workflow
+	v          *view.View
+	candidates [][2]string
+}
+
+// benchEdgePool bounds the candidate stream; past it the stream wraps to
+// duplicate edges (no-ops for the incremental path, full price for the
+// rebuild path), so record numbers with -benchtime=2000x or lower.
+const benchEdgePool = 8192
+
+func newBenchWorkload(b *testing.B, n int) *benchWorkload {
+	b.Helper()
+	wf := gen.Layered(gen.LayeredConfig{
+		Name: fmt.Sprintf("bench-%d", n), Tasks: n, Layers: 12,
+		EdgeProb: 0.25, SkipProb: 0.05, Seed: int64(n),
+	})
+	v := gen.IntervalView(wf, n/16, "bench-view")
+	order, err := wf.Graph().TopoOrder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(n) * 7))
+	seen := make(map[[2]int]bool, benchEdgePool)
+	cands := make([][2]string, 0, benchEdgePool)
+	for len(cands) < benchEdgePool {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		u, w := order[i], order[j]
+		if seen[[2]int{u, w}] || wf.Graph().HasEdge(u, w) {
+			continue
+		}
+		seen[[2]int{u, w}] = true
+		cands = append(cands, [2]string{wf.Task(u).ID, wf.Task(w).ID})
+	}
+	return &benchWorkload{wf: wf, v: v, candidates: cands}
+}
+
+// batch returns the i-th mutation batch of the stream.
+func (w *benchWorkload) batch(i, size int) [][2]string {
+	out := make([][2]string, 0, size)
+	for k := 0; k < size; k++ {
+		out = append(out, w.candidates[(i*size+k)%len(w.candidates)])
+	}
+	return out
+}
+
+// BenchmarkMutateIncremental measures the registry path: one Mutate call
+// per iteration — incremental closure update, dirty-set revalidation,
+// report merge.
+func BenchmarkMutateIncremental(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		for _, batch := range []int{1, 64} {
+			b.Run(fmt.Sprintf("n=%d/batch=%d", n, batch), func(b *testing.B) {
+				w := newBenchWorkload(b, n)
+				reg := NewRegistry(New())
+				lw, err := reg.Register("bench", w.wf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := lw.AttachView("v", func(wf *workflow.Workflow) (*view.View, error) {
+					return w.v, nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := lw.Mutate(Mutation{Edges: w.batch(i, batch)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMutateRebuild measures what the stateless stack pays for the
+// same mutation stream: apply the edges, rebuild the reachability
+// closure from scratch, revalidate the whole view.
+func BenchmarkMutateRebuild(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		for _, batch := range []int{1, 64} {
+			b.Run(fmt.Sprintf("n=%d/batch=%d", n, batch), func(b *testing.B) {
+				w := newBenchWorkload(b, n)
+				g := w.wf.Graph()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, e := range w.batch(i, batch) {
+						g.MustAddEdge(w.wf.MustIndex(e[0]), w.wf.MustIndex(e[1]))
+					}
+					w.wf.StructureChanged()
+					oracle := soundness.NewOracle(w.wf)
+					rep := soundness.ValidateView(oracle, w.v)
+					_ = rep
+				}
+			})
+		}
+	}
+}

@@ -10,31 +10,57 @@
 package provenance
 
 import (
+	"sync"
+
 	"wolves/internal/bitset"
 	"wolves/internal/dag"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
 )
 
-// Engine answers task-level lineage queries against one workflow.
+// Engine answers task-level lineage queries against one workflow. It is
+// safe for concurrent readers: the one-time ancestor-row build is
+// guarded by a sync.Once, and every query afterwards only reads.
 type Engine struct {
 	wf  *workflow.Workflow
-	fwd *dag.Closure  // forward reachability: Row(u) = descendants of u
-	anc []*bitset.Set // ancestors of u (transposed closure), built lazily
+	fwd *dag.Closure // forward reachability: Row(u) = descendants of u
+	rev *dag.Closure // transposed closure, when supplied at construction
+
+	ancOnce sync.Once     // guards the one-time construction of anc
+	anc     []*bitset.Set // ancestors of u, derived from rev or built by transposing fwd
 }
 
-// NewEngine builds the workflow-level lineage engine.
+// NewEngine builds the workflow-level lineage engine, computing the
+// forward closure; ancestor rows are transposed lazily on first use.
 func NewEngine(wf *workflow.Workflow) *Engine {
 	return &Engine{wf: wf, fwd: wf.Graph().Reachability()}
+}
+
+// NewEngineWithClosures builds a lineage engine over caller-supplied
+// closures, skipping all closure computation. rev, when non-nil, must be
+// the exact transpose of fwd; ancestor queries then share its rows
+// instead of building a transpose. This is the registry path: both
+// closures come from an IncrementalClosure whose matrices are updated in
+// place as the live workflow mutates, so lineage answers stay current
+// across edge mutations with no rebuild (the registry constructs a fresh
+// engine only when the matrices are replaced, i.e. on task growth).
+func NewEngineWithClosures(wf *workflow.Workflow, fwd, rev *dag.Closure) *Engine {
+	return &Engine{wf: wf, fwd: fwd, rev: rev}
 }
 
 // Workflow returns the engine's workflow.
 func (e *Engine) Workflow() *workflow.Workflow { return e.wf }
 
 func (e *Engine) ancestors() []*bitset.Set {
-	if e.anc == nil {
-		n := e.wf.N()
+	e.ancOnce.Do(func() {
+		n := e.fwd.N()
 		e.anc = make([]*bitset.Set, n)
+		if e.rev != nil {
+			for v := 0; v < n; v++ {
+				e.anc[v] = e.rev.Row(v)
+			}
+			return
+		}
 		for v := 0; v < n; v++ {
 			e.anc[v] = bitset.New(n)
 		}
@@ -45,7 +71,7 @@ func (e *Engine) ancestors() []*bitset.Set {
 				return true
 			})
 		}
-	}
+	})
 	return e.anc
 }
 

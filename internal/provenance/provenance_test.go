@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"wolves/internal/core"
+	"wolves/internal/dag"
 	"wolves/internal/repo"
 	"wolves/internal/soundness"
 	"wolves/internal/view"
@@ -241,4 +243,59 @@ func randomView(rng *rand.Rand, wf *workflow.Workflow) *view.View {
 		panic(err)
 	}
 	return v
+}
+
+// TestAncestorsConcurrentBuild hammers the lazy ancestor-transpose build
+// from many goroutines; under -race this pins the sync.Once guard that
+// makes a cached lineage engine safe for concurrent first use.
+func TestAncestorsConcurrentBuild(t *testing.T) {
+	wf, _ := repo.Figure1()
+	e := NewEngine(wf)
+	want := e.Lineage(wf.MustIndex("11"))
+
+	e2 := NewEngine(wf)
+	var wg sync.WaitGroup
+	results := make([][]int, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e2.Lineage(wf.MustIndex("11"))
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("goroutine %d: lineage %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestNewEngineWithClosures pins that a registry-backed engine sharing
+// an incrementally maintained transpose answers identically to the
+// self-built one, and stays current through in-place edge mutations.
+func TestNewEngineWithClosures(t *testing.T) {
+	wf, _ := repo.Figure1()
+	ic, err := dag.NewIncrementalClosure(wf.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewEngineWithClosures(wf, ic.Fwd(), ic.Rev())
+	fresh := NewEngine(wf)
+	for i := 0; i < wf.N(); i++ {
+		if !reflect.DeepEqual(live.Lineage(i), fresh.Lineage(i)) {
+			t.Fatalf("task %d: shared-transpose lineage diverges", i)
+		}
+	}
+
+	// Mutate in place: 3→8 gives task 8 the whole 1-2-3 ancestry. The
+	// live engine must see it without any rebuild.
+	u, v := wf.MustIndex("3"), wf.MustIndex("8")
+	if _, err := ic.AddEdge(u, v, nil); err != nil {
+		t.Fatal(err)
+	}
+	wf.StructureChanged()
+	if !reflect.DeepEqual(live.Lineage(v), NewEngine(wf).Lineage(v)) {
+		t.Fatal("live engine stale after in-place edge mutation")
+	}
 }

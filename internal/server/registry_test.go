@@ -1,0 +1,303 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"wolves/internal/engine"
+	"wolves/internal/repo"
+	"wolves/internal/soundness"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// doJSON issues a request with an arbitrary method, decoding the reply
+// into dst when non-nil.
+func doJSON(t *testing.T, method, url string, body, dst any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("decoding %s %s response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+// preFigure1 builds the walkthrough workflow: Figure 1 without the 3→4
+// and 4→5 edges, so composite 16 starts sound.
+func preFigure1(t *testing.T) (*workflow.Workflow, *view.View) {
+	t.Helper()
+	b := workflow.NewBuilder("phylogenomics")
+	for i := 1; i <= 12; i++ {
+		b.AddTask(fmt.Sprintf("%d", i))
+	}
+	b.AddEdge("1", "2").AddEdge("2", "3").AddEdge("2", "6").
+		AddEdge("6", "7").AddEdge("7", "8").AddEdge("8", "11").
+		AddEdge("5", "11").AddEdge("9", "10").AddEdge("10", "11").
+		AddEdge("11", "12")
+	wf, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.NewBuilder(wf, "fig1b").
+		Assign("13", "1", "2").
+		Assign("14", "3").
+		Assign("15", "6").
+		Assign("16", "4", "7").
+		Assign("17", "5").
+		Assign("18", "8").
+		Assign("19", "9", "10", "11", "12").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wf, v
+}
+
+func TestLiveWorkflowLifecycleOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	wf, v := preFigure1(t)
+	wfj, vj := rawPair(t, wf, v)
+	base := ts.URL + "/v1/workflows/phylo"
+
+	// Register: workflow + view in one PUT; the initial report is sound.
+	var regResp RegisterResponse
+	resp := doJSON(t, http.MethodPut, base, RegisterRequest{
+		Workflow: wfj,
+		Views:    []RegisterView{{View: vj}},
+	}, &regResp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	if regResp.Version != 1 || !regResp.Reports["fig1b"].Sound {
+		t.Fatalf("register response %+v", regResp)
+	}
+
+	// Validate is now a lookup of the maintained report.
+	var vr LiveReportResponse
+	doJSON(t, http.MethodPost, base+"/views/fig1b/validate", nil, &vr)
+	if !vr.Report.Sound || vr.Version != 1 {
+		t.Fatalf("pre-mutation validate %+v", vr)
+	}
+
+	// Mutate: the edge 3→4 makes composite 16 unsound.
+	var mr engine.MutationResult
+	resp = doJSON(t, http.MethodPost, base+"/mutate", MutateRequest{
+		Edges: [][2]string{{"3", "4"}},
+	}, &mr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status %d", resp.StatusCode)
+	}
+	if mr.Version != 2 || len(mr.Views) != 1 || mr.Views[0].Sound ||
+		!reflect.DeepEqual(mr.Views[0].Flipped, []string{"16"}) {
+		t.Fatalf("mutation result %+v", mr)
+	}
+
+	// Complete Figure 1; the maintained report must equal the canonical
+	// in-process diagnosis.
+	doJSON(t, http.MethodPost, base+"/mutate", MutateRequest{Edges: [][2]string{{"4", "5"}}}, nil)
+	doJSON(t, http.MethodPost, base+"/views/fig1b/validate", nil, &vr)
+	wfRef, vRef := repo.Figure1()
+	want := soundness.ValidateView(soundness.NewOracle(wfRef), vRef)
+	if !reflect.DeepEqual(vr.Report, want) {
+		t.Fatalf("live report diverges from canonical Figure 1:\ngot:  %+v\nwant: %+v", vr.Report, want)
+	}
+
+	// Lineage through the now-unsound view: tasks 3 and 4 are false
+	// provenance of task 8 (the paper's running example).
+	var lr engine.LineageResult
+	doJSON(t, http.MethodPost, base+"/views/fig1b/lineage", LineageRequest{Task: "8"}, &lr)
+	if lr.ViewSound || !reflect.DeepEqual(lr.FalsePositives, []string{"3", "4"}) {
+		t.Fatalf("lineage result %+v", lr)
+	}
+
+	// Correct proposes a sound split without touching the live view.
+	var cr LiveCorrectResponse
+	resp = doJSON(t, http.MethodPost, base+"/views/fig1b/correct", nil, &cr)
+	if resp.StatusCode != http.StatusOK || !cr.Correct.Report.Sound {
+		t.Fatalf("correct status %d, %+v", resp.StatusCode, cr)
+	}
+	// Applying the proposal: PUT the corrected view back, then validate.
+	req, err := http.NewRequest(http.MethodPut, base+"/views/fig1b", bytes.NewReader(cr.Correct.CorrectedView))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusOK {
+		t.Fatalf("view PUT status %d", putResp.StatusCode)
+	}
+	doJSON(t, http.MethodPost, base+"/views/fig1b/validate", nil, &vr)
+	if !vr.Report.Sound {
+		t.Fatal("re-attached corrected view must validate sound")
+	}
+
+	// GET returns metadata plus the full workflow document.
+	var res WorkflowResource
+	resp = doJSON(t, http.MethodGet, base, nil, &res)
+	if resp.StatusCode != http.StatusOK || res.Version != 3 || res.Tasks != 12 || res.Edges != 12 {
+		t.Fatalf("GET resource %+v (status %d)", res.WorkflowInfo, resp.StatusCode)
+	}
+	snap, err := workflow.DecodeJSON(bytes.NewReader(res.Workflow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !workflow.Same(snap, wfRef) {
+		t.Fatal("GET workflow document does not round-trip to canonical Figure 1")
+	}
+
+	// DELETE, then everything 404s.
+	resp = doJSON(t, http.MethodDelete, base, nil, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp = doJSON(t, http.MethodPost, base+"/views/fig1b/validate", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("validate after delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestLiveWorkflowHTTPStatusMapping(t *testing.T) {
+	_, ts := newTestServer(t)
+	wf, v := preFigure1(t)
+	wfj, vj := rawPair(t, wf, v)
+	base := ts.URL + "/v1/workflows/phylo"
+
+	// Unknown workflow → 404 with the typed code.
+	var errBody struct {
+		Error *engine.Error `json:"error"`
+	}
+	resp := doJSON(t, http.MethodPost, base+"/mutate", MutateRequest{Edges: [][2]string{{"1", "2"}}}, &errBody)
+	if resp.StatusCode != http.StatusNotFound || errBody.Error.Code != engine.ErrUnknownWorkflow {
+		t.Fatalf("unknown workflow: status %d code %s", resp.StatusCode, errBody.Error.Code)
+	}
+
+	doJSON(t, http.MethodPut, base, RegisterRequest{Workflow: wfj, Views: []RegisterView{{View: vj}}}, nil)
+
+	// Unknown view → 404.
+	resp = doJSON(t, http.MethodPost, base+"/views/nope/validate", nil, &errBody)
+	if resp.StatusCode != http.StatusNotFound || errBody.Error.Code != engine.ErrUnknownView {
+		t.Fatalf("unknown view: status %d code %s", resp.StatusCode, errBody.Error.Code)
+	}
+
+	// Malformed and invalid view documents on PUT → 400, never 500.
+	for _, body := range []string{
+		`{not json`,
+		`{"name":"p","composites":[{"id":"x","members":["1"]}]}`, // not a partition
+	} {
+		req, err := http.NewRequest(http.MethodPut, base+"/views/bad", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		putResp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		putResp.Body.Close()
+		if putResp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("view PUT %q: status %d, want 400", body, putResp.StatusCode)
+		}
+	}
+
+	// Stale if_version → 409.
+	resp = doJSON(t, http.MethodPost, base+"/mutate", MutateRequest{
+		Edges: [][2]string{{"3", "4"}}, IfVersion: 99,
+	}, &errBody)
+	if resp.StatusCode != http.StatusConflict || errBody.Error.Code != engine.ErrVersionConflict {
+		t.Fatalf("version conflict: status %d code %s", resp.StatusCode, errBody.Error.Code)
+	}
+
+	// Cycle → 422, batch rolled back (the later valid mutate still sees
+	// version 1).
+	resp = doJSON(t, http.MethodPost, base+"/mutate", MutateRequest{
+		Edges: [][2]string{{"3", "4"}, {"11", "1"}},
+	}, &errBody)
+	if resp.StatusCode != http.StatusUnprocessableEntity || errBody.Error.Code != engine.ErrCycleRejected {
+		t.Fatalf("cycle: status %d code %s", resp.StatusCode, errBody.Error.Code)
+	}
+	var mr engine.MutationResult
+	resp = doJSON(t, http.MethodPost, base+"/mutate", MutateRequest{
+		Edges: [][2]string{{"3", "4"}}, IfVersion: 1,
+	}, &mr)
+	if resp.StatusCode != http.StatusOK || mr.Version != 2 {
+		t.Fatalf("post-rollback mutate: status %d %+v", resp.StatusCode, mr)
+	}
+
+	// Unknown task in a mutation edge → 400.
+	resp = doJSON(t, http.MethodPost, base+"/mutate", MutateRequest{
+		Edges: [][2]string{{"1", "nope"}},
+	}, &errBody)
+	if resp.StatusCode != http.StatusBadRequest || errBody.Error.Code != engine.ErrUnknownTask {
+		t.Fatalf("unknown task: status %d code %s", resp.StatusCode, errBody.Error.Code)
+	}
+}
+
+// TestLiveEndpointsMatchStateless pins the interchangeability claim: the
+// live validate endpoint serves byte-identical reports to the stateless
+// /v1/validate for the same workflow and view.
+func TestLiveEndpointsMatchStateless(t *testing.T) {
+	_, ts := newTestServer(t)
+	wf, v := repo.Figure1()
+	wfj, vj := rawPair(t, wf, v)
+
+	var stateless ValidateResponse
+	postJSON(t, ts.URL+"/v1/validate", ValidateRequest{Workflow: wfj, View: vj}, &stateless)
+
+	doJSON(t, http.MethodPut, ts.URL+"/v1/workflows/fig1", RegisterRequest{
+		Workflow: wfj, Views: []RegisterView{{ID: "v", View: vj}},
+	}, nil)
+	var live LiveReportResponse
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workflows/fig1/views/v/validate", nil, &live)
+
+	if !reflect.DeepEqual(stateless.Report, live.Report) {
+		t.Fatalf("live and stateless reports diverge:\nlive:      %+v\nstateless: %+v",
+			live.Report, stateless.Report)
+	}
+}
+
+// TestRegisterRejectsBadViewAtomically pins that a malformed view in the
+// PUT body rejects the whole registration.
+func TestRegisterRejectsBadViewAtomically(t *testing.T) {
+	_, ts := newTestServer(t)
+	wf, _ := preFigure1(t)
+	wfj, err := json.Marshal(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := doJSON(t, http.MethodPut, ts.URL+"/v1/workflows/phylo", RegisterRequest{
+		Workflow: wfj,
+		Views:    []RegisterView{{ID: "bad", View: json.RawMessage(`{"name":"bad","composites":[{"id":"x","members":["nope"]}]}`)}},
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad view register: status %d, want 400", resp.StatusCode)
+	}
+	resp = doJSON(t, http.MethodGet, ts.URL+"/v1/workflows/phylo", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("failed registration left the workflow behind: GET status %d", resp.StatusCode)
+	}
+}

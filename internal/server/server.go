@@ -7,12 +7,24 @@
 // its reachability closure, every later request (same fingerprint) only
 // pays the per-view validation.
 //
-// Endpoints:
+// Stateless endpoints (workflow and view travel in every request):
 //
 //	POST /v1/validate  {"workflow": …, "view": …}
 //	POST /v1/correct   {"workflow": …, "view": …, "criterion": "strong"}
 //	POST /v1/batch     {"jobs": [{"op": "validate"|"correct", …}, …]}
 //	GET  /healthz
+//
+// Live workflow resources (upload once, pay only deltas; see registry.go):
+//
+//	PUT    /v1/workflows/{id}                      {"workflow": …, "views": [{"id": …, "view": …}]}
+//	GET    /v1/workflows/{id}
+//	DELETE /v1/workflows/{id}
+//	POST   /v1/workflows/{id}/mutate               {"tasks": […], "edges": [["a","b"], …], "if_version": n}
+//	PUT    /v1/workflows/{id}/views/{vid}          <view JSON document>
+//	DELETE /v1/workflows/{id}/views/{vid}
+//	POST   /v1/workflows/{id}/views/{vid}/validate
+//	POST   /v1/workflows/{id}/views/{vid}/correct  {"criterion": "strong"}
+//	POST   /v1/workflows/{id}/views/{vid}/lineage  {"task": "8"}
 package server
 
 import (
@@ -36,16 +48,35 @@ import (
 // unbounded uploads into memory.
 const MaxBodyBytes = 8 << 20
 
-// Server wires an Engine to the HTTP endpoints.
+// Server wires an Engine and a live workflow Registry to the HTTP
+// endpoints.
 type Server struct {
 	eng      *engine.Engine
+	reg      *engine.Registry
 	start    time.Time
 	requests atomic.Int64
 }
 
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithRegistry supplies a pre-built live workflow registry (wolvesd uses
+// it to apply the -live-workflows capacity flag). The default is a
+// registry with engine.DefaultRegistryCapacity.
+func WithRegistry(reg *engine.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
 // New wraps eng in a Server.
-func New(eng *engine.Engine) *Server {
-	return &Server{eng: eng, start: time.Now()}
+func New(eng *engine.Engine, opts ...Option) *Server {
+	s := &Server{eng: eng, start: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = engine.NewRegistry(eng)
+	}
+	return s
 }
 
 // Handler returns the wolvesd route table.
@@ -55,6 +86,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/correct", s.handleCorrect)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("PUT /v1/workflows/{id}", s.handleWorkflowPut)
+	mux.HandleFunc("GET /v1/workflows/{id}", s.handleWorkflowGet)
+	mux.HandleFunc("DELETE /v1/workflows/{id}", s.handleWorkflowDelete)
+	mux.HandleFunc("POST /v1/workflows/{id}/mutate", s.handleWorkflowMutate)
+	mux.HandleFunc("PUT /v1/workflows/{id}/views/{vid}", s.handleViewPut)
+	mux.HandleFunc("DELETE /v1/workflows/{id}/views/{vid}", s.handleViewDelete)
+	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/validate", s.handleViewValidate)
+	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/correct", s.handleViewCorrect)
+	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/lineage", s.handleViewLineage)
 	return mux
 }
 
@@ -132,6 +172,7 @@ type HealthResponse struct {
 	Requests      int64             `json:"requests"`
 	Workers       int               `json:"workers"`
 	Cache         engine.CacheStats `json:"cache"`
+	LiveWorkflows int               `json:"live_workflows"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -147,7 +188,11 @@ func statusFor(e *engine.Error) int {
 	case engine.ErrBadInput, engine.ErrUnknownTask,
 		engine.ErrUnknownComposite, engine.ErrWorkflowMismatch:
 		return http.StatusBadRequest
-	case engine.ErrOptimalLimit:
+	case engine.ErrUnknownWorkflow, engine.ErrUnknownView:
+		return http.StatusNotFound
+	case engine.ErrVersionConflict:
+		return http.StatusConflict
+	case engine.ErrOptimalLimit, engine.ErrCycleRejected:
 		return http.StatusUnprocessableEntity
 	case engine.ErrCanceled:
 		return http.StatusGatewayTimeout
@@ -367,6 +412,12 @@ func (s *Server) shapeCorrection(r *http.Request, job engine.CorrectJob, vc *cor
 	if err != nil {
 		return nil, err
 	}
+	return correctResponseBody(vc, rep)
+}
+
+// correctResponseBody shapes a correction plus its re-validation report;
+// shared by the stateless and live-workflow correct handlers.
+func correctResponseBody(vc *core.ViewCorrection, rep *soundness.Report) (*CorrectResponse, error) {
 	corrected, err := json.Marshal(vc.Corrected)
 	if err != nil {
 		return nil, err
@@ -405,5 +456,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		Workers:       s.eng.Workers(),
 		Cache:         s.eng.CacheStats(),
+		LiveWorkflows: s.reg.Len(),
 	})
 }

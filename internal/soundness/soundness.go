@@ -51,8 +51,20 @@ type oracleScratch struct {
 
 // NewOracle builds an oracle for wf, computing the reachability closure.
 func NewOracle(wf *workflow.Workflow) *Oracle {
-	o := &Oracle{wf: wf, g: wf.Graph(), reach: wf.Graph().Reachability()}
-	n := o.g.N()
+	return NewOracleWithClosure(wf, wf.Graph(), wf.Graph().Reachability())
+}
+
+// NewOracleWithClosure builds an oracle over a caller-supplied graph and
+// reachability closure, skipping the closure computation of NewOracle.
+// The engine registry points a long-lived oracle at an incrementally
+// maintained closure this way: the closure's matrix is updated in place
+// as mutations arrive, so the oracle answers against current state
+// without ever rebuilding. The caller guarantees that g is wf's
+// dependency graph, that reach is (and stays) its reflexive-transitive
+// closure, and that mutations are serialized against oracle readers.
+func NewOracleWithClosure(wf *workflow.Workflow, g *dag.Graph, reach *dag.Closure) *Oracle {
+	o := &Oracle{wf: wf, g: g, reach: reach}
+	n := g.N()
 	o.scratch.New = func() any {
 		return &oracleScratch{outMask: bitset.New(n)}
 	}

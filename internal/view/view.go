@@ -360,6 +360,45 @@ func (v *View) ReplaceComposite(id string, blocks [][]int) (*View, error) {
 	return b.Build()
 }
 
+// ExtendSingletons returns a view covering every workflow task the view
+// does not yet cover — tasks appended to a live workflow after the view
+// was built — as new singleton composites (ID and name equal to the task
+// ID), in task-index order after the existing composites. Existing
+// composite indices are unchanged, so incrementally maintained reports
+// stay aligned. Fails with ErrDuplicateComp when a new task's ID
+// collides with an existing composite ID; the registry prechecks this
+// before mutating anything. When the view already covers the workflow,
+// v itself is returned.
+func (v *View) ExtendSingletons() (*View, error) {
+	n := v.wf.N()
+	if n == len(v.compOf) {
+		return v, nil
+	}
+	for t := len(v.compOf); t < n; t++ {
+		if _, clash := v.index[v.wf.Task(t).ID]; clash {
+			return nil, fmt.Errorf("%w: task %q already names a composite", ErrDuplicateComp, v.wf.Task(t).ID)
+		}
+	}
+	nv := &View{
+		wf:     v.wf,
+		name:   v.name,
+		comps:  append(make([]Composite, 0, len(v.comps)+n-len(v.compOf)), v.comps...),
+		compOf: append(make([]int, 0, n), v.compOf...),
+		index:  make(map[string]int, len(v.index)+n-len(v.compOf)),
+	}
+	for id, i := range v.index {
+		nv.index[id] = i
+	}
+	for t := len(v.compOf); t < n; t++ {
+		id := v.wf.Task(t).ID
+		ci := len(nv.comps)
+		nv.index[id] = ci
+		nv.comps = append(nv.comps, Composite{ID: id, Name: id, members: []int{t}})
+		nv.compOf = append(nv.compOf, ci)
+	}
+	return nv, nil
+}
+
 // CompositeIDs returns composite IDs in index order.
 func (v *View) CompositeIDs() []string {
 	out := make([]string, len(v.comps))

@@ -270,3 +270,55 @@ func TestDescribeAndString(t *testing.T) {
 		t.Fatalf("Describe = %q", d)
 	}
 }
+
+func TestExtendSingletons(t *testing.T) {
+	wf, err := workflow.NewBuilder("live").
+		AddTask("a").AddTask("b").AddTask("c").
+		Chain("a", "b", "c").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := FromAssignments(wf, "v", map[string][]string{
+		"AB": {"a", "b"}, "C": {"c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same, err := v.ExtendSingletons(); err != nil || same != v {
+		t.Fatalf("covering view must return itself: %v, %v", same, err)
+	}
+
+	if _, err := wf.ExtendTasks([]workflow.Task{{ID: "d"}, {ID: "e"}}); err != nil {
+		t.Fatal(err)
+	}
+	wf.Graph().AddNodes(2)
+	nv, err := v.ExtendSingletons()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.N() != 4 {
+		t.Fatalf("extended view has %d composites, want 4", nv.N())
+	}
+	for i, id := range []string{"AB", "C", "d", "e"} {
+		if nv.Composite(i).ID != id {
+			t.Fatalf("composite %d = %q, want %q (indices must be stable)", i, nv.Composite(i).ID, id)
+		}
+	}
+	if ci := nv.CompOf(3); nv.Composite(ci).ID != "d" {
+		t.Fatalf("task d assigned to composite %q", nv.Composite(ci).ID)
+	}
+	// The original view is untouched.
+	if v.N() != 2 {
+		t.Fatalf("ExtendSingletons mutated the receiver: %d composites", v.N())
+	}
+
+	// ID collision: a new task named like an existing composite.
+	if _, err := wf.ExtendTasks([]workflow.Task{{ID: "AB"}}); err != nil {
+		t.Fatal(err)
+	}
+	wf.Graph().AddNodes(1)
+	if _, err := nv.ExtendSingletons(); !errors.Is(err, ErrDuplicateComp) {
+		t.Fatalf("composite-ID collision accepted: %v", err)
+	}
+}

@@ -14,42 +14,62 @@ import (
 // dependency graphs, so every index-based artifact computed for one
 // (reachability closures, soundness oracles, validation reports) is valid
 // for the other. Names and kinds are deliberately excluded: they do not
-// affect soundness. The hash is computed once and cached; Workflow is
-// immutable.
+// affect soundness.
+//
+// The hash is cached per structural generation: ordinary workflows are
+// immutable and hash exactly once, while a live workflow mutated under
+// the engine registry (see StructureChanged) recomputes lazily on the
+// first Fingerprint call after each mutation batch.
 func (w *Workflow) Fingerprint() string {
-	w.fpOnce.Do(func() {
-		h := sha256.New()
-		var buf8 [8]byte
-		// Task count plus length-prefixed IDs: an unambiguous encoding.
-		// (A bare separator byte would let IDs containing that byte make
-		// structurally different workflows collide.)
-		binary.LittleEndian.PutUint64(buf8[:], uint64(len(w.tasks)))
+	w.fpMu.Lock()
+	defer w.fpMu.Unlock()
+	if w.fp != "" && w.fpGen == w.gen {
+		return w.fp
+	}
+	h := sha256.New()
+	var buf8 [8]byte
+	// Task count plus length-prefixed IDs: an unambiguous encoding.
+	// (A bare separator byte would let IDs containing that byte make
+	// structurally different workflows collide.)
+	binary.LittleEndian.PutUint64(buf8[:], uint64(len(w.tasks)))
+	h.Write(buf8[:])
+	for _, t := range w.tasks {
+		binary.LittleEndian.PutUint64(buf8[:], uint64(len(t.ID)))
 		h.Write(buf8[:])
-		for _, t := range w.tasks {
-			binary.LittleEndian.PutUint64(buf8[:], uint64(len(t.ID)))
-			h.Write(buf8[:])
-			io.WriteString(h, t.ID)
+		io.WriteString(h, t.ID)
+	}
+	// Graph.Edges yields successors in insertion order, which is a
+	// serialization artifact (two JSON files listing the same edges in
+	// different orders must fingerprint identically), so sort the edge
+	// list into canonical (u, v) order before hashing.
+	edges := make([][2]int, 0, w.g.M())
+	w.g.Edges(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
 		}
-		// Graph.Edges yields successors in insertion order, which is a
-		// serialization artifact (two JSON files listing the same edges in
-		// different orders must fingerprint identically), so sort the edge
-		// list into canonical (u, v) order before hashing.
-		edges := make([][2]int, 0, w.g.M())
-		w.g.Edges(func(u, v int) { edges = append(edges, [2]int{u, v}) })
-		sort.Slice(edges, func(a, b int) bool {
-			if edges[a][0] != edges[b][0] {
-				return edges[a][0] < edges[b][0]
-			}
-			return edges[a][1] < edges[b][1]
-		})
-		for _, e := range edges {
-			binary.LittleEndian.PutUint32(buf8[:4], uint32(e[0]))
-			binary.LittleEndian.PutUint32(buf8[4:], uint32(e[1]))
-			h.Write(buf8[:])
-		}
-		w.fp = hex.EncodeToString(h.Sum(nil))
+		return edges[a][1] < edges[b][1]
 	})
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(buf8[:4], uint32(e[0]))
+		binary.LittleEndian.PutUint32(buf8[4:], uint32(e[1]))
+		h.Write(buf8[:])
+	}
+	w.fp = hex.EncodeToString(h.Sum(nil))
+	w.fpGen = w.gen
 	return w.fp
+}
+
+// StructureChanged invalidates cached structural derivatives (the
+// fingerprint) after an in-place mutation of the task list or dependency
+// graph. Ordinary Workflow values are immutable and never need this; it
+// is the hook for the engine registry, which owns live workflows and
+// mutates them under its own write lock. Callers must guarantee that no
+// structural readers run concurrently with the mutation itself.
+func (w *Workflow) StructureChanged() {
+	w.fpMu.Lock()
+	w.gen++
+	w.fpMu.Unlock()
 }
 
 // Same reports whether a and b are interchangeable for index-based

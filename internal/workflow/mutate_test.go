@@ -1,0 +1,116 @@
+package workflow
+
+import (
+	"errors"
+	"testing"
+)
+
+func buildABC(t *testing.T) *Workflow {
+	t.Helper()
+	wf, err := NewBuilder("live").
+		AddTask("a").AddTask("b").AddTask("c").
+		Chain("a", "b", "c").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+func TestExtendTasksAndFingerprintInvalidation(t *testing.T) {
+	wf := buildABC(t)
+	fp0 := wf.Fingerprint()
+	if fp0 != wf.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+
+	first, err := wf.ExtendTasks([]Task{{ID: "d"}, {ID: "e", Name: "East", Kind: "sink"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 || wf.N() != 5 {
+		t.Fatalf("ExtendTasks: first=%d n=%d, want 3, 5", first, wf.N())
+	}
+	if i, ok := wf.Index("e"); !ok || i != 4 {
+		t.Fatalf("index of e = %d, %v", i, ok)
+	}
+	if wf.Task(3).Name != "d" {
+		t.Fatalf("default name not applied: %q", wf.Task(3).Name)
+	}
+	if wf.Task(4).Name != "East" || wf.Task(4).Kind != "sink" {
+		t.Fatalf("task options lost: %+v", wf.Task(4))
+	}
+	fp1 := wf.Fingerprint()
+	if fp1 == fp0 {
+		t.Fatal("fingerprint unchanged after task extension")
+	}
+
+	// Rollback restores the original structure and fingerprint.
+	wf.TruncateTasks(3)
+	if wf.N() != 3 {
+		t.Fatalf("TruncateTasks left %d tasks", wf.N())
+	}
+	if _, ok := wf.Index("d"); ok {
+		t.Fatal("truncated task still indexed")
+	}
+	if wf.Fingerprint() != fp0 {
+		t.Fatal("fingerprint not restored after rollback")
+	}
+}
+
+func TestExtendTasksValidation(t *testing.T) {
+	wf := buildABC(t)
+	if _, err := wf.ExtendTasks([]Task{{ID: "b"}}); !errors.Is(err, ErrDuplicateTask) {
+		t.Fatalf("existing-ID duplicate accepted: %v", err)
+	}
+	if _, err := wf.ExtendTasks([]Task{{ID: "x"}, {ID: "x"}}); !errors.Is(err, ErrDuplicateTask) {
+		t.Fatalf("in-batch duplicate accepted: %v", err)
+	}
+	if _, err := wf.ExtendTasks([]Task{{ID: ""}}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	// A failed batch applies nothing.
+	if wf.N() != 3 {
+		t.Fatalf("failed batches mutated the workflow: n=%d", wf.N())
+	}
+}
+
+func TestStructureChangedInvalidatesEdgeFingerprint(t *testing.T) {
+	wf := buildABC(t)
+	fp0 := wf.Fingerprint()
+	// The registry mutates the graph through its incremental closure and
+	// then calls StructureChanged; simulate the edge half directly.
+	if _, err := wf.Graph().AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	wf.StructureChanged()
+	if wf.Fingerprint() == fp0 {
+		t.Fatal("fingerprint unchanged after edge mutation + StructureChanged")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	wf := buildABC(t)
+	cl := wf.Clone()
+	if !Same(wf, cl) {
+		t.Fatal("clone not structurally identical")
+	}
+	// Mutating the original must not reach the clone.
+	if _, err := wf.ExtendTasks([]Task{{ID: "z"}}); err != nil {
+		t.Fatal(err)
+	}
+	wf.Graph().AddNodes(1)
+	if _, err := wf.Graph().AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	wf.StructureChanged()
+	if cl.N() != 3 || cl.M() != 2 {
+		t.Fatalf("clone mutated along with original: n=%d m=%d", cl.N(), cl.M())
+	}
+	if _, ok := cl.Index("z"); ok {
+		t.Fatal("clone index shares storage with original")
+	}
+	if Same(wf, cl) {
+		t.Fatal("diverged workflows still report Same")
+	}
+}

@@ -25,15 +25,21 @@ type Task struct {
 	Kind string
 }
 
-// Workflow is an immutable workflow specification.
+// Workflow is a workflow specification. Ordinary values are immutable
+// once built; the engine's live workflow registry may additionally grow
+// one in place through the sanctioned mutators (ExtendTasks, plus edge
+// insertion routed through its incremental closure, followed by
+// StructureChanged), under the registry's own write lock.
 type Workflow struct {
 	name  string
 	tasks []Task
 	index map[string]int
 	g     *dag.Graph
 
-	fpOnce sync.Once // guards fp (see Fingerprint)
-	fp     string
+	fpMu  sync.Mutex // guards fp, fpGen, gen
+	fp    string     // cached fingerprint (see Fingerprint)
+	fpGen uint64     // generation fp was computed at
+	gen   uint64     // structural generation, bumped by StructureChanged
 }
 
 // Errors reported by Builder.Build and the accessors.
@@ -267,6 +273,64 @@ func (w *Workflow) Stats() Stats {
 // String renders a compact summary.
 func (w *Workflow) String() string {
 	return fmt.Sprintf("workflow %q (%d tasks, %d edges)", w.name, w.N(), w.M())
+}
+
+// Clone returns a deep, independent copy of w: its own task slice, ID
+// index and dependency graph. The engine registry hands out clones as
+// snapshots of live workflows, so later mutations never reach published
+// state.
+func (w *Workflow) Clone() *Workflow {
+	c := &Workflow{
+		name:  w.name,
+		tasks: append([]Task(nil), w.tasks...),
+		index: make(map[string]int, len(w.index)),
+		g:     w.g.Clone(),
+	}
+	for id, i := range w.index {
+		c.index[id] = i
+	}
+	return c
+}
+
+// ExtendTasks appends new atomic tasks to a live workflow and returns
+// the dense index of the first. IDs must be non-empty and new (both
+// against the workflow and within the batch); on any error nothing is
+// applied. The dependency graph must be grown in step by the caller —
+// the registry routes node growth through its incremental closure.
+// Ordinary Workflow values are immutable; only the engine registry calls
+// this, under its write lock.
+func (w *Workflow) ExtendTasks(ts []Task) (int, error) {
+	seen := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		if t.ID == "" {
+			return 0, errors.New("workflow: empty task id")
+		}
+		if _, dup := w.index[t.ID]; dup || seen[t.ID] {
+			return 0, fmt.Errorf("%w: %q", ErrDuplicateTask, t.ID)
+		}
+		seen[t.ID] = true
+	}
+	first := len(w.tasks)
+	for _, t := range ts {
+		if t.Name == "" {
+			t.Name = t.ID
+		}
+		w.index[t.ID] = len(w.tasks)
+		w.tasks = append(w.tasks, t)
+	}
+	w.StructureChanged()
+	return first, nil
+}
+
+// TruncateTasks rolls the task list back to n entries — the rollback
+// counterpart of ExtendTasks for a failed mutation batch. The dependency
+// graph must already have been shrunk in step.
+func (w *Workflow) TruncateTasks(n int) {
+	for _, t := range w.tasks[n:] {
+		delete(w.index, t.ID)
+	}
+	w.tasks = w.tasks[:n]
+	w.StructureChanged()
 }
 
 // SortedIDs returns task IDs sorted lexicographically (for stable output).

@@ -134,8 +134,44 @@ const (
 	ErrWorkflowMismatch = engine.ErrWorkflowMismatch
 	ErrOptimalLimit     = engine.ErrOptimalLimit
 	ErrCanceled         = engine.ErrCanceled
+	ErrUnknownWorkflow  = engine.ErrUnknownWorkflow
+	ErrUnknownView      = engine.ErrUnknownView
+	ErrVersionConflict  = engine.ErrVersionConflict
+	ErrCycleRejected    = engine.ErrCycleRejected
 	ErrInternal         = engine.ErrInternal
 )
+
+// Live workflow registry: named, versioned, mutable workflows whose
+// attached views are revalidated incrementally on every mutation batch.
+// See internal/engine's package documentation for versioning,
+// concurrency and eviction semantics.
+type (
+	// Registry is a concurrency-safe store of named live workflows.
+	Registry = engine.Registry
+	// LiveWorkflow is one named, versioned, mutable workflow.
+	LiveWorkflow = engine.LiveWorkflow
+	// WorkflowMutation is a batch of task and edge additions.
+	WorkflowMutation = engine.Mutation
+	// MutationResult summarizes one applied mutation batch.
+	MutationResult = engine.MutationResult
+	// ViewDelta describes how one attached view absorbed a mutation.
+	ViewDelta = engine.ViewDelta
+	// LiveWorkflowInfo is a metadata snapshot of a live workflow.
+	LiveWorkflowInfo = engine.WorkflowInfo
+	// LineageResult contrasts view-level with exact task-level lineage.
+	LineageResult = engine.LineageResult
+	// RegistryOption configures a Registry at construction time.
+	RegistryOption = engine.RegistryOption
+)
+
+// NewRegistry constructs a live workflow registry backed by eng.
+func NewRegistry(eng *Engine, opts ...RegistryOption) *Registry {
+	return engine.NewRegistry(eng, opts...)
+}
+
+// WithRegistryCapacity bounds the number of live workflows (LRU-evicted
+// beyond it).
+var WithRegistryCapacity = engine.WithRegistryCapacity
 
 // defaultEngine backs the deprecated free-function layer.
 var (
