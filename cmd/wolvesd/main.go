@@ -9,10 +9,18 @@
 // revalidation over an incrementally updated closure) instead of
 // re-deriving the world per request.
 //
+// With -data-dir the registry is durable: every committed registry
+// transition is journaled to a checksummed write-ahead log with periodic
+// per-workflow snapshots, the registry is recovered from it at boot, and
+// a final checkpoint is written on graceful shutdown — a restarted
+// daemon serves the same workflows, versions and reports it held before.
+// Without -data-dir the registry is in-memory, exactly as before.
+//
 // Usage:
 //
 //	wolvesd [-addr :8342] [-workers N] [-cache N] [-live-workflows N]
 //	        [-optimal-timeout 2s] [-read-timeout 30s]
+//	        [-data-dir DIR] [-fsync none|batch|always]
 //
 // Stateless endpoints:
 //
@@ -32,6 +40,7 @@
 //	POST   /v1/workflows/{id}/views/{vid}/validate maintained report (lookup)
 //	POST   /v1/workflows/{id}/views/{vid}/correct  propose a sound split
 //	POST   /v1/workflows/{id}/views/{vid}/lineage  view vs exact provenance
+//	GET    /v1/workflows                           enumerate registered workflows
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds.
@@ -51,6 +60,7 @@ import (
 
 	"wolves/internal/engine"
 	"wolves/internal/server"
+	"wolves/internal/storage"
 )
 
 func main() {
@@ -70,6 +80,10 @@ func run(args []string) error {
 	optimalTimeout := fs.Duration("optimal-timeout", 2*time.Second,
 		"per-request bound on the exponential optimal corrector (0 = unbounded)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+	dataDir := fs.String("data-dir", "",
+		"durable registry directory: WAL + snapshots, recovered at boot (empty = in-memory)")
+	fsyncFlag := fs.String("fsync", "batch",
+		"WAL durability: none (write, never fsync), batch (group-commit), always (fsync per record)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +94,26 @@ func run(args []string) error {
 		engine.WithOptimalTimeout(*optimalTimeout),
 	)
 	reg := engine.NewRegistry(eng, engine.WithRegistryCapacity(*liveWorkflows))
+
+	var store *storage.Store
+	if *dataDir != "" {
+		mode, err := storage.ParseFsyncMode(*fsyncFlag)
+		if err != nil {
+			return err
+		}
+		store, err = storage.Open(*dataDir, storage.Options{Fsync: mode})
+		if err != nil {
+			return fmt.Errorf("open data dir: %w", err)
+		}
+		stats, err := store.Recover(reg)
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		reg.SetJournal(store)
+		log.Printf("wolvesd: recovered %d workflows / %d views from %s (snapshots=%d replayed=%d torn=%dB, fsync=%s)",
+			stats.Workflows, stats.Views, *dataDir, stats.Snapshots, stats.Replayed, stats.TornBytes, mode)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(eng, server.WithRegistry(reg)).Handler(),
@@ -99,6 +133,9 @@ func run(args []string) error {
 
 	select {
 	case err := <-errc:
+		if store != nil {
+			store.Close()
+		}
 		return err
 	case <-ctx.Done():
 		log.Print("wolvesd: shutting down")
@@ -109,6 +146,17 @@ func run(args []string) error {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		if store != nil {
+			// Requests are drained: fold every live workflow into a final
+			// snapshot so the next boot replays nothing.
+			if err := store.Checkpoint(reg); err != nil {
+				return fmt.Errorf("final checkpoint: %w", err)
+			}
+			if err := store.Close(); err != nil {
+				return fmt.Errorf("close store: %w", err)
+			}
+			log.Print("wolvesd: checkpoint written")
 		}
 		return nil
 	}

@@ -18,8 +18,11 @@ type CacheStats struct {
 	Misses    int64 `json:"misses"`
 	Builds    int64 `json:"builds"`
 	Evictions int64 `json:"evictions"`
-	Size      int   `json:"size"`
-	Capacity  int   `json:"capacity"`
+	// Invalidations counts entries removed because the live workflow
+	// whose snapshots seeded them was deleted, replaced or evicted.
+	Invalidations int64 `json:"invalidations"`
+	Size          int   `json:"size"`
+	Capacity      int   `json:"capacity"`
 }
 
 // cacheEntry holds the per-workflow derived state. The oracle (and the
@@ -47,7 +50,7 @@ type oracleCache struct {
 	entries  map[string]*list.Element // fp → element holding *cacheEntry
 	order    *list.List               // front = most recently used
 
-	hits, misses, builds, evictions atomic.Int64
+	hits, misses, builds, evictions, invalidations atomic.Int64
 }
 
 func newOracleCache(capacity int) *oracleCache {
@@ -114,6 +117,24 @@ func (c *oracleCache) seed(wf *workflow.Workflow, build func() *soundness.Oracle
 	e.oracleOnce.Do(func() { e.oracle = build() })
 }
 
+// remove drops the entry keyed by fingerprint fp, if present. The
+// registry calls this when a live workflow dies (delete, replace, LRU
+// eviction) for every fingerprint its snapshots seeded: a later request
+// for an equal workflow rebuilds from scratch instead of trusting state
+// descended from the dead registration.
+func (c *oracleCache) remove(fp string) {
+	c.mu.Lock()
+	el, ok := c.entries[fp]
+	if ok {
+		c.order.Remove(el)
+		delete(c.entries, fp)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.invalidations.Add(1)
+	}
+}
+
 // provFor returns the (lazily built) lineage engine of the entry.
 func (c *oracleCache) provFor(e *cacheEntry) *provenance.Engine {
 	e.provOnce.Do(func() {
@@ -127,11 +148,12 @@ func (c *oracleCache) stats() CacheStats {
 	size := c.order.Len()
 	c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Builds:    c.builds.Load(),
-		Evictions: c.evictions.Load(),
-		Size:      size,
-		Capacity:  c.capacity,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Builds:        c.builds.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Size:          size,
+		Capacity:      c.capacity,
 	}
 }

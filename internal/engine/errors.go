@@ -69,6 +69,12 @@ func (e *Error) Error() string {
 // Unwrap exposes the cause to errors.Is / errors.As.
 func (e *Error) Unwrap() error { return e.Err }
 
+// IsCode reports whether err is (or wraps) an *Error carrying code.
+func IsCode(err error, code Code) bool {
+	var ee *Error
+	return errors.As(err, &ee) && ee.Code == code
+}
+
 // wrapErr classifies err into an *Error. nil stays nil.
 func wrapErr(op string, err error) *Error {
 	if err == nil {

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// This file defines the durability seam of the live workflow registry:
+// every committed state transition — registration, mutation batch, view
+// attach/detach, deletion — flows through a Journal. The default journal
+// is nil (purely in-memory, exactly the pre-durability behavior); the
+// internal/storage package implements Journal with a checksummed
+// write-ahead log plus per-workflow snapshots, and restores a Registry
+// after a crash through the Restore/State surface below.
+//
+// Ordering contract: the registry invokes journal methods while holding
+// the affected live workflow's write lock (and, for registration, before
+// the workflow is reachable by other goroutines), so per-workflow journal
+// calls arrive in commit order. Calls for different workflows may arrive
+// concurrently; the journal serializes them itself.
+//
+// Failure contract: a journal error fails the triggering operation with
+// an internal-coded error. Registration is unpublished on journal
+// failure; a mutation or view change that fails to journal remains
+// applied in memory (unwinding a merged report is not worth the
+// complexity for a failing disk) — implementations are expected to treat
+// any append error as sticky, so every later operation fails too and the
+// operator restarts from the last durable state.
+
+// AttachedView pairs a view ID with the attached view object.
+type AttachedView struct {
+	ID   string
+	View *view.View
+}
+
+// LiveState is a read-consistent description of one live workflow handed
+// to a Journal (for snapshots) or to State callbacks. The Workflow and
+// View pointers reference live registry state and are only valid for the
+// duration of the call that provided them: encode, don't retain.
+type LiveState struct {
+	ID       string
+	Version  uint64
+	Workflow *workflow.Workflow
+	Views    []AttachedView
+}
+
+// AppliedBatch is the committed portion of a mutation batch: the tasks
+// appended and the edges actually inserted (requested duplicates are
+// dropped), as ID pairs in application order. Replaying an AppliedBatch
+// through LiveWorkflow.Mutate from the same pre-state is deterministic
+// and reproduces the same post-state, version bump and reports.
+type AppliedBatch struct {
+	Tasks []workflow.Task
+	Edges [][2]string
+}
+
+// Journal receives every committed registry state transition. The no-op
+// journal is a nil Journal; see internal/storage for the durable one.
+type Journal interface {
+	// Registered is called when a workflow is registered (or replaces a
+	// previous registration under the same ID). st captures the initial
+	// state: version 1, no views.
+	Registered(st *LiveState) error
+	// Committed is called after a structural mutation batch commits. st
+	// reflects the post-batch state (the journal decides when to turn it
+	// into a snapshot).
+	Committed(batch *AppliedBatch, st *LiveState) error
+	// ViewAttached is called when a view is attached or replaced. st
+	// reflects the post-attach state (the attached view document can be
+	// large, so journals fold view churn into their snapshot policy).
+	ViewAttached(st *LiveState, vid string, v *view.View) error
+	// ViewDetached is called when a view is detached; st reflects the
+	// post-detach state.
+	ViewDetached(st *LiveState, vid string) error
+	// Deleted is called when a workflow is deleted — explicitly, or by
+	// LRU eviction / replacement (a durable registry mirrors the live
+	// one exactly, so eviction deletes persisted state too; size the
+	// registry capacity accordingly).
+	Deleted(id string) error
+}
+
+// RestoredView names one view to re-attach during recovery. Build
+// decodes or constructs the view against the restored live workflow; the
+// report is recomputed by full validation, which by the registry's
+// maintenance invariant equals the incrementally maintained report the
+// view had before the crash.
+type RestoredView struct {
+	ID    string
+	Build func(wf *workflow.Workflow) (*view.View, error)
+}
+
+// Restore registers a recovered workflow at an explicit version with its
+// views, bypassing the journal (the state being restored is already
+// durable). It is the replayer's counterpart of Register + AttachView
+// and is not meant for general use: call it only before the registry
+// serves traffic.
+func (r *Registry) Restore(id string, version uint64, wf *workflow.Workflow, views []RestoredView) (*LiveWorkflow, error) {
+	if version == 0 {
+		version = 1
+	}
+	lw, err := r.register(id, wf, version, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, rv := range views {
+		if _, _, err := lw.attachView(rv.ID, rv.Build, false); err != nil {
+			return nil, err
+		}
+	}
+	return lw, nil
+}
+
+// SetJournal installs (or clears) the registry's journal. Not
+// synchronized with in-flight operations: call it during setup, after
+// recovery and before the registry serves traffic (wolvesd recovers into
+// a journal-less registry, then installs the store it recovered from).
+func (r *Registry) SetJournal(j Journal) { r.journal = j }
+
+// State invokes fn with a read-locked snapshot description of the live
+// workflow. The LiveState (and the pointers inside it) must not be
+// retained past fn.
+func (lw *LiveWorkflow) State(fn func(st *LiveState) error) error {
+	lw.mu.RLock()
+	defer lw.mu.RUnlock()
+	if lw.closed {
+		return lw.errClosed("state")
+	}
+	return fn(lw.stateLocked())
+}
+
+// stateLocked assembles the LiveState under a held lock.
+func (lw *LiveWorkflow) stateLocked() *LiveState {
+	st := &LiveState{ID: lw.id, Version: lw.version, Workflow: lw.wf}
+	for _, vid := range lw.viewOrder {
+		st.Views = append(st.Views, AttachedView{ID: vid, View: lw.views[vid].v})
+	}
+	return st
+}

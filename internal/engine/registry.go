@@ -76,6 +76,10 @@ const DefaultRegistryCapacity = 256
 type Registry struct {
 	eng      *Engine
 	capacity int
+	// journal receives every committed state transition (journal.go);
+	// nil means purely in-memory. Set at construction (WithJournal) or
+	// during setup (SetJournal) — not synchronized with live traffic.
+	journal Journal
 
 	mu     sync.Mutex
 	lws    map[string]*LiveWorkflow
@@ -94,6 +98,13 @@ func WithRegistryCapacity(n int) RegistryOption {
 			r.capacity = n
 		}
 	}
+}
+
+// WithJournal installs a journal at construction time: every committed
+// registry transition is handed to it (see Journal). The registry stays
+// purely in-memory when no journal is given.
+func WithJournal(j Journal) RegistryOption {
+	return func(r *Registry) { r.journal = j }
 }
 
 // NewRegistry returns an empty registry backed by eng.
@@ -127,6 +138,14 @@ type LiveWorkflow struct {
 
 	viewOrder []string
 	views     map[string]*liveView
+
+	// seedMu guards seeded: the fingerprints this workflow's snapshots
+	// seeded into the engine's oracle cache. Snapshots run under the read
+	// lock, so concurrent seeds need their own mutex; close() purges
+	// every seeded entry so a dead registration cannot keep serving
+	// oracles through the cache.
+	seedMu sync.Mutex
+	seeded map[string]struct{}
 
 	used uint64 // registry LRU stamp, guarded by reg.mu
 }
@@ -242,6 +261,15 @@ type LineageResult struct {
 // (AttachView) so they can be decoded against the live object. The new
 // workflow starts at version 1.
 func (r *Registry) Register(id string, wf *workflow.Workflow) (*LiveWorkflow, error) {
+	return r.register(id, wf, 1, true)
+}
+
+// register is Register with an explicit starting version and journal
+// switch; Restore re-enters here with journaling off. The new workflow's
+// write lock is held from before publication until after the journal
+// call, so a concurrent Get+Mutate cannot journal ahead of the
+// registration record.
+func (r *Registry) register(id string, wf *workflow.Workflow, version uint64, journal bool) (*LiveWorkflow, error) {
 	if id == "" {
 		return nil, errf(ErrBadInput, "register", "empty workflow id")
 	}
@@ -255,13 +283,14 @@ func (r *Registry) Register(id string, wf *workflow.Workflow) (*LiveWorkflow, er
 	lw := &LiveWorkflow{
 		reg:     r,
 		id:      id,
-		version: 1,
+		version: version,
 		wf:      wf,
 		ic:      ic,
 		views:   make(map[string]*liveView),
 	}
 	lw.repoint()
 
+	lw.mu.Lock()
 	r.mu.Lock()
 	var replaced, evicted *LiveWorkflow
 	if old, ok := r.lws[id]; ok {
@@ -277,13 +306,68 @@ func (r *Registry) Register(id string, wf *workflow.Workflow) (*LiveWorkflow, er
 	lw.used = r.useSeq
 	r.mu.Unlock()
 
+	// A replaced workflow needs no journal delete: the registration
+	// record (and snapshot) for the same ID supersedes its state on
+	// replay. An evicted one is a genuine deletion of a different ID;
+	// retire drains its in-flight journal calls and orders the delete
+	// record against any racing re-registration of that ID.
 	if replaced != nil {
 		replaced.close()
 	}
 	if evicted != nil {
-		evicted.close()
+		if err := r.retire(evicted, journal); err != nil {
+			// The new workflow is published and consistent in memory;
+			// only the store is failing (and it is sticky). Unpublish so
+			// the caller's failed Register leaves no trace.
+			lw.mu.Unlock()
+			r.unpublish(lw)
+			lw.close()
+			return nil, wrapErr("register", err)
+		}
 	}
+	if journal && r.journal != nil {
+		if err := r.journal.Registered(lw.stateLocked()); err != nil {
+			lw.mu.Unlock()
+			r.unpublish(lw)
+			lw.close()
+			return nil, wrapErr("register", err)
+		}
+	}
+	lw.mu.Unlock()
 	return lw, nil
+}
+
+// retire closes an unpublished-but-dying workflow and journals its
+// deletion. Ordering matters in both directions: close() waits out any
+// in-flight journal call of the dying incarnation (it blocks on the
+// workflow's write lock), and the Deleted append happens under r.mu so
+// a racing Register of the same ID — which must hold r.mu to publish
+// before it may journal — cannot get its registration record into the
+// WAL ahead of this delete record. If the ID was already re-registered
+// by the time we get here, the delete record is skipped entirely: the
+// newer registration record (and its snapshot) supersedes the old
+// incarnation on replay, exactly like an in-place replacement.
+func (r *Registry) retire(lw *LiveWorkflow, journal bool) error {
+	lw.close()
+	if !journal || r.journal == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, reborn := r.lws[lw.id]; reborn {
+		return nil
+	}
+	return r.journal.Deleted(lw.id)
+}
+
+// unpublish removes lw from the map if it is still the published entry
+// (journal-failure rollback of a registration).
+func (r *Registry) unpublish(lw *LiveWorkflow) {
+	r.mu.Lock()
+	if r.lws[lw.id] == lw {
+		delete(r.lws, lw.id)
+	}
+	r.mu.Unlock()
 }
 
 // lru returns the least-recently-used live workflow; callers hold r.mu.
@@ -312,7 +396,25 @@ func (r *Registry) Get(id string) (*LiveWorkflow, error) {
 	return lw, nil
 }
 
-// Delete unregisters and closes the live workflow named id.
+// Peek is Get without the recency bump: maintenance sweeps (listing,
+// checkpointing) must not reorder the LRU eviction queue underneath the
+// traffic that actually drives it.
+func (r *Registry) Peek(id string) (*LiveWorkflow, error) {
+	r.mu.Lock()
+	lw, ok := r.lws[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, errf(ErrUnknownWorkflow, "peek", "no live workflow %q", id)
+	}
+	return lw, nil
+}
+
+// Capacity returns the registry's live-workflow capacity.
+func (r *Registry) Capacity() int { return r.capacity }
+
+// Delete unregisters and closes the live workflow named id, removing
+// its durable state when a journal is installed (see retire for the
+// ordering guarantees against a racing re-registration).
 func (r *Registry) Delete(id string) error {
 	r.mu.Lock()
 	lw, ok := r.lws[id]
@@ -321,7 +423,9 @@ func (r *Registry) Delete(id string) error {
 	if !ok {
 		return errf(ErrUnknownWorkflow, "delete", "no live workflow %q", id)
 	}
-	lw.close()
+	if err := r.retire(lw, true); err != nil {
+		return wrapErr("delete", err)
+	}
 	return nil
 }
 
@@ -344,12 +448,40 @@ func (r *Registry) Len() int {
 	return len(r.lws)
 }
 
-// close marks lw dead; subsequent operations fail with
-// ErrUnknownWorkflow.
+// Infos returns a metadata snapshot of every live workflow, sorted by
+// ID. Listing does not bump LRU recency (an operator enumerating the
+// registry should not reorder the eviction queue).
+func (r *Registry) Infos() []WorkflowInfo {
+	r.mu.Lock()
+	lws := make([]*LiveWorkflow, 0, len(r.lws))
+	for _, lw := range r.lws {
+		lws = append(lws, lw)
+	}
+	r.mu.Unlock()
+	infos := make([]WorkflowInfo, 0, len(lws))
+	for _, lw := range lws {
+		if info, err := lw.Info(); err == nil { // skip concurrently deleted
+			infos = append(infos, info)
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// close marks lw dead and purges every oracle-cache entry its snapshots
+// seeded; subsequent operations fail with ErrUnknownWorkflow, and a
+// deleted-then-reregistered ID can never serve an oracle descended from
+// the dead registration.
 func (lw *LiveWorkflow) close() {
 	lw.mu.Lock()
 	lw.closed = true
 	lw.mu.Unlock()
+	lw.seedMu.Lock()
+	for fp := range lw.seeded {
+		lw.reg.eng.cache.remove(fp)
+	}
+	lw.seeded = nil
+	lw.seedMu.Unlock()
 }
 
 // repoint rebuilds the derived engines over the current closure objects.
@@ -421,6 +553,13 @@ func (lw *LiveWorkflow) snapshotLocked() *workflow.Workflow {
 	lw.reg.eng.cache.seed(snap, func() *soundness.Oracle {
 		return soundness.NewOracleWithClosure(snap, snap.Graph(), reach.Clone())
 	})
+	// Remember the fingerprint so close() can purge the seeded entry.
+	lw.seedMu.Lock()
+	if lw.seeded == nil {
+		lw.seeded = make(map[string]struct{})
+	}
+	lw.seeded[snap.Fingerprint()] = struct{}{}
+	lw.seedMu.Unlock()
 	return snap
 }
 
@@ -447,6 +586,12 @@ func (lw *LiveWorkflow) Resource() (WorkflowInfo, *workflow.Workflow, error) {
 // subsequent Mutate. The returned version is the one the report was
 // validated under, read within the same critical section.
 func (lw *LiveWorkflow) AttachView(vid string, build func(wf *workflow.Workflow) (*view.View, error)) (*soundness.Report, uint64, error) {
+	return lw.attachView(vid, build, true)
+}
+
+// attachView is AttachView with a journal switch; Restore re-enters here
+// with journaling off.
+func (lw *LiveWorkflow) attachView(vid string, build func(wf *workflow.Workflow) (*view.View, error), journal bool) (*soundness.Report, uint64, error) {
 	if vid == "" {
 		return nil, 0, errf(ErrBadInput, "attach", "empty view id")
 	}
@@ -478,6 +623,11 @@ func (lw *LiveWorkflow) AttachView(vid string, build func(wf *workflow.Workflow)
 		lw.viewOrder = append(lw.viewOrder, vid)
 	}
 	lw.views[vid] = &liveView{v: v, report: rep}
+	if journal && lw.reg.journal != nil {
+		if err := lw.reg.journal.ViewAttached(lw.stateLocked(), vid, v); err != nil {
+			return nil, 0, wrapErr("attach", err)
+		}
+	}
 	return rep, lw.version, nil
 }
 
@@ -496,6 +646,11 @@ func (lw *LiveWorkflow) DetachView(vid string) error {
 		if id == vid {
 			lw.viewOrder = append(lw.viewOrder[:i], lw.viewOrder[i+1:]...)
 			break
+		}
+	}
+	if lw.reg.journal != nil {
+		if err := lw.reg.journal.ViewDetached(lw.stateLocked(), vid); err != nil {
+			return wrapErr("detach", err)
 		}
 	}
 	return nil
@@ -744,5 +899,19 @@ func (lw *LiveWorkflow) Mutate(m Mutation) (*MutationResult, error) {
 
 	lw.version++
 	res.Version = lw.version
+
+	// Journal the committed batch: the tasks appended plus the edges
+	// actually inserted (duplicates dropped), so replay from the same
+	// pre-state is deterministic. One buffered append on the hot path;
+	// snapshot policy and fsync batching live behind the interface.
+	if j := lw.reg.journal; j != nil {
+		edges := make([][2]string, len(applied))
+		for i, e := range applied {
+			edges[i] = [2]string{lw.wf.Task(e[0]).ID, lw.wf.Task(e[1]).ID}
+		}
+		if err := j.Committed(&AppliedBatch{Tasks: m.Tasks, Edges: edges}, lw.stateLocked()); err != nil {
+			return nil, wrapErr("mutate", err)
+		}
+	}
 	return res, nil
 }

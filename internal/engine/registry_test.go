@@ -364,6 +364,90 @@ func TestRegistrySnapshotSeedsOracleCache(t *testing.T) {
 	}
 }
 
+func TestRegistryDeleteInvalidatesSeededOracle(t *testing.T) {
+	eng := New()
+	reg := NewRegistry(eng)
+	lw := figure1Registered(t, reg)
+	snap, _, err := lw.Snapshot() // seeds the oracle cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Atomic(snap)
+	if _, err := eng.Validate(context.Background(), snap, v); err != nil {
+		t.Fatal(err)
+	}
+	builds0 := eng.CacheStats().Builds
+	if builds0 != 0 {
+		t.Fatalf("seeded validate built %d closures, want 0", builds0)
+	}
+
+	// Deleting the live workflow must purge the seeded entry: the same
+	// (structurally identical) workflow now rebuilds from scratch instead
+	// of serving an oracle descended from the dead registration.
+	if err := reg.Delete("phylo"); err != nil {
+		t.Fatal(err)
+	}
+	if inv := eng.CacheStats().Invalidations; inv != 1 {
+		t.Fatalf("invalidations = %d, want 1", inv)
+	}
+	if _, err := eng.Validate(context.Background(), snap, v); err != nil {
+		t.Fatal(err)
+	}
+	if builds := eng.CacheStats().Builds; builds != builds0+1 {
+		t.Fatalf("validate after delete built %d closures, want %d (cache entry must be gone)",
+			builds, builds0+1)
+	}
+}
+
+func TestRegistryEvictionInvalidatesSeededOracle(t *testing.T) {
+	eng := New()
+	reg := NewRegistry(eng, WithRegistryCapacity(1))
+	lw := figure1Registered(t, reg)
+	if _, _, err := lw.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Registering a second workflow evicts the first (capacity 1); its
+	// seeded cache entry must go with it.
+	wf, err := workflow.NewBuilder("other").AddTask("a").AddTask("b").Chain("a", "b").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("other", wf); err != nil {
+		t.Fatal(err)
+	}
+	if inv := eng.CacheStats().Invalidations; inv != 1 {
+		t.Fatalf("invalidations after eviction = %d, want 1", inv)
+	}
+}
+
+func TestRegistryInfos(t *testing.T) {
+	reg := NewRegistry(New())
+	if infos := reg.Infos(); len(infos) != 0 {
+		t.Fatalf("empty registry Infos = %+v", infos)
+	}
+	lw := figure1Registered(t, reg)
+	if _, err := lw.Mutate(Mutation{Edges: [][2]string{{"3", "4"}}}); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := workflow.NewBuilder("aaa").AddTask("x").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("aaa", wf); err != nil {
+		t.Fatal(err)
+	}
+	infos := reg.Infos()
+	if len(infos) != 2 || infos[0].ID != "aaa" || infos[1].ID != "phylo" {
+		t.Fatalf("Infos = %+v, want [aaa phylo] sorted", infos)
+	}
+	if infos[1].Version != 2 || len(infos[1].Views) != 1 || infos[1].Views[0] != "fig1b" {
+		t.Fatalf("phylo info = %+v, want version 2 with view fig1b", infos[1])
+	}
+	if infos[0].Tasks != 1 || infos[0].Version != 1 {
+		t.Fatalf("aaa info = %+v", infos[0])
+	}
+}
+
 func TestRegistryLineageFigure1(t *testing.T) {
 	reg := NewRegistry(New())
 	lw := figure1Registered(t, reg)

@@ -53,6 +53,14 @@ type WorkflowResource struct {
 	Workflow json.RawMessage `json:"workflow"`
 }
 
+// WorkflowListResponse is the body of GET /v1/workflows: the metadata of
+// every registered workflow, sorted by ID (documents stay behind the
+// per-workflow GET).
+type WorkflowListResponse struct {
+	Count     int                   `json:"count"`
+	Workflows []engine.WorkflowInfo `json:"workflows"`
+}
+
 // MutateRequest is the body of POST /v1/workflows/{id}/mutate.
 type MutateRequest struct {
 	Tasks     []MutateTask `json:"tasks,omitempty"`
@@ -184,6 +192,15 @@ func (s *Server) handleWorkflowPut(w http.ResponseWriter, r *http.Request) {
 		resp.Reports[p.vid] = rep
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkflowList(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	infos := s.reg.Infos()
+	if infos == nil {
+		infos = []engine.WorkflowInfo{} // an empty registry lists as [], not null
+	}
+	writeJSON(w, http.StatusOK, WorkflowListResponse{Count: len(infos), Workflows: infos})
 }
 
 func (s *Server) handleWorkflowGet(w http.ResponseWriter, r *http.Request) {

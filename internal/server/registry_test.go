@@ -280,6 +280,50 @@ func TestLiveEndpointsMatchStateless(t *testing.T) {
 	}
 }
 
+// TestWorkflowListEndpoint covers GET /v1/workflows: empty registry,
+// population, sorted order, and shrinkage after DELETE.
+func TestWorkflowListEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	url := ts.URL + "/v1/workflows"
+
+	var list WorkflowListResponse
+	resp := doJSON(t, http.MethodGet, url, nil, &list)
+	if resp.StatusCode != http.StatusOK || list.Count != 0 || list.Workflows == nil {
+		t.Fatalf("empty list: status %d %+v", resp.StatusCode, list)
+	}
+
+	wf, v := preFigure1(t)
+	wfj, vj := rawPair(t, wf, v)
+	doJSON(t, http.MethodPut, ts.URL+"/v1/workflows/zeta", RegisterRequest{Workflow: wfj}, nil)
+	doJSON(t, http.MethodPut, ts.URL+"/v1/workflows/alpha", RegisterRequest{
+		Workflow: wfj, Views: []RegisterView{{ID: "fig1b", View: vj}},
+	}, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/workflows/alpha/mutate", MutateRequest{
+		Edges: [][2]string{{"3", "4"}},
+	}, nil)
+
+	resp = doJSON(t, http.MethodGet, url, nil, &list)
+	if resp.StatusCode != http.StatusOK || list.Count != 2 {
+		t.Fatalf("list: status %d %+v", resp.StatusCode, list)
+	}
+	if list.Workflows[0].ID != "alpha" || list.Workflows[1].ID != "zeta" {
+		t.Fatalf("list not sorted by ID: %+v", list.Workflows)
+	}
+	alpha := list.Workflows[0]
+	if alpha.Version != 2 || alpha.Tasks != 12 || len(alpha.Views) != 1 || alpha.Views[0] != "fig1b" {
+		t.Fatalf("alpha info %+v, want version 2, 12 tasks, view fig1b", alpha)
+	}
+	if list.Workflows[1].Version != 1 || len(list.Workflows[1].Views) != 0 {
+		t.Fatalf("zeta info %+v", list.Workflows[1])
+	}
+
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/workflows/zeta", nil, nil)
+	doJSON(t, http.MethodGet, url, nil, &list)
+	if list.Count != 1 || list.Workflows[0].ID != "alpha" {
+		t.Fatalf("list after delete: %+v", list)
+	}
+}
+
 // TestRegisterRejectsBadViewAtomically pins that a malformed view in the
 // PUT body rejects the whole registration.
 func TestRegisterRejectsBadViewAtomically(t *testing.T) {

@@ -16,6 +16,7 @@
 //
 // Live workflow resources (upload once, pay only deltas; see registry.go):
 //
+//	GET    /v1/workflows                           enumerate registered workflows
 //	PUT    /v1/workflows/{id}                      {"workflow": …, "views": [{"id": …, "view": …}]}
 //	GET    /v1/workflows/{id}
 //	DELETE /v1/workflows/{id}
@@ -86,6 +87,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/correct", s.handleCorrect)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/workflows", s.handleWorkflowList)
 	mux.HandleFunc("PUT /v1/workflows/{id}", s.handleWorkflowPut)
 	mux.HandleFunc("GET /v1/workflows/{id}", s.handleWorkflowGet)
 	mux.HandleFunc("DELETE /v1/workflows/{id}", s.handleWorkflowDelete)

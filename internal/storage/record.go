@@ -1,0 +1,170 @@
+// Package storage implements the durable backend of the live workflow
+// registry: a binary, length-prefixed, CRC32C-checksummed write-ahead
+// log of registry operations plus periodic per-workflow snapshots, with
+// segment rotation, snapshot-triggered compaction, and a replayer that
+// restores an engine.Registry to its pre-crash state (same versions,
+// same reports via revalidation) after a hard kill at any byte offset.
+//
+// The Store implements engine.Journal; wolvesd opens one per -data-dir,
+// recovers the registry from it at boot, installs it as the registry's
+// journal, and checkpoints it on graceful shutdown. See store.go for
+// the write path and recover.go for the read path.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record types, one per registry transition (see engine.Journal).
+const (
+	recRegister byte = 1 // registerBody: workflow registered/replaced
+	recMutate   byte = 2 // mutateBody: mutation batch committed
+	recAttach   byte = 3 // attachBody: view attached/replaced
+	recDetach   byte = 4 // detachBody: view detached
+	recDelete   byte = 5 // deleteBody: workflow deleted/evicted
+)
+
+// segMagic opens every WAL segment file; a file without it is rejected
+// as foreign rather than replayed as garbage.
+var segMagic = []byte("WOLVESW1")
+
+const (
+	// recHeaderLen is the fixed on-disk prefix of every record:
+	// uint32 LE payload length followed by uint32 LE CRC32C(payload).
+	recHeaderLen = 8
+	// recPrefixLen is the payload's own fixed prefix: 1 type byte plus
+	// the uint64 LE LSN.
+	recPrefixLen = 9
+	// maxRecordLen caps a record payload. The largest legitimate payload
+	// is a workflow or view document (the HTTP layer caps uploads at
+	// 8 MiB); anything bigger is a corrupt length field, not data.
+	maxRecordLen = 64 << 20
+)
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated CRC32C).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete or checksum-corrupt record: the signature
+// of a crash mid-append. Torn records are tolerated (and truncated away)
+// at the tail of the last segment and fatal anywhere else.
+var errTorn = errors.New("storage: torn record")
+
+// record is one WAL entry. The body is the JSON encoding of the typed
+// bodies below; lsn is the store-wide monotonic sequence number used to
+// decide, per workflow, which records a snapshot already covers.
+type record struct {
+	typ  byte
+	lsn  uint64
+	body []byte
+}
+
+// appendRecord encodes rec onto dst:
+//
+//	| len(payload) uint32 | crc32c(payload) uint32 | payload |
+//	payload = | type byte | lsn uint64 | body JSON |
+func appendRecord(dst []byte, rec record) []byte {
+	payloadLen := recPrefixLen + len(rec.body)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // CRC backpatched below
+	start := len(dst)
+	dst = append(dst, rec.typ)
+	dst = binary.LittleEndian.AppendUint64(dst, rec.lsn)
+	dst = append(dst, rec.body...)
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc32.Checksum(dst[start:], crcTable))
+	return dst
+}
+
+// readRecord decodes one record from r. It returns the bytes consumed so
+// scanners can track the last valid offset. io.EOF means a clean end of
+// segment; errTorn means a short or checksum-corrupt record.
+func readRecord(r *bufio.Reader) (record, int64, error) {
+	var hdr [recHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return record{}, 0, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return record{}, 0, errTorn
+		}
+		return record{}, 0, err
+	}
+	payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if payloadLen < recPrefixLen || payloadLen > maxRecordLen {
+		return record{}, 0, errTorn
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return record{}, 0, errTorn
+		}
+		return record{}, 0, err
+	}
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return record{}, 0, errTorn
+	}
+	rec := record{
+		typ:  payload[0],
+		lsn:  binary.LittleEndian.Uint64(payload[1:recPrefixLen]),
+		body: payload[recPrefixLen:],
+	}
+	if rec.typ < recRegister || rec.typ > recDelete {
+		return record{}, 0, fmt.Errorf("storage: unknown record type %d at lsn %d", rec.typ, rec.lsn)
+	}
+	return rec, int64(recHeaderLen) + int64(payloadLen), nil
+}
+
+// --- record bodies (JSON) -----------------------------------------------------
+
+// taskBody is one task addition inside a mutateBody, mirroring the
+// registry's workflow.Task (an empty Name defaults to the ID on replay,
+// exactly as it did on the original apply).
+type taskBody struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// registerBody records a workflow registration (or same-ID replacement).
+type registerBody struct {
+	ID       string          `json:"id"`
+	Version  uint64          `json:"version"`
+	Workflow json.RawMessage `json:"workflow"`
+}
+
+// mutateBody records a committed mutation batch: the applied tasks and
+// edges plus the post-batch version, checked against the replayed
+// Mutate's result to catch divergence.
+type mutateBody struct {
+	ID      string      `json:"id"`
+	Version uint64      `json:"version"`
+	Tasks   []taskBody  `json:"tasks,omitempty"`
+	Edges   [][2]string `json:"edges,omitempty"`
+}
+
+// attachBody records a view attach/replace.
+type attachBody struct {
+	ID      string          `json:"id"`
+	VID     string          `json:"vid"`
+	Version uint64          `json:"version"`
+	View    json.RawMessage `json:"view"`
+}
+
+// detachBody records a view detach.
+type detachBody struct {
+	ID      string `json:"id"`
+	VID     string `json:"vid"`
+	Version uint64 `json:"version"`
+}
+
+// deleteBody records a workflow deletion (explicit or by eviction).
+type deleteBody struct {
+	ID string `json:"id"`
+}

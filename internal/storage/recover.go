@@ -1,0 +1,332 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"wolves/internal/engine"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// RecoveryStats summarizes what Recover rebuilt.
+type RecoveryStats struct {
+	// Workflows and Views count what the recovered registry holds.
+	Workflows int `json:"workflows"`
+	Views     int `json:"views"`
+	// Snapshots counts snapshot documents restored; SnapshotsDropped
+	// counts corrupt or undecodable ones that were discarded (their
+	// workflows may still have been rebuilt from WAL records).
+	Snapshots        int `json:"snapshots"`
+	SnapshotsDropped int `json:"snapshots_dropped"`
+	// Replayed and Skipped count WAL records applied vs already covered
+	// by a snapshot (or referencing a workflow evicted during restore).
+	Replayed int64 `json:"replayed"`
+	Skipped  int64 `json:"skipped"`
+	// TornBytes is how much of the last segment the crash tore off.
+	TornBytes int64 `json:"torn_bytes"`
+}
+
+// Recover rebuilds reg from the store: snapshots first (ascending LSN,
+// so if the registry's capacity forces evictions the freshest state
+// wins), then every WAL record not covered by a snapshot, in log order.
+// View reports are recomputed by validation — byte-identical to the
+// incrementally maintained reports of the pre-crash registry. Call it
+// exactly once, on a registry that is not yet serving traffic and has no
+// journal installed; install the store with reg.SetJournal afterwards.
+func (s *Store) Recover(reg *engine.Registry) (*RecoveryStats, error) {
+	s.mu.Lock()
+	if s.recovered {
+		s.mu.Unlock()
+		return nil, errors.New("storage: Recover called twice")
+	}
+	if s.failed != nil {
+		s.mu.Unlock()
+		return nil, s.failed
+	}
+	snaps, corrupt := s.snaps, s.corrupt
+	s.snaps, s.corrupt = nil, nil
+	s.mu.Unlock()
+
+	stats := &RecoveryStats{TornBytes: s.tornBytes}
+	snapLSN := make(map[string]uint64, len(snaps))
+	snapSize := make(map[string]int64, len(snaps))
+	for _, ls := range snaps {
+		snapLSN[ls.doc.ID] = ls.doc.LSN
+		snapSize[ls.doc.ID] = ls.size
+	}
+	// Refuse rather than truncate: if at any point of the replay the
+	// registry would hold more workflows than its capacity, the LRU
+	// would evict the overflow — and during recovery an eviction means
+	// a durable workflow silently missing from the restored registry. A
+	// misconfigured -live-workflows must fail the boot, not lose data.
+	// The pre-pass simulates exactly the ID-level lifecycle the replay
+	// will perform (snapshots, then uncovered register/delete records)
+	// and checks the peak concurrent population.
+	if peak, err := s.peakPopulation(snapLSN); err != nil {
+		return stats, err
+	} else if peak > reg.Capacity() {
+		return stats, fmt.Errorf("storage: replay needs room for %d workflows but the registry capacity is %d; raise -live-workflows",
+			peak, reg.Capacity())
+	}
+	for _, path := range corrupt {
+		os.Remove(path)
+		stats.SnapshotsDropped++
+	}
+	for _, ls := range snaps {
+		if err := restoreSnapshot(reg, &ls.doc); err != nil {
+			// A snapshot that does not decode is a half-written file from
+			// an unsynced crash: drop it (and its record coverage, so the
+			// WAL's history for this workflow replays in full) and fall
+			// back to whatever the log still says.
+			if _, ok := err.(*decodeError); ok {
+				reg.Delete(ls.doc.ID) // drop any partially restored state
+				os.Remove(ls.path)
+				delete(snapLSN, ls.doc.ID)
+				delete(snapSize, ls.doc.ID)
+				stats.SnapshotsDropped++
+				continue
+			}
+			return stats, err
+		}
+		stats.Snapshots++
+	}
+
+	deleted := make(map[string]bool)
+	paths := s.wal.segmentPaths()
+	for i, path := range paths {
+		_, _, err := scanSegment(path, i == len(paths)-1, func(rec record) error {
+			return s.replayRecord(reg, rec, snapLSN, deleted, stats)
+		})
+		if err != nil {
+			return stats, err
+		}
+	}
+
+	// Reconcile bookkeeping with what actually survived: workflows the
+	// registry holds keep their snapshot coverage. A snapshot file is
+	// removed only when a replayed delete record explains its absence —
+	// never merely because the workflow is missing from the registry —
+	// so no recovery path can silently destroy durable state.
+	live := make(map[string]bool)
+	for _, id := range reg.IDs() {
+		live[id] = true
+		stats.Workflows++
+	}
+	for _, info := range reg.Infos() {
+		stats.Views += len(info.Views)
+	}
+	s.mu.Lock()
+	s.wfs = make(map[string]*wfState, len(live))
+	for id := range live {
+		// Seed lastSnapBytes from the restored snapshot so the
+		// size-proportional trigger survives restarts; a workflow
+		// restored from WAL records alone starts at the floor and
+		// self-corrects on its first snapshot.
+		s.wfs[id] = &wfState{snapLSN: snapLSN[id], lastSnapBytes: snapSize[id]}
+	}
+	s.recovered = true
+	s.mu.Unlock()
+	for _, ls := range snaps {
+		if !live[ls.doc.ID] && deleted[ls.doc.ID] {
+			os.Remove(ls.path)
+		}
+	}
+	return stats, nil
+}
+
+// peakPopulation simulates the ID-level lifecycle the replay will
+// perform — snapshot-restored workflows plus uncovered register/delete
+// records in log order — and returns the maximum number of workflows
+// alive at any point.
+func (s *Store) peakPopulation(snapLSN map[string]uint64) (int, error) {
+	alive := make(map[string]bool, len(snapLSN))
+	for id := range snapLSN {
+		alive[id] = true
+	}
+	peak := len(alive)
+	paths := s.wal.segmentPaths()
+	for i, path := range paths {
+		_, _, err := scanSegment(path, i == len(paths)-1, func(rec record) error {
+			if rec.typ != recRegister && rec.typ != recDelete {
+				return nil
+			}
+			var body struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(rec.body, &body); err != nil {
+				return fmt.Errorf("storage: replay pre-pass lsn %d: %w", rec.lsn, err)
+			}
+			if rec.lsn <= snapLSN[body.ID] {
+				return nil
+			}
+			if rec.typ == recRegister {
+				if !alive[body.ID] {
+					alive[body.ID] = true
+					if len(alive) > peak {
+						peak = len(alive)
+					}
+				}
+			} else {
+				delete(alive, body.ID)
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return peak, nil
+}
+
+// decodeError marks snapshot/record payloads that fail to decode.
+type decodeError struct{ err error }
+
+func (e *decodeError) Error() string { return e.err.Error() }
+func (e *decodeError) Unwrap() error { return e.err }
+
+// restoreSnapshot registers one snapshot document into reg.
+func restoreSnapshot(reg *engine.Registry, doc *snapshotDoc) error {
+	wf, err := workflow.DecodeJSON(bytes.NewReader(doc.Workflow))
+	if err != nil {
+		return &decodeError{fmt.Errorf("snapshot %q: %w", doc.ID, err)}
+	}
+	views := make([]engine.RestoredView, 0, len(doc.Views))
+	for _, sv := range doc.Views {
+		raw := sv.View
+		views = append(views, engine.RestoredView{ID: sv.ID, Build: func(wf *workflow.Workflow) (*view.View, error) {
+			return view.DecodeJSON(wf, bytes.NewReader(raw))
+		}})
+	}
+	if _, err := reg.Restore(doc.ID, doc.Version, wf, views); err != nil {
+		return &decodeError{fmt.Errorf("snapshot %q: %w", doc.ID, err)}
+	}
+	return nil
+}
+
+// replayRecord applies one WAL record to reg, honoring snapshot
+// coverage and tracking applied deletions in deleted (a later register
+// for the same ID clears the mark). Unknown-workflow lookups are
+// tolerated (the workflow was evicted during restore, or a delete raced
+// the crash); anything else a clean log cannot produce is an error.
+func (s *Store) replayRecord(reg *engine.Registry, rec record, snapLSN map[string]uint64, deleted map[string]bool, stats *RecoveryStats) error {
+	fail := func(err error) error {
+		return fmt.Errorf("storage: replay lsn %d: %w", rec.lsn, err)
+	}
+	switch rec.typ {
+	case recRegister:
+		var body registerBody
+		if err := json.Unmarshal(rec.body, &body); err != nil {
+			return fail(err)
+		}
+		if rec.lsn <= snapLSN[body.ID] {
+			stats.Skipped++
+			return nil
+		}
+		wf, err := workflow.DecodeJSON(bytes.NewReader(body.Workflow))
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := reg.Restore(body.ID, body.Version, wf, nil); err != nil {
+			return fail(err)
+		}
+		delete(deleted, body.ID)
+	case recMutate:
+		var body mutateBody
+		if err := json.Unmarshal(rec.body, &body); err != nil {
+			return fail(err)
+		}
+		if rec.lsn <= snapLSN[body.ID] {
+			stats.Skipped++
+			return nil
+		}
+		lw, err := reg.Get(body.ID)
+		if err != nil {
+			if engine.IsCode(err, engine.ErrUnknownWorkflow) {
+				stats.Skipped++
+				return nil
+			}
+			return fail(err)
+		}
+		m := engine.Mutation{Edges: body.Edges}
+		for _, t := range body.Tasks {
+			m.Tasks = append(m.Tasks, workflow.Task{ID: t.ID, Name: t.Name, Kind: t.Kind})
+		}
+		res, err := lw.Mutate(m)
+		if err != nil {
+			return fail(err)
+		}
+		if res.Version != body.Version {
+			return fail(fmt.Errorf("workflow %q replayed to version %d, log says %d",
+				body.ID, res.Version, body.Version))
+		}
+	case recAttach:
+		var body attachBody
+		if err := json.Unmarshal(rec.body, &body); err != nil {
+			return fail(err)
+		}
+		if rec.lsn <= snapLSN[body.ID] {
+			stats.Skipped++
+			return nil
+		}
+		lw, err := reg.Get(body.ID)
+		if err != nil {
+			if engine.IsCode(err, engine.ErrUnknownWorkflow) {
+				stats.Skipped++
+				return nil
+			}
+			return fail(err)
+		}
+		_, _, err = lw.AttachView(body.VID, func(wf *workflow.Workflow) (*view.View, error) {
+			return view.DecodeJSON(wf, bytes.NewReader(body.View))
+		})
+		if err != nil {
+			if engine.IsCode(err, engine.ErrUnknownWorkflow) {
+				stats.Skipped++
+				return nil
+			}
+			return fail(err)
+		}
+	case recDetach:
+		var body detachBody
+		if err := json.Unmarshal(rec.body, &body); err != nil {
+			return fail(err)
+		}
+		if rec.lsn <= snapLSN[body.ID] {
+			stats.Skipped++
+			return nil
+		}
+		lw, err := reg.Get(body.ID)
+		if err != nil {
+			if engine.IsCode(err, engine.ErrUnknownWorkflow) {
+				stats.Skipped++
+				return nil
+			}
+			return fail(err)
+		}
+		if err := lw.DetachView(body.VID); err != nil &&
+			!engine.IsCode(err, engine.ErrUnknownView) && !engine.IsCode(err, engine.ErrUnknownWorkflow) {
+			return fail(err)
+		}
+	case recDelete:
+		var body deleteBody
+		if err := json.Unmarshal(rec.body, &body); err != nil {
+			return fail(err)
+		}
+		if rec.lsn <= snapLSN[body.ID] {
+			stats.Skipped++
+			return nil
+		}
+		if err := reg.Delete(body.ID); err != nil && !engine.IsCode(err, engine.ErrUnknownWorkflow) {
+			return fail(err)
+		}
+		deleted[body.ID] = true
+	default:
+		return fail(fmt.Errorf("unknown record type %d", rec.typ))
+	}
+	stats.Replayed++
+	return nil
+}

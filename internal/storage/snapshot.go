@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wolves/internal/engine"
+)
+
+// snapshotView is one attached view inside a snapshot document.
+type snapshotView struct {
+	ID   string          `json:"id"`
+	View json.RawMessage `json:"view"`
+}
+
+// snapshotDoc is the on-disk JSON shape of one workflow's snapshot: the
+// canonical workflow and view documents plus the LSN the snapshot
+// covers — every WAL record for this workflow with lsn <= LSN is
+// subsumed and skipped on replay.
+type snapshotDoc struct {
+	LSN      uint64          `json:"lsn"`
+	ID       string          `json:"id"`
+	Version  uint64          `json:"version"`
+	Workflow json.RawMessage `json:"workflow"`
+	Views    []snapshotView  `json:"views,omitempty"`
+}
+
+// snapName derives the snapshot file name for a workflow ID. IDs come
+// from URL paths and may hold anything; hashing keeps the file name safe
+// and fixed-length, and the document itself carries the real ID.
+func snapName(id string) string {
+	sum := sha256.Sum256([]byte(id))
+	return fmt.Sprintf("snap-%x.json", sum[:8])
+}
+
+// encodeSnapshot turns a live state into its snapshot document. wfRaw
+// may carry a pre-marshaled workflow document (the register path has one
+// in hand); pass nil to marshal here.
+func encodeSnapshot(st *engine.LiveState, lsn uint64, wfRaw json.RawMessage) (*snapshotDoc, error) {
+	var err error
+	if wfRaw == nil {
+		if wfRaw, err = json.Marshal(st.Workflow); err != nil {
+			return nil, fmt.Errorf("storage: snapshot %q: encode workflow: %w", st.ID, err)
+		}
+	}
+	doc := &snapshotDoc{LSN: lsn, ID: st.ID, Version: st.Version, Workflow: wfRaw}
+	for _, av := range st.Views {
+		raw, err := json.Marshal(av.View)
+		if err != nil {
+			return nil, fmt.Errorf("storage: snapshot %q: encode view %q: %w", st.ID, av.ID, err)
+		}
+		doc.Views = append(doc.Views, snapshotView{ID: av.ID, View: raw})
+	}
+	return doc, nil
+}
+
+// writeSnapshotFile persists doc atomically and returns its encoded
+// size: write to a temp file, sync it (unless FsyncNone), rename over
+// the final name, sync the directory. A crash at any point leaves either
+// the old snapshot or the new one, never a torn hybrid.
+func writeSnapshotFile(dir string, doc *snapshotDoc, mode FsyncMode) (int64, error) {
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return 0, fmt.Errorf("storage: snapshot %q: %w", doc.ID, err)
+	}
+	final := filepath.Join(dir, snapName(doc.ID))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if mode != FsyncNone {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return 0, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if mode != FsyncNone {
+		return int64(len(data)), syncDir(dir)
+	}
+	return int64(len(data)), nil
+}
+
+// loadedSnapshot pairs a decoded snapshot with its file path and
+// encoded size (recovery seeds the size-proportional snapshot trigger
+// with it, so a restart does not collapse the trigger to its floor and
+// rewrite a huge snapshot after a trickle of post-boot records).
+type loadedSnapshot struct {
+	doc  snapshotDoc
+	path string
+	size int64
+}
+
+// loadSnapshots reads every snapshot document in dir, in ascending LSN
+// order (so when the registry's capacity forces evictions during
+// recovery, the most recently snapshotted workflows survive). Corrupt
+// documents are set aside, not fatal: the WAL may still hold the
+// workflow's history, and if it does not, dropping a half-written
+// snapshot from an unsynced crash is the correct reading of the disk.
+func loadSnapshots(dir string) (snaps []loadedSnapshot, corrupt []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var doc snapshotDoc
+		if err := json.Unmarshal(data, &doc); err != nil || doc.ID == "" {
+			corrupt = append(corrupt, path)
+			continue
+		}
+		snaps = append(snaps, loadedSnapshot{doc: doc, path: path, size: int64(len(data))})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].doc.LSN < snaps[j].doc.LSN })
+	return snaps, corrupt, nil
+}

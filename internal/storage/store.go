@@ -1,0 +1,541 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+
+	"wolves/internal/engine"
+	"wolves/internal/view"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultSegmentBytes  = 4 << 20
+	DefaultSnapshotBytes = 1 << 20
+)
+
+// Options tunes a Store. The zero value is production-sane: 4 MiB
+// segments, size-proportional snapshots, group-commit fsync.
+type Options struct {
+	// SegmentBytes rotates the WAL once the current segment exceeds it.
+	SegmentBytes int64
+	// SnapshotBytes is the snapshot trigger floor: a workflow is folded
+	// into a fresh snapshot (and fully covered segments are compacted)
+	// once the WAL bytes appended for it since its last snapshot exceed
+	// max(SnapshotBytes, size of that snapshot). Scaling the trigger
+	// with the snapshot's own size keeps the amortized snapshot cost
+	// O(1) per appended byte no matter how large the workflow grows,
+	// and bounds both disk usage and recovery replay at roughly 2x the
+	// live state.
+	SnapshotBytes int64
+	// SnapshotEvery additionally triggers a snapshot after this many
+	// committed mutation batches, regardless of bytes. 0 (the default)
+	// disables the count trigger; tests use it to force snapshot and
+	// compaction churn.
+	SnapshotEvery int
+	// Fsync selects the durability mode (FsyncBatch by default).
+	Fsync FsyncMode
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SnapshotBytes <= 0 {
+		o.SnapshotBytes = DefaultSnapshotBytes
+	}
+	return o
+}
+
+// wfState is the store's per-workflow bookkeeping.
+type wfState struct {
+	snapLSN        uint64 // LSN the latest durable snapshot covers
+	sinceSnapRecs  int    // mutation records appended since that snapshot
+	sinceSnapBytes int64  // WAL bytes appended for this workflow since it
+	lastSnapBytes  int64  // encoded size of that snapshot
+}
+
+// wantSnapshot decides the snapshot trigger for ws under opts.
+func (ws *wfState) wantSnapshot(opts Options) bool {
+	if opts.SnapshotEvery > 0 && ws.sinceSnapRecs >= opts.SnapshotEvery {
+		return true
+	}
+	floor := opts.SnapshotBytes
+	if ws.lastSnapBytes > floor {
+		floor = ws.lastSnapBytes
+	}
+	return ws.sinceSnapBytes >= floor
+}
+
+// errNeedsRecovery guards a dirty directory: journaling into it before
+// Recover would interleave a live stream with an unread history.
+var errNeedsRecovery = errors.New("storage: directory holds state; call Recover before journaling")
+
+// Store is the durable registry backend: an engine.Journal whose appends
+// go to a checksummed, segment-rotated WAL and whose snapshots bound
+// both recovery time and disk growth. Open one with Open, restore a
+// registry with Recover, install it with Registry.SetJournal, checkpoint
+// it on graceful shutdown with Checkpoint, and Close it last.
+//
+// Failure handling is sticky: the first append or snapshot error poisons
+// the store and every later operation returns it, so a registry backed
+// by a failing disk degrades loudly instead of silently forking from its
+// durable history.
+type Store struct {
+	dir  string
+	opts Options
+
+	lockf *os.File // exclusive flock on dir/LOCK for the store's lifetime
+
+	mu        sync.Mutex
+	failed    error
+	needsRec  bool
+	recovered bool
+	lsn       uint64 // last assigned LSN
+	wal       *wal
+	wfs       map[string]*wfState
+	snaps     []loadedSnapshot // loaded at Open, consumed by Recover
+	corrupt   []string         // corrupt snapshot paths, removed by Recover
+	tornBytes int64
+}
+
+// lockDir takes an exclusive advisory lock on dir/LOCK. Two daemons
+// pointed at one -data-dir would otherwise interleave appends at
+// arbitrary byte boundaries and corrupt the WAL beyond recovery; the
+// second Open must fail loudly instead.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is already locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// Open prepares dir as a store: creates it if missing, validates every
+// WAL segment (truncating a torn tail in the last one — the crash
+// point), loads snapshot documents, and positions the WAL for appends.
+// If dir already holds state, Recover must run before journaling.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lockf, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lockf.Close()
+		}
+	}()
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, lockf: lockf, wfs: make(map[string]*wfState)}
+
+	w := &wal{dir: dir, segBytes: opts.SegmentBytes, mode: opts.Fsync}
+	w.syncCond = sync.NewCond(&w.syncMu)
+	if len(segs) == 0 {
+		f, err := createSegment(dir, 1, opts.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		w.seq, w.f, w.size = 1, f, int64(len(segMagic))
+	} else {
+		records := false
+		for i := range segs {
+			isLast := i == len(segs)-1
+			segMax := uint64(0)
+			validSize, torn, err := scanSegment(segs[i].path, isLast, func(rec record) error {
+				segMax = rec.lsn
+				records = true
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			segs[i].maxLSN = segMax
+			if segMax > s.lsn {
+				s.lsn = segMax
+			}
+			if !isLast {
+				continue
+			}
+			if torn {
+				st, err := os.Stat(segs[i].path)
+				if err != nil {
+					return nil, err
+				}
+				s.tornBytes = st.Size() - validSize
+				if validSize < int64(len(segMagic)) {
+					// The crash tore the magic itself: rewrite it.
+					if err := os.WriteFile(segs[i].path, segMagic, 0o644); err != nil {
+						return nil, err
+					}
+					validSize = int64(len(segMagic))
+				} else if err := os.Truncate(segs[i].path, validSize); err != nil {
+					return nil, err
+				}
+			}
+			f, err := os.OpenFile(segs[i].path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				return nil, err
+			}
+			w.seq, w.f, w.size, w.maxLSN = segs[i].seq, f, validSize, segMax
+			w.sealed = segs[:i:i]
+		}
+		if records {
+			s.needsRec = true
+		}
+	}
+	s.wal = w
+
+	snaps, corrupt, err := loadSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.snaps, s.corrupt = snaps, corrupt
+	for _, ls := range snaps {
+		if ls.doc.LSN > s.lsn {
+			s.lsn = ls.doc.LSN
+		}
+		s.wfs[ls.doc.ID] = &wfState{snapLSN: ls.doc.LSN}
+		s.needsRec = true
+	}
+	ok = true
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// usableLocked gates journal operations; callers hold s.mu.
+func (s *Store) usableLocked() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.needsRec && !s.recovered {
+		return errNeedsRecovery
+	}
+	return nil
+}
+
+// failLocked makes err sticky; callers hold s.mu.
+func (s *Store) failLocked(err error) error {
+	if s.failed == nil {
+		s.failed = fmt.Errorf("storage: store failed: %w", err)
+	}
+	return s.failed
+}
+
+// fail is failLocked for callers not holding s.mu.
+func (s *Store) fail(err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failLocked(err)
+}
+
+// appendLocked assigns the next LSN and writes one record, returning the
+// group-commit ticket and the record's on-disk size; callers hold s.mu
+// (which is what keeps file order equal to LSN order across workflows).
+// The ticket feeds waitDurable after s.mu is released, so one slow fsync
+// never blocks other workflows' appends.
+func (s *Store) appendLocked(typ byte, body any) (uint64, int64, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, s.failLocked(err)
+	}
+	ticket, err := s.wal.append(record{typ: typ, lsn: s.lsn + 1, body: raw})
+	if err != nil {
+		return 0, 0, s.failLocked(err)
+	}
+	s.lsn++
+	return ticket, int64(recHeaderLen + recPrefixLen + len(raw)), nil
+}
+
+// writeSnapshot encodes and writes st's snapshot covering coverLSN with
+// NO store lock held — the multi-millisecond marshal + file I/O of one
+// workflow must not stall every other workflow's journal appends. The
+// caller holds st's workflow lock (every journal call does), which is
+// what keeps st stable and serializes snapshots of the same workflow;
+// distinct workflows write distinct files concurrently. Bookkeeping and
+// compaction briefly retake s.mu at the end.
+func (s *Store) writeSnapshot(st *engine.LiveState, coverLSN uint64, wfRaw json.RawMessage) error {
+	doc, err := encodeSnapshot(st, coverLSN, wfRaw)
+	if err != nil {
+		return s.fail(err)
+	}
+	size, err := writeSnapshotFile(s.dir, doc, s.opts.Fsync)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.mu.Lock()
+	ws := s.wfs[st.ID]
+	if ws == nil {
+		ws = &wfState{}
+		s.wfs[st.ID] = ws
+	}
+	ws.snapLSN = coverLSN
+	ws.sinceSnapRecs = 0
+	ws.sinceSnapBytes = 0
+	ws.lastSnapBytes = size
+	covered := s.coveredLocked()
+	s.mu.Unlock()
+	s.wal.compact(covered)
+	return nil
+}
+
+// coveredLocked returns the LSN below which every live workflow is
+// snapshot-covered; sealed segments at or below it are dead weight.
+func (s *Store) coveredLocked() uint64 {
+	covered := ^uint64(0)
+	for _, ws := range s.wfs {
+		if ws.snapLSN < covered {
+			covered = ws.snapLSN
+		}
+	}
+	return covered
+}
+
+// --- engine.Journal -----------------------------------------------------------
+
+// Registered appends a registration record and immediately snapshots the
+// newborn workflow, giving it a covered LSN so compaction is never
+// blocked by a workflow that happens not to mutate.
+func (s *Store) Registered(st *engine.LiveState) error {
+	wfRaw, err := json.Marshal(st.Workflow)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	ticket, _, err := s.appendLocked(recRegister, registerBody{ID: st.ID, Version: st.Version, Workflow: wfRaw})
+	coverLSN := s.lsn
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.writeSnapshot(st, coverLSN, wfRaw); err != nil {
+		return err
+	}
+	return s.wal.waitDurable(ticket)
+}
+
+// Committed appends the mutation batch; once the workflow's WAL growth
+// passes the snapshot trigger (see Options.SnapshotBytes) it is folded
+// into a fresh snapshot and fully covered segments are compacted.
+func (s *Store) Committed(batch *engine.AppliedBatch, st *engine.LiveState) error {
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	body := mutateBody{ID: st.ID, Version: st.Version, Edges: batch.Edges}
+	for _, t := range batch.Tasks {
+		body.Tasks = append(body.Tasks, taskBody{ID: t.ID, Name: t.Name, Kind: t.Kind})
+	}
+	ticket, n, err := s.appendLocked(recMutate, body)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	ws := s.wfs[st.ID]
+	if ws == nil {
+		ws = &wfState{}
+		s.wfs[st.ID] = ws
+	}
+	ws.sinceSnapRecs++
+	ws.sinceSnapBytes += n
+	snap := ws.wantSnapshot(s.opts)
+	coverLSN := s.lsn
+	s.mu.Unlock()
+	if snap {
+		if err := s.writeSnapshot(st, coverLSN, nil); err != nil {
+			return err
+		}
+	}
+	return s.wal.waitDurable(ticket)
+}
+
+// ViewAttached appends the attach record carrying the view document.
+// View documents can be as large as the HTTP layer admits, so they feed
+// the same snapshot trigger as mutations: a workflow whose views churn
+// without mutating still gets folded into snapshots and its log still
+// compacts, keeping the ~2x-of-live-state disk bound honest.
+func (s *Store) ViewAttached(st *engine.LiveState, vid string, v *view.View) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	ticket, n, err := s.appendLocked(recAttach, attachBody{ID: st.ID, VID: vid, Version: st.Version, View: raw})
+	snap := false
+	coverLSN := s.lsn
+	if err == nil {
+		if ws := s.wfs[st.ID]; ws != nil {
+			ws.sinceSnapBytes += n
+			snap = ws.wantSnapshot(s.opts)
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if snap {
+		if err := s.writeSnapshot(st, coverLSN, nil); err != nil {
+			return err
+		}
+	}
+	return s.wal.waitDurable(ticket)
+}
+
+// ViewDetached appends the detach record.
+func (s *Store) ViewDetached(st *engine.LiveState, vid string) error {
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	ticket, n, err := s.appendLocked(recDetach, detachBody{ID: st.ID, VID: vid, Version: st.Version})
+	snap := false
+	coverLSN := s.lsn
+	if err == nil {
+		if ws := s.wfs[st.ID]; ws != nil {
+			ws.sinceSnapBytes += n
+			snap = ws.wantSnapshot(s.opts)
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if snap {
+		if err := s.writeSnapshot(st, coverLSN, nil); err != nil {
+			return err
+		}
+	}
+	return s.wal.waitDurable(ticket)
+}
+
+// Deleted appends the delete record, waits for it to be durable, and
+// only then removes the snapshot file — so a crash anywhere in between
+// leaves either the workflow intact (delete never acknowledged) or a
+// durable delete that replay honors; never a silently lost workflow.
+func (s *Store) Deleted(id string) error {
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	ticket, _, err := s.appendLocked(recDelete, deleteBody{ID: id})
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	delete(s.wfs, id)
+	s.mu.Unlock()
+	if err := s.wal.waitDurable(ticket); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	// Remove the snapshot file only if the ID has not been re-registered
+	// since the delete record was appended (a new registration recreates
+	// the wfs entry and owns the snapshot file now). The registry already
+	// serializes Deleted against same-ID registration; this guard keeps
+	// the store safe even for journals driven differently.
+	if _, reborn := s.wfs[id]; !reborn {
+		if err := os.Remove(snapPath(s.dir, id)); err != nil && !os.IsNotExist(err) {
+			err = s.failLocked(err)
+			s.mu.Unlock()
+			return err
+		}
+		if s.opts.Fsync != FsyncNone {
+			_ = syncDir(s.dir)
+		}
+	}
+	covered := s.coveredLocked()
+	s.mu.Unlock()
+	s.wal.compact(covered)
+	return nil
+}
+
+// --- lifecycle ----------------------------------------------------------------
+
+// Checkpoint snapshots every live workflow at the current LSN, seals the
+// WAL segment and compacts everything now covered: after a clean
+// Checkpoint the next boot replays (almost) nothing. wolvesd runs one on
+// graceful shutdown; operators can also run them periodically.
+func (s *Store) Checkpoint(reg *engine.Registry) error {
+	for _, id := range reg.IDs() {
+		// Peek, not Get: a maintenance sweep must not bump LRU recency,
+		// or every checkpoint would reorder the eviction queue into
+		// sorted-ID order underneath real traffic.
+		lw, err := reg.Peek(id)
+		if err != nil {
+			continue // deleted while we iterated
+		}
+		err = lw.State(func(st *engine.LiveState) error {
+			s.mu.Lock()
+			if err := s.usableLocked(); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			// s.lsn covers every record this workflow has written: its
+			// lock is held here, so it cannot be appending concurrently.
+			coverLSN := s.lsn
+			s.mu.Unlock()
+			return s.writeSnapshot(st, coverLSN, nil)
+		})
+		if err != nil && !engine.IsCode(err, engine.ErrUnknownWorkflow) {
+			return err
+		}
+	}
+	if err := s.wal.seal(); err != nil {
+		return s.fail(err)
+	}
+	s.mu.Lock()
+	covered := s.coveredLocked()
+	s.mu.Unlock()
+	s.wal.compact(covered)
+	return nil
+}
+
+// Close flushes and closes the WAL and releases the directory lock. The
+// store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = errors.New("storage: store closed")
+	}
+	s.mu.Unlock()
+	err := s.wal.close()
+	if s.lockf != nil {
+		s.lockf.Close() // releases the flock
+		s.lockf = nil
+	}
+	return err
+}
+
+// snapPath joins dir and the snapshot file name for id.
+func snapPath(dir, id string) string {
+	return filepath.Join(dir, snapName(id))
+}

@@ -1,0 +1,396 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FsyncMode selects the WAL's durability/latency trade-off.
+type FsyncMode int
+
+const (
+	// FsyncBatch (the zero value, and the default) group-commits: each
+	// append is written immediately, then waits for one fsync that is
+	// shared with every other append in flight — concurrent commits pay
+	// one disk flush between them, not one each.
+	FsyncBatch FsyncMode = iota
+	// FsyncNone writes each record to the OS (one write syscall) but
+	// never fsyncs: a process crash loses nothing, a machine crash can
+	// lose the records the OS had not flushed.
+	FsyncNone
+	// FsyncAlways fsyncs inside every append, serializing commits behind
+	// the disk. Strongest guarantee, lowest throughput.
+	FsyncAlways
+)
+
+// ParseFsyncMode parses the -fsync flag values.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch strings.ToLower(s) {
+	case "batch", "":
+		return FsyncBatch, nil
+	case "none", "off", "never":
+		return FsyncNone, nil
+	case "always":
+		return FsyncAlways, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync mode %q (want none|batch|always)", s)
+}
+
+// String renders the flag spelling.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncBatch:
+		return "batch"
+	case FsyncNone:
+		return "none"
+	case FsyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("FsyncMode(%d)", int(m))
+}
+
+// sealedSegment is a rotated-out, read-only WAL segment.
+type sealedSegment struct {
+	seq    uint64
+	path   string
+	maxLSN uint64 // highest LSN in the segment; 0 when empty
+}
+
+// wal owns the segment files of a Store: one append handle on the
+// current segment plus the list of sealed predecessors. Appends are
+// serialized by mu; fsync batching runs on top (syncMu) so waiting for
+// durability never blocks the next writer's append.
+type wal struct {
+	dir      string
+	segBytes int64
+	mode     FsyncMode
+
+	mu       sync.Mutex
+	f        *os.File
+	seq      uint64
+	size     int64
+	maxLSN   uint64
+	sealed   []sealedSegment
+	buf      []byte // reusable encode buffer
+	writeSeq uint64 // count of appended records (group-commit ticket)
+	werr     error  // sticky write/rotate failure
+
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncing   bool
+	syncedSeq uint64 // highest writeSeq known durable
+	syncErr   error  // sticky fsync failure
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// segSeq parses a segment file name; ok is false for foreign files.
+func segSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil || seq == 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// syncDir fsyncs a directory so renames/creates/removes inside it are
+// durable. Failures degrade durability, not correctness; callers ignore
+// them on best-effort paths.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// createSegment creates and magic-stamps a fresh segment file.
+func createSegment(dir string, seq uint64, mode FsyncMode) (*os.File, error) {
+	path := filepath.Join(dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if mode != FsyncNone {
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// append encodes and writes rec to the current segment, rotating first
+// when the segment is full, and returns the group-commit ticket to pass
+// to waitDurable. The write syscall happens here; the fsync (if any)
+// happens in waitDurable so callers can release their own locks first.
+func (w *wal) append(rec record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.werr != nil {
+		return 0, w.werr
+	}
+	w.buf = appendRecord(w.buf[:0], rec)
+	if w.size+int64(len(w.buf)) > w.segBytes && w.size > int64(len(segMagic)) {
+		if err := w.rotateLocked(); err != nil {
+			w.werr = err
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(w.buf)
+	w.size += int64(n)
+	if err != nil {
+		w.werr = err
+		return 0, err
+	}
+	w.maxLSN = rec.lsn
+	w.writeSeq++
+	if w.mode == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.werr = err
+			return 0, err
+		}
+	}
+	return w.writeSeq, nil
+}
+
+// waitDurable blocks until the append identified by ticket is durable
+// under the configured mode. For FsyncBatch the first waiter becomes the
+// group leader: it fsyncs everything written so far on behalf of every
+// other waiter, which merely sleeps on the condition variable.
+func (w *wal) waitDurable(ticket uint64) error {
+	switch w.mode {
+	case FsyncNone, FsyncAlways:
+		return nil // none: nothing to wait for; always: synced in append
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	for w.syncedSeq < ticket {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.syncMu.Unlock()
+		w.mu.Lock()
+		f := w.f
+		top := w.writeSeq
+		w.mu.Unlock()
+		err := f.Sync()
+		w.syncMu.Lock()
+		w.syncing = false
+		if err != nil && !errors.Is(err, os.ErrClosed) {
+			// ErrClosed means the segment rotated under us; rotation
+			// fsyncs before sealing, so those records are already safe.
+			w.syncErr = err
+		} else if top > w.syncedSeq {
+			w.syncedSeq = top
+		}
+		w.syncCond.Broadcast()
+	}
+	return nil
+}
+
+// rotateLocked seals the current segment (fsyncing it unless FsyncNone)
+// and opens the next one. Callers hold w.mu.
+func (w *wal) rotateLocked() error {
+	if w.mode != FsyncNone {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, sealedSegment{
+		seq:    w.seq,
+		path:   filepath.Join(w.dir, segName(w.seq)),
+		maxLSN: w.maxLSN,
+	})
+	// Everything written so far now lives in a sealed, fsynced segment:
+	// let group-commit waiters go without another flush.
+	if w.mode == FsyncBatch {
+		w.syncMu.Lock()
+		if w.writeSeq > w.syncedSeq {
+			w.syncedSeq = w.writeSeq
+		}
+		w.syncCond.Broadcast()
+		w.syncMu.Unlock()
+	}
+	f, err := createSegment(w.dir, w.seq+1, w.mode)
+	if err != nil {
+		return err
+	}
+	w.seq++
+	w.f = f
+	w.size = int64(len(segMagic))
+	w.maxLSN = 0
+	return nil
+}
+
+// seal rotates unconditionally (checkpointing uses it so compaction can
+// reclaim the current segment too). A segment holding no records is left
+// in place.
+func (w *wal) seal() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.werr != nil {
+		return w.werr
+	}
+	if w.size <= int64(len(segMagic)) {
+		return nil
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.werr = err
+		return err
+	}
+	return nil
+}
+
+// compact deletes sealed segments whose every record is covered by
+// snapshots (maxLSN <= coveredLSN).
+func (w *wal) compact(coveredLSN uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.sealed[:0]
+	removed := false
+	for _, seg := range w.sealed {
+		if seg.maxLSN <= coveredLSN {
+			// Best-effort: a segment that refuses to die only delays
+			// compaction, it never corrupts state.
+			if err := os.Remove(seg.path); err == nil || os.IsNotExist(err) {
+				removed = true
+				continue
+			}
+		}
+		kept = append(kept, seg)
+	}
+	w.sealed = kept
+	if removed && w.mode != FsyncNone {
+		_ = syncDir(w.dir)
+	}
+}
+
+// segmentPaths returns every segment path in replay order (sealed then
+// current). Only safe before concurrent appends start or under external
+// serialization; recovery runs single-threaded before traffic.
+func (w *wal) segmentPaths() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	paths := make([]string, 0, len(w.sealed)+1)
+	for _, seg := range w.sealed {
+		paths = append(paths, seg.path)
+	}
+	paths = append(paths, filepath.Join(w.dir, segName(w.seq)))
+	return paths
+}
+
+// close flushes and closes the current segment.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if w.mode != FsyncNone && w.werr == nil {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// scanSegment validates one segment file, invoking fn per record, and
+// returns the byte offset after the last valid record plus whether the
+// tail was torn. isLast controls torn-tail tolerance: a short or
+// corrupt record at the tail of the last segment is where the crash
+// happened; anywhere else it is unrecoverable corruption.
+func scanSegment(path string, isLast bool, fn func(rec record) error) (int64, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if isLast && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+			return 0, true, nil // crash before the magic finished
+		}
+		return 0, false, fmt.Errorf("storage: %s: unreadable header: %w", path, err)
+	}
+	if !bytes.Equal(magic[:], segMagic) {
+		return 0, false, fmt.Errorf("storage: %s: not a WOLVES WAL segment", path)
+	}
+	off := int64(len(segMagic))
+	for {
+		rec, n, err := readRecord(br)
+		if err == io.EOF {
+			return off, false, nil
+		}
+		if errors.Is(err, errTorn) {
+			if isLast {
+				return off, true, nil
+			}
+			return off, false, fmt.Errorf("storage: %s: corrupt record at offset %d", path, off)
+		}
+		if err != nil {
+			return off, false, fmt.Errorf("storage: %s: offset %d: %w", path, off, err)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, false, err
+			}
+		}
+		off += n
+	}
+}
+
+// listSegments returns the segment files of dir sorted by sequence.
+func listSegments(dir string) ([]sealedSegment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []sealedSegment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := segSeq(e.Name()); ok {
+			segs = append(segs, sealedSegment{seq: seq, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].seq != segs[i-1].seq+1 {
+			return nil, fmt.Errorf("storage: segment gap: %s jumps to %s",
+				filepath.Base(segs[i-1].path), filepath.Base(segs[i].path))
+		}
+	}
+	return segs, nil
+}

@@ -162,6 +162,17 @@ type (
 	LineageResult = engine.LineageResult
 	// RegistryOption configures a Registry at construction time.
 	RegistryOption = engine.RegistryOption
+	// Journal receives every committed registry transition; the durable
+	// implementation (write-ahead log + snapshots + crash recovery)
+	// lives in internal/storage and backs wolvesd's -data-dir flag.
+	Journal = engine.Journal
+	// LiveState is the read-consistent snapshot description handed to a
+	// Journal and to LiveWorkflow.State callbacks.
+	LiveState = engine.LiveState
+	// AppliedBatch is the committed portion of a mutation batch.
+	AppliedBatch = engine.AppliedBatch
+	// RestoredView names one view to re-attach during recovery.
+	RestoredView = engine.RestoredView
 )
 
 // NewRegistry constructs a live workflow registry backed by eng.
@@ -172,6 +183,9 @@ func NewRegistry(eng *Engine, opts ...RegistryOption) *Registry {
 // WithRegistryCapacity bounds the number of live workflows (LRU-evicted
 // beyond it).
 var WithRegistryCapacity = engine.WithRegistryCapacity
+
+// WithJournal installs a journal at registry construction; see Journal.
+var WithJournal = engine.WithJournal
 
 // defaultEngine backs the deprecated free-function layer.
 var (
