@@ -42,6 +42,18 @@
 //	POST   /v1/workflows/{id}/views/{vid}/lineage  view vs exact provenance
 //	GET    /v1/workflows                           enumerate registered workflows
 //
+// Provenance runs (the run store: real execution traces + lineage):
+//
+//	POST /v1/workflows/{id}/runs                   ingest a trace (JSON or NDJSON)
+//	GET  /v1/workflows/{id}/runs                   list ingested runs
+//	GET  /v1/workflows/{id}/runs/{rid}             run metadata
+//	GET  /v1/workflows/{id}/runs/{rid}/lineage     ?artifact=…&level=exact|view|audited
+//	POST /v1/workflows/{id}/runs/query             batch lineage queries
+//	GET  /v1/stats                                 cache/registry/run-store counters
+//
+// Runs are journaled and snapshot-covered with the registry, so a
+// restarted daemon serves the same runs and lineage answers.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds.
 package main
@@ -59,6 +71,7 @@ import (
 	"time"
 
 	"wolves/internal/engine"
+	"wolves/internal/runs"
 	"wolves/internal/server"
 	"wolves/internal/storage"
 )
@@ -94,6 +107,7 @@ func run(args []string) error {
 		engine.WithOptimalTimeout(*optimalTimeout),
 	)
 	reg := engine.NewRegistry(eng, engine.WithRegistryCapacity(*liveWorkflows))
+	runStore := runs.New(reg, runs.WithWorkers(eng.Workers()))
 
 	var store *storage.Store
 	if *dataDir != "" {
@@ -105,18 +119,22 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("open data dir: %w", err)
 		}
-		stats, err := store.Recover(reg)
+		// The snapshot path embeds run documents, so the provider must be
+		// installed before anything can trigger a snapshot.
+		store.SetRunProvider(runStore)
+		stats, err := store.RecoverWithRuns(reg, runStore)
 		if err != nil {
 			return fmt.Errorf("recover %s: %w", *dataDir, err)
 		}
 		reg.SetJournal(store)
-		log.Printf("wolvesd: recovered %d workflows / %d views from %s (snapshots=%d replayed=%d torn=%dB, fsync=%s)",
-			stats.Workflows, stats.Views, *dataDir, stats.Snapshots, stats.Replayed, stats.TornBytes, mode)
+		runStore.SetJournal(store)
+		log.Printf("wolvesd: recovered %d workflows / %d views / %d runs from %s (snapshots=%d replayed=%d torn=%dB, fsync=%s)",
+			stats.Workflows, stats.Views, stats.Runs, *dataDir, stats.Snapshots, stats.Replayed, stats.TornBytes, mode)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng, server.WithRegistry(reg)).Handler(),
+		Handler:           server.New(eng, server.WithRegistry(reg), server.WithRunStore(runStore)).Handler(),
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 10 * time.Second,
 	}

@@ -181,3 +181,58 @@ func TestDurableRestartPreservesRegistry(t *testing.T) {
 		t.Fatalf("mutate after restart: %d %s", status, body)
 	}
 }
+
+// TestDurableRestartPreservesRuns: ingest an execution trace, SIGTERM
+// the daemon, restart on the same -data-dir — the run and its audited
+// lineage answer must survive recovery byte-identically.
+func TestDurableRestartPreservesRuns(t *testing.T) {
+	dir := t.TempDir()
+
+	base, done := bootDaemon(t, "-data-dir", dir, "-fsync", "none")
+	status, body := httpDo(t, http.MethodPut, base+"/v1/workflows/demo", `{
+		"workflow": {"name":"demo","tasks":[{"id":"a"},{"id":"b"},{"id":"c"}],
+			"edges":[["a","b"],["b","c"]]},
+		"views": [{"id":"v","view":{"name":"v","workflow":"demo","composites":[
+			{"id":"ab","members":["a","b"]},{"id":"cc","members":["c"]}]}}]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("register: %d %s", status, body)
+	}
+	status, body = httpDo(t, http.MethodPost, base+"/v1/workflows/demo/runs", `{
+		"run":"r1",
+		"artifacts":[{"id":"oa","generated_by":"a"},{"id":"ob","generated_by":"b"},{"id":"oc","generated_by":"c"}],
+		"used":[{"process":"b","artifact":"oa"},{"process":"c","artifact":"ob"}]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	lineageURL := base + "/v1/workflows/demo/runs/r1/lineage?artifact=oc&level=audited&view=v&witness=1"
+	status, wantLineage := httpDo(t, http.MethodGet, lineageURL, "")
+	if status != http.StatusOK || !strings.Contains(wantLineage, `"tasks":["a","b"]`) {
+		t.Fatalf("lineage before restart: %d %s", status, wantLineage)
+	}
+	_, wantList := httpDo(t, http.MethodGet, base+"/v1/workflows/demo/runs", "")
+	stopDaemon(t, done)
+
+	base2, done2 := bootDaemon(t, "-data-dir", dir, "-fsync", "none")
+	defer stopDaemon(t, done2)
+	status, gotList := httpDo(t, http.MethodGet, base2+"/v1/workflows/demo/runs", "")
+	if status != http.StatusOK || gotList != strings.ReplaceAll(wantList, base, base2) {
+		t.Fatalf("run list after restart diverges:\ngot:  %s\nwant: %s", gotList, wantList)
+	}
+	lineageURL2 := base2 + "/v1/workflows/demo/runs/r1/lineage?artifact=oc&level=audited&view=v&witness=1"
+	status, gotLineage := httpDo(t, http.MethodGet, lineageURL2, "")
+	if status != http.StatusOK || gotLineage != wantLineage {
+		t.Fatalf("lineage after restart diverges:\ngot:  %s\nwant: %s", gotLineage, wantLineage)
+	}
+	// The recovered daemon keeps journaling runs.
+	status, body = httpDo(t, http.MethodPost, base2+"/v1/workflows/demo/runs", `{
+		"run":"r2","artifacts":[{"id":"x","generated_by":"a"}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("ingest after restart: %d %s", status, body)
+	}
+	status, body = httpDo(t, http.MethodGet, base2+"/v1/stats", "")
+	if status != http.StatusOK || !strings.Contains(body, `"runs":2`) {
+		t.Fatalf("stats after restart: %d %s", status, body)
+	}
+}

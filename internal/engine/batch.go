@@ -73,6 +73,16 @@ func runBatch(ctx context.Context, workers, n int, run func(i int), onCanceled f
 	wg.Wait()
 }
 
+// FanOut runs n independent jobs over min(workers, n) goroutines with
+// the batch machinery's atomic claim cursor: run(i) executes each job,
+// and once ctx fires the unclaimed remainder completes immediately via
+// onCanceled(i) instead of running. It is the scheduling core behind
+// ValidateBatch/CorrectBatch, exported so sibling subsystems (the run
+// store's batch lineage endpoint) share one worker-pool behavior.
+func FanOut(ctx context.Context, workers, n int, run func(i int), onCanceled func(i int)) {
+	runBatch(ctx, workers, n, run, onCanceled)
+}
+
 // ValidateBatch validates every job over the engine's worker pool and
 // returns per-job results in input order. Jobs repeating a workflow
 // share its cached oracle; a canceled ctx marks the remaining jobs with

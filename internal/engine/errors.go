@@ -43,6 +43,16 @@ const (
 	// ErrCycleRejected: a mutation edge would create a dependency cycle;
 	// the whole batch was rolled back (wolvesd maps it to 422).
 	ErrCycleRejected Code = "cycle_rejected"
+	// ErrInvalidTrace: an execution trace failed ingestion validation —
+	// unknown task, duplicate artifact, dangling used edge, empty run,
+	// torn NDJSON line (wolvesd maps it to 422).
+	ErrInvalidTrace Code = "invalid_trace"
+	// ErrUnknownRun: a run ID not ingested for the live workflow (wolvesd
+	// maps it to 404).
+	ErrUnknownRun Code = "unknown_run"
+	// ErrUnknownArtifact: a lineage query named an artifact the run does
+	// not contain (wolvesd maps it to 404).
+	ErrUnknownArtifact Code = "unknown_artifact"
 	// ErrInternal: everything else.
 	ErrInternal Code = "internal"
 )

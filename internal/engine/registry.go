@@ -156,12 +156,13 @@ type liveView struct {
 	v      *view.View
 	report *soundness.Report
 
-	// veMu guards ve: lineage queries run under the workflow's read
-	// lock, so concurrent first queries must not race the build. Writers
-	// (Mutate) hold the workflow's write lock and reset ve to nil
-	// without taking veMu — no reader can be inside it then.
-	veMu sync.Mutex
-	ve   *provenance.ViewEngine
+	// veMu guards ve and audit: lineage queries run under the workflow's
+	// read lock, so concurrent first queries must not race the builds.
+	// Writers (Mutate) hold the workflow's write lock and reset both to
+	// nil without taking veMu — no reader can be inside it then.
+	veMu  sync.Mutex
+	ve    *provenance.ViewEngine
+	audit *provenance.ViewAudit
 }
 
 // viewEngine returns the cached view-level lineage engine, building it
@@ -175,6 +176,25 @@ func (lv *liveView) viewEngine() *provenance.ViewEngine {
 		lv.ve = provenance.NewViewEngine(lv.v)
 	}
 	return lv.ve
+}
+
+// viewAudit returns the cached provenance audit of the view against the
+// live lineage engine, built on first use after each mutation (Mutate
+// resets it alongside ve). Audited run-store lineage queries read their
+// spurious-composite delta from here, so the O(k·n) audit runs once per
+// (view, version), not once per query.
+func (lv *liveView) viewAudit(prov *provenance.Engine) *provenance.ViewAudit {
+	lv.veMu.Lock()
+	defer lv.veMu.Unlock()
+	if lv.audit == nil {
+		if lv.ve == nil {
+			lv.ve = provenance.NewViewEngine(lv.v)
+		}
+		// Reuse the cached quotient-closure engine: the audit shares it
+		// with the view-level lineage path instead of building a second.
+		lv.audit = provenance.AuditViewUsing(prov, lv.ve)
+	}
+	return lv.audit
 }
 
 // Mutation is a batch of structural additions to a live workflow. The
@@ -880,7 +900,8 @@ func (lw *LiveWorkflow) Mutate(m Mutation) (*MutationResult, error) {
 		dirtyComps := soundness.DirtyComposites(lv.v, dirty, oldK)
 		delta := soundness.Revalidate(lw.oracle, lv.v, dirtyComps)
 		lv.report = soundness.Merge(prev, delta, lv.v)
-		lv.ve = nil // lineage engine rebuilt lazily over the new state
+		lv.ve = nil    // lineage engine rebuilt lazily over the new state
+		lv.audit = nil // provenance audit likewise
 
 		vd := ViewDelta{View: vid, Sound: lv.report.Sound}
 		for _, ci := range dirtyComps {
@@ -914,4 +935,60 @@ func (lw *LiveWorkflow) Mutate(m Mutation) (*MutationResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// ProvSession is a read-consistent provenance query session over a live
+// workflow, handed to the callback of LiveWorkflow.Query. Every pointer
+// it exposes references live registry state guarded by the read lock the
+// session holds: use them inside the callback only, never retain them.
+// The run store (internal/runs) answers all three lineage levels through
+// one session — exact rows from the incrementally maintained closure,
+// view-level rows from the cached quotient closure, and the audited
+// delta from the cached provenance audit.
+type ProvSession struct {
+	lw *LiveWorkflow
+}
+
+// Query invokes fn with a provenance session while holding the live
+// workflow's read lock, so everything fn reads — task space, version,
+// closure rows, view engines, audits — reflects one consistent version.
+func (lw *LiveWorkflow) Query(fn func(ps *ProvSession) error) error {
+	lw.mu.RLock()
+	defer lw.mu.RUnlock()
+	if lw.closed {
+		return lw.errClosed("query")
+	}
+	return fn(&ProvSession{lw: lw})
+}
+
+// Workflow returns the live workflow object (valid only inside the
+// session callback).
+func (ps *ProvSession) Workflow() *workflow.Workflow { return ps.lw.wf }
+
+// Version returns the workflow version the session reads.
+func (ps *ProvSession) Version() uint64 { return ps.lw.version }
+
+// Lineage returns the task-level lineage engine backed by the live
+// incrementally maintained closure — exact rows, zero rebuild cost.
+func (ps *ProvSession) Lineage() *provenance.Engine { return ps.lw.prov }
+
+// View returns the attached view vid with its cached quotient-closure
+// engine and incrementally maintained soundness report.
+func (ps *ProvSession) View(vid string) (*view.View, *provenance.ViewEngine, *soundness.Report, error) {
+	lv, ok := ps.lw.views[vid]
+	if !ok {
+		return nil, nil, nil, errf(ErrUnknownView, "query", "no view %q on workflow %q", vid, ps.lw.id)
+	}
+	return lv.v, lv.viewEngine(), lv.report, nil
+}
+
+// Audit returns the cached provenance audit of view vid (spurious and
+// missing composite pairs against ground truth), built on first use per
+// workflow version.
+func (ps *ProvSession) Audit(vid string) (*provenance.ViewAudit, error) {
+	lv, ok := ps.lw.views[vid]
+	if !ok {
+		return nil, errf(ErrUnknownView, "query", "no view %q on workflow %q", vid, ps.lw.id)
+	}
+	return lv.viewAudit(ps.lw.prov), nil
 }

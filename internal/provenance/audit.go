@@ -29,6 +29,18 @@ type ViewAudit struct {
 	WrongQueries int
 	// Precision = TruePairs / ReportedPairs (1.0 when nothing reported).
 	Precision float64
+
+	// SpuriousUpstream[b] lists the composites the view reports upstream
+	// of b without a real member-level path (ascending); the run store's
+	// audited lineage answers attach exactly this delta per query.
+	// SpuriousDownstream is the transposed relation (a → falsely reported
+	// descendants of a); MissingUpstream/MissingDownstream are the duals
+	// for under-reporting and stay empty for quotient views. All four are
+	// internal detail, not part of the audit's JSON shape.
+	SpuriousUpstream   [][]int `json:"-"`
+	SpuriousDownstream [][]int `json:"-"`
+	MissingUpstream    [][]int `json:"-"`
+	MissingDownstream  [][]int `json:"-"`
 }
 
 // AuditView compares view-level lineage answers with workflow ground
@@ -37,9 +49,25 @@ func AuditView(e *Engine, v *view.View) *ViewAudit {
 	if !workflow.Same(v.Workflow(), e.wf) {
 		panic("provenance: view belongs to a different workflow")
 	}
-	ve := NewViewEngine(v)
+	return AuditViewUsing(e, NewViewEngine(v))
+}
+
+// AuditViewUsing is AuditView against a caller-held view engine,
+// skipping the quotient-closure build — the registry path, where the
+// cached ViewEngine of the live view is already in hand.
+func AuditViewUsing(e *Engine, ve *ViewEngine) *ViewAudit {
+	v := ve.View()
+	if !workflow.Same(v.Workflow(), e.wf) {
+		panic("provenance: view belongs to a different workflow")
+	}
 	k := v.N()
-	a := &ViewAudit{Composites: k}
+	a := &ViewAudit{
+		Composites:         k,
+		SpuriousUpstream:   make([][]int, k),
+		SpuriousDownstream: make([][]int, k),
+		MissingUpstream:    make([][]int, k),
+		MissingDownstream:  make([][]int, k),
+	}
 
 	// trueReach[A] = set of composites containing a task reachable from
 	// some member of A.
@@ -76,8 +104,12 @@ func AuditView(e *Engine, v *view.View) *ViewAudit {
 			case rep && !real:
 				a.FalsePairs++
 				wrong = true
+				a.SpuriousUpstream[b] = append(a.SpuriousUpstream[b], a2)
+				a.SpuriousDownstream[a2] = append(a.SpuriousDownstream[a2], b)
 			case real && !rep:
 				a.MissingPairs++
+				a.MissingUpstream[b] = append(a.MissingUpstream[b], a2)
+				a.MissingDownstream[a2] = append(a.MissingDownstream[a2], b)
 			}
 		}
 		if wrong {

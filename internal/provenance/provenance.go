@@ -84,8 +84,13 @@ func (e *Engine) Lineage(t int) []int {
 	return anc.Members()
 }
 
-// LineageSet returns the ancestor set of t including t itself.
+// LineageSet returns the ancestor set of t including t itself. The set
+// is shared with the engine; do not mutate.
 func (e *Engine) LineageSet(t int) *bitset.Set { return e.ancestors()[t] }
+
+// DescendantSet returns the closure row of t — every task reachable
+// from t, including t itself. Shared with the engine; do not mutate.
+func (e *Engine) DescendantSet(t int) *bitset.Set { return e.fwd.Row(t) }
 
 // Descendants returns every task reachable from t, excluding t.
 func (e *Engine) Descendants(t int) []int {
@@ -139,6 +144,15 @@ func (ve *ViewEngine) CompositeLineage(ci int) []int {
 	return s.Members()
 }
 
+// CompositeDescendants returns the composites reachable from ci in the
+// view graph, excluding ci itself — the downstream dual of
+// CompositeLineage, used for impact ("what consumed this?") queries.
+func (ve *ViewEngine) CompositeDescendants(ci int) []int {
+	s := ve.qReach.Row(ci).Clone()
+	s.Clear(ci)
+	return s.Members()
+}
+
 // TaskLineage answers "what is the provenance of task t's output?" the
 // way a view user would: all members of all composites upstream of t's
 // composite. Tasks of t's own composite other than t are excluded — the
@@ -149,6 +163,24 @@ func (ve *ViewEngine) TaskLineage(t int) []int {
 	home := ve.v.CompOf(t)
 	out := bitset.New(ve.v.Workflow().N())
 	ve.anc[home].ForEach(func(c int) bool {
+		if c == home {
+			return true
+		}
+		for _, m := range ve.v.Composite(c).Members() {
+			out.Set(m)
+		}
+		return true
+	})
+	return out.Members()
+}
+
+// TaskDescendants is the downstream dual of TaskLineage: all members of
+// all composites downstream of t's composite, as a view user would
+// answer "what depends on task t's output?".
+func (ve *ViewEngine) TaskDescendants(t int) []int {
+	home := ve.v.CompOf(t)
+	out := bitset.New(ve.v.Workflow().N())
+	ve.qReach.Row(home).ForEach(func(c int) bool {
 		if c == home {
 			return true
 		}

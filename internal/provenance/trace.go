@@ -2,6 +2,7 @@ package provenance
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -11,9 +12,11 @@ import (
 // This file models concrete workflow executions as provenance graphs in
 // the Open Provenance Model style the paper cites [6]: processes (task
 // invocations) and artifacts (data items) connected by used /
-// wasGeneratedBy edges. The simulator produces one invocation per task
-// and one artifact per task output — the simplification the paper itself
-// makes ("the data items flowing between tasks have been omitted").
+// wasGeneratedBy edges. A Trace holds an arbitrary number of artifacts
+// per task (a task may emit several outputs, or none); Execute remains
+// the convenience constructor producing the paper's own simplification —
+// exactly one invocation and one output artifact per task ("the data
+// items flowing between tasks have been omitted").
 
 // Artifact is a data item produced during an execution.
 type Artifact struct {
@@ -27,29 +30,87 @@ type UsedEdge struct {
 	Artifact string `json:"artifact"` // artifact ID
 }
 
-// Trace is one simulated execution of a workflow.
+// Trace errors.
+var (
+	ErrDuplicateArtifact = errors.New("provenance: duplicate artifact id")
+	ErrUnknownArtifact   = errors.New("provenance: unknown artifact id")
+	ErrNoOutput          = errors.New("provenance: task produced no artifact")
+)
+
+// Trace is one execution of a workflow: an arbitrary multi-output
+// provenance graph. Build one with New + AddArtifact/AddUsed (or the
+// Execute simulator) — methods validate every record against the
+// workflow's task space as it is added.
 type Trace struct {
 	RunID     string
 	wf        *workflow.Workflow
-	artifacts []Artifact // artifacts[i] is the output of task i
+	artifacts []Artifact
 	used      []UsedEdge
+	artIdx    map[string]int // artifact ID → index in artifacts
+	byTask    [][]int        // task index → artifact indices, insertion order
 }
 
-// Execute simulates a run of wf: every task fires once, consuming the
-// outputs of its predecessors.
+// New returns an empty trace over wf.
+func New(wf *workflow.Workflow, runID string) *Trace {
+	return &Trace{
+		RunID:  runID,
+		wf:     wf,
+		artIdx: make(map[string]int),
+		byTask: make([][]int, wf.N()),
+	}
+}
+
+// AddArtifact records a new artifact. The producer must name a workflow
+// task and the ID must be new within the trace.
+func (tr *Trace) AddArtifact(a Artifact) error {
+	if a.ID == "" {
+		return errors.New("provenance: empty artifact id")
+	}
+	ti, ok := tr.wf.Index(a.Producer)
+	if !ok {
+		return fmt.Errorf("provenance: artifact %q: %w: %q", a.ID, workflow.ErrUnknownTask, a.Producer)
+	}
+	if _, dup := tr.artIdx[a.ID]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateArtifact, a.ID)
+	}
+	tr.artIdx[a.ID] = len(tr.artifacts)
+	tr.byTask[ti] = append(tr.byTask[ti], len(tr.artifacts))
+	tr.artifacts = append(tr.artifacts, a)
+	return nil
+}
+
+// AddUsed records that process (a workflow task) consumed an artifact
+// already present in the trace.
+func (tr *Trace) AddUsed(e UsedEdge) error {
+	if _, ok := tr.wf.Index(e.Process); !ok {
+		return fmt.Errorf("provenance: used edge: %w: %q", workflow.ErrUnknownTask, e.Process)
+	}
+	if _, ok := tr.artIdx[e.Artifact]; !ok {
+		return fmt.Errorf("provenance: used edge: %w: %q", ErrUnknownArtifact, e.Artifact)
+	}
+	tr.used = append(tr.used, e)
+	return nil
+}
+
+// Execute simulates a run of wf: every task fires once, producing one
+// output artifact and consuming the outputs of its predecessors.
 func Execute(wf *workflow.Workflow, runID string) *Trace {
-	tr := &Trace{RunID: runID, wf: wf}
+	tr := New(wf, runID)
 	for i := 0; i < wf.N(); i++ {
-		tr.artifacts = append(tr.artifacts, Artifact{
+		if err := tr.AddArtifact(Artifact{
 			ID:       fmt.Sprintf("%s/%s/out", runID, wf.Task(i).ID),
 			Producer: wf.Task(i).ID,
-		})
+		}); err != nil {
+			panic("provenance: simulated artifact must be addable: " + err.Error())
+		}
 	}
 	wf.Graph().Edges(func(u, v int) {
-		tr.used = append(tr.used, UsedEdge{
+		if err := tr.AddUsed(UsedEdge{
 			Process:  wf.Task(v).ID,
-			Artifact: tr.artifacts[u].ID,
-		})
+			Artifact: tr.artifacts[tr.byTask[u][0]].ID,
+		}); err != nil {
+			panic("provenance: simulated used edge must be addable: " + err.Error())
+		}
 	})
 	return tr
 }
@@ -57,23 +118,44 @@ func Execute(wf *workflow.Workflow, runID string) *Trace {
 // Workflow returns the executed workflow.
 func (tr *Trace) Workflow() *workflow.Workflow { return tr.wf }
 
-// Artifacts returns all artifacts, in task-index order.
+// Artifacts returns all artifacts, in insertion order (task-index order
+// for Execute traces).
 func (tr *Trace) Artifacts() []Artifact { return append([]Artifact(nil), tr.artifacts...) }
 
 // Used returns all consumption edges.
 func (tr *Trace) Used() []UsedEdge { return append([]UsedEdge(nil), tr.used...) }
 
-// ArtifactOf returns the output artifact of the given task ID.
+// OutputsOf returns every artifact the given task produced, in insertion
+// order. An unknown task errors; a task with no outputs returns nil.
+func (tr *Trace) OutputsOf(taskID string) ([]Artifact, error) {
+	i, ok := tr.wf.Index(taskID)
+	if !ok {
+		return nil, fmt.Errorf("provenance: %w: %q", workflow.ErrUnknownTask, taskID)
+	}
+	var out []Artifact
+	for _, ai := range tr.byTask[i] {
+		out = append(out, tr.artifacts[ai])
+	}
+	return out, nil
+}
+
+// ArtifactOf returns the first output artifact of the given task ID —
+// the sole output for Execute-style single-output traces. A task with
+// no output errors with ErrNoOutput.
 func (tr *Trace) ArtifactOf(taskID string) (Artifact, error) {
 	i, ok := tr.wf.Index(taskID)
 	if !ok {
 		return Artifact{}, fmt.Errorf("provenance: %w: %q", workflow.ErrUnknownTask, taskID)
 	}
-	return tr.artifacts[i], nil
+	if len(tr.byTask[i]) == 0 {
+		return Artifact{}, fmt.Errorf("%w: %q", ErrNoOutput, taskID)
+	}
+	return tr.artifacts[tr.byTask[i][0]], nil
 }
 
 // ArtifactLineage returns the artifacts that (transitively) contributed
-// to the output of taskID, using engine e for reachability.
+// to the output of taskID, using engine e for reachability: every
+// artifact produced by every ancestor task, in ancestor order.
 func (tr *Trace) ArtifactLineage(e *Engine, taskID string) ([]Artifact, error) {
 	i, ok := tr.wf.Index(taskID)
 	if !ok {
@@ -81,7 +163,9 @@ func (tr *Trace) ArtifactLineage(e *Engine, taskID string) ([]Artifact, error) {
 	}
 	var out []Artifact
 	for _, t := range e.Lineage(i) {
-		out = append(out, tr.artifacts[t])
+		for _, ai := range tr.byTask[t] {
+			out = append(out, tr.artifacts[ai])
+		}
 	}
 	return out, nil
 }
@@ -95,15 +179,17 @@ type opmDocument struct {
 	Generated []UsedEdge `json:"wasGeneratedBy"`
 }
 
-// WriteOPM exports the trace as an OPM-style JSON document.
+// WriteOPM exports the trace as an OPM-style JSON document. Processes
+// list every workflow task; wasGeneratedBy edges follow artifact
+// insertion order, so Execute traces export byte-identically to the
+// historical single-output encoding.
 func (tr *Trace) WriteOPM(w io.Writer) error {
 	doc := opmDocument{Run: tr.RunID, Artifacts: tr.artifacts, Used: tr.used}
 	for i := 0; i < tr.wf.N(); i++ {
 		doc.Processes = append(doc.Processes, tr.wf.Task(i).ID)
-		doc.Generated = append(doc.Generated, UsedEdge{
-			Process:  tr.wf.Task(i).ID,
-			Artifact: tr.artifacts[i].ID,
-		})
+	}
+	for _, a := range tr.artifacts {
+		doc.Generated = append(doc.Generated, UsedEdge{Process: a.Producer, Artifact: a.ID})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,146 @@
+package provenance
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wolves/internal/repo"
+	"wolves/internal/workflow"
+)
+
+// TestExecuteEquivalence pins the satellite requirement: the generalized
+// multi-output Trace, driven through the incremental constructor with
+// exactly Execute's records, behaves identically to Execute — same
+// artifacts, used edges, per-task lookups, lineage and OPM export bytes.
+func TestExecuteEquivalence(t *testing.T) {
+	wf, _ := repo.Figure1()
+	e := NewEngine(wf)
+	sim := Execute(wf, "run1")
+
+	manual := New(wf, "run1")
+	for i := 0; i < wf.N(); i++ {
+		if err := manual.AddArtifact(Artifact{
+			ID:       fmt.Sprintf("run1/%s/out", wf.Task(i).ID),
+			Producer: wf.Task(i).ID,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wf.Graph().Edges(func(u, v int) {
+		if err := manual.AddUsed(UsedEdge{
+			Process:  wf.Task(v).ID,
+			Artifact: fmt.Sprintf("run1/%s/out", wf.Task(u).ID),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if !reflect.DeepEqual(sim.Artifacts(), manual.Artifacts()) {
+		t.Fatal("artifacts diverge")
+	}
+	if !reflect.DeepEqual(sim.Used(), manual.Used()) {
+		t.Fatal("used edges diverge")
+	}
+	for i := 0; i < wf.N(); i++ {
+		id := wf.Task(i).ID
+		a1, err1 := sim.ArtifactOf(id)
+		a2, err2 := manual.ArtifactOf(id)
+		if err1 != nil || err2 != nil || a1 != a2 {
+			t.Fatalf("ArtifactOf(%s): %v/%v vs %v/%v", id, a1, err1, a2, err2)
+		}
+		l1, _ := sim.ArtifactLineage(e, id)
+		l2, _ := manual.ArtifactLineage(e, id)
+		if !reflect.DeepEqual(l1, l2) {
+			t.Fatalf("ArtifactLineage(%s) diverges", id)
+		}
+	}
+	var b1, b2 bytes.Buffer
+	if err := sim.WriteOPM(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := manual.WriteOPM(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("OPM exports diverge")
+	}
+}
+
+// TestMultiOutputTrace exercises the generalization Execute cannot
+// produce: several artifacts per task, tasks with none, and lineage
+// answers spanning all outputs of every ancestor.
+func TestMultiOutputTrace(t *testing.T) {
+	wf, err := workflow.NewBuilder("multi").
+		AddTask("a").AddTask("b").AddTask("c").
+		AddEdge("a", "b").AddEdge("b", "c").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(wf, "r")
+	for _, art := range []Artifact{
+		{ID: "a/1", Producer: "a"},
+		{ID: "a/2", Producer: "a"},
+		{ID: "c/1", Producer: "c"}, // b produces nothing
+	} {
+		if err := tr.AddArtifact(art); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.AddUsed(UsedEdge{Process: "b", Artifact: "a/1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	outs, err := tr.OutputsOf("a")
+	if err != nil || len(outs) != 2 || outs[0].ID != "a/1" || outs[1].ID != "a/2" {
+		t.Fatalf("OutputsOf(a) = %v, %v", outs, err)
+	}
+	if outs, err := tr.OutputsOf("b"); err != nil || outs != nil {
+		t.Fatalf("OutputsOf(b) = %v, %v", outs, err)
+	}
+	if a, err := tr.ArtifactOf("a"); err != nil || a.ID != "a/1" {
+		t.Fatalf("ArtifactOf(a) = %v, %v", a, err)
+	}
+	if _, err := tr.ArtifactOf("b"); !errors.Is(err, ErrNoOutput) {
+		t.Fatalf("ArtifactOf(b) must be ErrNoOutput, got %v", err)
+	}
+	if _, err := tr.ArtifactOf("ghost"); !errors.Is(err, workflow.ErrUnknownTask) {
+		t.Fatalf("ArtifactOf(ghost) = %v", err)
+	}
+
+	e := NewEngine(wf)
+	lin, err := tr.ArtifactLineage(e, "c")
+	if err != nil || len(lin) != 2 || lin[0].ID != "a/1" || lin[1].ID != "a/2" {
+		t.Fatalf("ArtifactLineage(c) = %v, %v", lin, err)
+	}
+
+	// Validation of the incremental constructors.
+	if err := tr.AddArtifact(Artifact{ID: "a/1", Producer: "a"}); !errors.Is(err, ErrDuplicateArtifact) {
+		t.Fatalf("duplicate artifact: %v", err)
+	}
+	if err := tr.AddArtifact(Artifact{ID: "x", Producer: "ghost"}); !errors.Is(err, workflow.ErrUnknownTask) {
+		t.Fatalf("unknown producer: %v", err)
+	}
+	if err := tr.AddArtifact(Artifact{Producer: "a"}); err == nil {
+		t.Fatal("empty artifact id must error")
+	}
+	if err := tr.AddUsed(UsedEdge{Process: "ghost", Artifact: "a/1"}); !errors.Is(err, workflow.ErrUnknownTask) {
+		t.Fatalf("unknown process: %v", err)
+	}
+	if err := tr.AddUsed(UsedEdge{Process: "b", Artifact: "ghost"}); !errors.Is(err, ErrUnknownArtifact) {
+		t.Fatalf("dangling used edge: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteOPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"a/2"`, `"c/1"`, "wasGeneratedBy"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("OPM export missing %s", want)
+		}
+	}
+}

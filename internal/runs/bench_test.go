@@ -1,0 +1,204 @@
+package runs
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"wolves/internal/engine"
+	"wolves/internal/gen"
+	"wolves/internal/provenance"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// benchStore registers a layered n-task workflow with an interval view
+// and returns a run store over it.
+func benchStore(b *testing.B, n int) (*Store, *workflow.Workflow) {
+	b.Helper()
+	wf := gen.Layered(gen.LayeredConfig{
+		Name: fmt.Sprintf("bench-%d", n), Tasks: n, Layers: 16,
+		EdgeProb: 0.05, SkipProb: 0.01, Seed: int64(n),
+	})
+	reg := engine.NewRegistry(engine.New())
+	lw, err := reg.Register("wf", wf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := lw.AttachView("iv", func(wf *workflow.Workflow) (*view.View, error) {
+		return gen.IntervalView(wf, 2+n/16, "iv"), nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return New(reg), wf
+}
+
+// windowRunDoc encodes a run invoking a window of tasks as a chain:
+// every task produces one artifact consumed by the next.
+func windowRunDoc(wf *workflow.Workflow, runID string, start, size int) []byte {
+	doc := struct {
+		Run       string           `json:"run"`
+		Artifacts []map[string]any `json:"artifacts"`
+		Used      []map[string]any `json:"used"`
+	}{Run: runID}
+	n := wf.N()
+	for k := 0; k < size; k++ {
+		task := wf.Task((start + k) % n).ID
+		doc.Artifacts = append(doc.Artifacts, map[string]any{
+			"id": fmt.Sprintf("%s/%d", runID, k), "generated_by": task,
+		})
+		if k > 0 {
+			doc.Used = append(doc.Used, map[string]any{
+				"process": task, "artifact": fmt.Sprintf("%s/%d", runID, k-1),
+			})
+		}
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// fullRunDoc encodes one full execution: an artifact per task, used
+// edges along every workflow edge (implicit invocations).
+func fullRunDoc(wf *workflow.Workflow, runID string) []byte {
+	doc := struct {
+		Run       string           `json:"run"`
+		Artifacts []map[string]any `json:"artifacts"`
+		Used      []map[string]any `json:"used"`
+	}{Run: runID}
+	for i := 0; i < wf.N(); i++ {
+		doc.Artifacts = append(doc.Artifacts, map[string]any{
+			"id": "a" + wf.Task(i).ID, "generated_by": wf.Task(i).ID,
+		})
+	}
+	wf.Graph().Edges(func(u, v int) {
+		doc.Used = append(doc.Used, map[string]any{
+			"process": wf.Task(v).ID, "artifact": "a" + wf.Task(u).ID,
+		})
+	})
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// BenchmarkIngest measures steady-state trace ingestion into a 4096-task
+// workflow: 1k distinct 256-invocation run documents, cycled (so long
+// bench runs replace instead of accumulating). Per-op cost covers JSON
+// decode, task-space validation, dense interning and shard insertion.
+func BenchmarkIngest(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, wf := benchStore(b, n)
+			const pool = 1024
+			docs := make([][]byte, pool)
+			bytes := 0
+			for i := range docs {
+				docs[i] = windowRunDoc(wf, fmt.Sprintf("r%d", i), i*37, 256)
+				bytes += len(docs[i])
+			}
+			b.SetBytes(int64(bytes / pool))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Ingest("wf", docs[i%pool]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLineageQuery contrasts the three answer levels over one full
+// run — the paper's motivation for views: the composite-level closure
+// answers far cheaper than the task-level one, and the audited level
+// adds only the cached per-composite delta on top.
+func BenchmarkLineageQuery(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		s, wf := benchStore(b, n)
+		if _, err := s.Ingest("wf", fullRunDoc(wf, "full")); err != nil {
+			b.Fatal(err)
+		}
+		sink := "a" + wf.Task(n-1).ID
+		queries := map[string]Query{
+			"exact":   {Run: "full", Artifact: sink},
+			"view":    {Run: "full", Artifact: sink, Level: LevelView, View: "iv"},
+			"audited": {Run: "full", Artifact: sink, Level: LevelAudited, View: "iv"},
+		}
+		for _, level := range []string{"exact", "view", "audited"} {
+			q := queries[level]
+			// Warm the cached view engine / audit outside the timer.
+			if _, err := s.Lineage("wf", q); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("level=%s/n=%d", level, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Lineage("wf", q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLineageCold isolates the paper's actual argument for views:
+// answering lineage without a maintained closure. Per operation, the
+// exact side builds the task-level reachability closure (O(n³/w)) and
+// answers one query; the view side builds only the composite-level
+// quotient closure (O(k³/w), k ≪ n) and answers the same query. The run
+// store's served path (BenchmarkLineageQuery) makes both cheap by
+// maintaining the closure incrementally — this benchmark is the cost a
+// stateless provenance system would pay per query.
+func BenchmarkLineageCold(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		wf := gen.Layered(gen.LayeredConfig{
+			Name: fmt.Sprintf("cold-%d", n), Tasks: n, Layers: 16,
+			EdgeProb: 0.05, SkipProb: 0.01, Seed: int64(n),
+		})
+		v := gen.IntervalView(wf, 2+n/16, "iv")
+		t := n - 1
+		b.Run(fmt.Sprintf("level=exact/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := provenance.NewEngine(wf)
+				if len(e.Lineage(t)) == 0 {
+					b.Fatal("empty lineage")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("level=view/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ve := provenance.NewViewEngine(v)
+				if len(ve.TaskLineage(t)) == 0 {
+					b.Fatal("empty lineage")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLineageBatch measures the worker-pool batch endpoint: 256
+// mixed-level queries per operation.
+func BenchmarkLineageBatch(b *testing.B) {
+	s, wf := benchStore(b, 1024)
+	if _, err := s.Ingest("wf", fullRunDoc(wf, "full")); err != nil {
+		b.Fatal(err)
+	}
+	var qs []Query
+	for i := 0; i < 256; i++ {
+		q := Query{Run: "full", Artifact: "a" + wf.Task((i*13)%wf.N()).ID}
+		if i%2 == 1 {
+			q.Level, q.View = LevelView, "iv"
+		}
+		qs = append(qs, q)
+	}
+	ctx := b.Context()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.LineageBatch(ctx, "wf", qs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

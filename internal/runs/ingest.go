@@ -1,0 +1,391 @@
+package runs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"wolves/internal/bitset"
+	"wolves/internal/engine"
+	"wolves/internal/workflow"
+)
+
+// This file implements trace ingestion: decoding the OPM-style wire
+// formats (one JSON document, or an NDJSON stream of records), validating
+// every record against the workflow's task space, and interning the
+// result into the dense Run representation. Every rejection is a typed
+// engine.Error with code ErrInvalidTrace (wolvesd: 422) — malformed
+// input must never panic or surface as internal.
+
+// wireInvocation is one process of the trace: an invocation of a
+// workflow task.
+type wireInvocation struct {
+	ID   string `json:"id"`
+	Task string `json:"task"`
+}
+
+// wireArtifact is one data item. GeneratedBy names the producing
+// invocation (or, when the trace declares no invocations, the producing
+// task); empty means an external input to the run.
+type wireArtifact struct {
+	ID          string `json:"id"`
+	GeneratedBy string `json:"generated_by,omitempty"`
+}
+
+// wireUsed is one consumption edge: Process (an invocation — or task,
+// see above) read Artifact.
+type wireUsed struct {
+	Process  string `json:"process"`
+	Artifact string `json:"artifact"`
+}
+
+// wireRun is the JSON document shape of one run. When Invocations is
+// empty, process references (generated_by, used.process) name workflow
+// tasks directly and one implicit invocation is created per referenced
+// task — the paper's own simplification, and the natural encoding for
+// Execute-style traces.
+type wireRun struct {
+	Run string `json:"run"`
+	// Version is ingestion metadata, not part of the trace: the workflow
+	// version the run was validated against. Client-supplied values are
+	// ignored on live ingestion; the canonical document records it so
+	// recovery restores runs with their original version stamp.
+	Version     uint64           `json:"version,omitempty"`
+	Invocations []wireInvocation `json:"invocations,omitempty"`
+	Artifacts   []wireArtifact   `json:"artifacts,omitempty"`
+	Used        []wireUsed       `json:"used,omitempty"`
+}
+
+// decodeRunDoc parses one full JSON run document.
+func decodeRunDoc(doc []byte) (*wireRun, error) {
+	var w wireRun
+	if err := json.Unmarshal(doc, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// Ingest validates and stores one run document for workflowID,
+// journaling it when a journal is installed. Re-ingesting an existing
+// run ID replaces the run (idempotent, which is also what makes WAL
+// replay safe). The returned info carries the workflow version the run
+// was validated against.
+func (s *Store) Ingest(workflowID string, doc []byte) (*RunInfo, error) {
+	w, err := decodeRunDoc(doc)
+	if err != nil {
+		return nil, errf(engine.ErrInvalidTrace, "ingest", "malformed run document: %v", err)
+	}
+	return s.ingestWire(workflowID, w, true)
+}
+
+// wireLine is one NDJSON record: exactly one of the fields is set.
+type wireLine struct {
+	Run        string          `json:"run,omitempty"`
+	Invocation *wireInvocation `json:"invocation,omitempty"`
+	Artifact   *wireArtifact   `json:"artifact,omitempty"`
+	Used       *wireUsed       `json:"used,omitempty"`
+}
+
+// IngestNDJSON streams one run from r: each line is a JSON record
+// declaring the run ID, an invocation, an artifact or a used edge.
+// A final line torn mid-record (a client crash or truncated upload)
+// rejects the whole run with ErrInvalidTrace — runs are atomic, never
+// partially ingested.
+func (s *Store) IngestNDJSON(workflowID string, r io.Reader) (*RunInfo, error) {
+	br := bufio.NewReader(r)
+	w := &wireRun{}
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			// A read failure (connection drop, body-size cap) is the
+			// request's problem, not the trace's: bad_input → 400, matching
+			// what the whole-document path reports for the same condition.
+			return nil, errf(engine.ErrBadInput, "ingest", "reading NDJSON stream: %v", err)
+		}
+		torn := err == io.EOF && line != "" && !strings.HasSuffix(line, "\n")
+		if trimmed := strings.TrimSpace(line); trimmed != "" {
+			lineNo++
+			var rec wireLine
+			if jerr := json.Unmarshal([]byte(trimmed), &rec); jerr != nil {
+				if torn {
+					return nil, errf(engine.ErrInvalidTrace, "ingest",
+						"NDJSON stream ends with a torn record at line %d: %v", lineNo, jerr)
+				}
+				return nil, errf(engine.ErrInvalidTrace, "ingest", "NDJSON line %d: %v", lineNo, jerr)
+			}
+			if aerr := accumulate(w, &rec, lineNo); aerr != nil {
+				return nil, aerr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	return s.ingestWire(workflowID, w, true)
+}
+
+// accumulate folds one NDJSON record into the run under construction.
+func accumulate(w *wireRun, rec *wireLine, lineNo int) *engine.Error {
+	set := 0
+	if rec.Run != "" {
+		set++
+		if w.Run != "" && w.Run != rec.Run {
+			return errf(engine.ErrInvalidTrace, "ingest",
+				"NDJSON line %d: run id %q conflicts with %q", lineNo, rec.Run, w.Run)
+		}
+		w.Run = rec.Run
+	}
+	if rec.Invocation != nil {
+		set++
+		w.Invocations = append(w.Invocations, *rec.Invocation)
+	}
+	if rec.Artifact != nil {
+		set++
+		w.Artifacts = append(w.Artifacts, *rec.Artifact)
+	}
+	if rec.Used != nil {
+		set++
+		w.Used = append(w.Used, *rec.Used)
+	}
+	if set == 0 {
+		return errf(engine.ErrInvalidTrace, "ingest",
+			"NDJSON line %d: record declares none of run/invocation/artifact/used", lineNo)
+	}
+	return nil
+}
+
+// ingestWire is the shared ingestion path: validate + intern under the
+// workflow's read lock, insert into the shard, journal, snapshot.
+func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool) (*RunInfo, error) {
+	lw, err := s.reg.Get(workflowID)
+	if err != nil {
+		return nil, wrapErr("ingest", err)
+	}
+	if w.Run == "" {
+		return nil, errf(engine.ErrInvalidTrace, "ingest", "run document missing run id")
+	}
+	if len(w.Artifacts) == 0 && len(w.Invocations) == 0 {
+		return nil, errf(engine.ErrInvalidTrace, "ingest",
+			"run %q is empty: no invocations and no artifacts", w.Run)
+	}
+	// Validation, shard insertion and the journal append all run inside
+	// one read-locked session. The lock is what orders this ingestion
+	// against a same-ID re-registration: replacing a workflow close()s
+	// the old incarnation under its WRITE lock before the registry
+	// journals the new registration record, so a recRun record appended
+	// here can never land after the registration record that supersedes
+	// its workflow — replay always re-validates the run against the
+	// incarnation it was validated against live.
+	var run *Run
+	var replaced, wantSnap bool
+	if err := lw.Query(func(ps *engine.ProvSession) error {
+		version := ps.Version()
+		if !journal && w.Version != 0 {
+			// Restore path: keep the version stamp the run was originally
+			// validated under, so recovered metadata is byte-identical.
+			version = w.Version
+		}
+		r, berr := buildRun(ps.Workflow(), version, w)
+		if berr != nil {
+			return berr
+		}
+		run = r
+
+		sh := s.shardFor(lw)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		_, replaced = sh.runs[run.id]
+		sh.runs[run.id] = run
+		if !replaced {
+			sh.order = append(sh.order, run.id)
+		}
+		if journal && s.journal != nil {
+			// Journaled under the shard lock so per-run records of one
+			// workflow hit the WAL in ingestion order. A journal error
+			// leaves the run applied in memory — the store is
+			// sticky-failed, so every later ingest fails too and the
+			// operator restarts from the last durable state (the same
+			// contract as the registry's mutations).
+			ws, jerr := s.journal.RunIngested(workflowID, run.id, run.doc)
+			if jerr != nil {
+				return wrapErr("ingest", jerr)
+			}
+			wantSnap = ws
+			s.journaledBytes.Add(int64(len(run.doc)))
+		}
+		return nil
+	}); err != nil {
+		return nil, wrapErr("ingest", err)
+	}
+	s.ingested.Add(1)
+
+	if wantSnap {
+		// The run's WAL growth passed the snapshot trigger: fold the
+		// workflow (runs included, via the store's run provider) into a
+		// fresh snapshot. Taken outside the shard lock — the provider
+		// re-reads the shard.
+		if serr := lw.State(func(st *engine.LiveState) error {
+			return s.journal.SnapshotWorkflow(st)
+		}); serr != nil && !engine.IsCode(serr, engine.ErrUnknownWorkflow) {
+			return nil, wrapErr("ingest", serr)
+		}
+	}
+	info := run.info(workflowID)
+	info.Replaced = replaced
+	return info, nil
+}
+
+// buildRun validates the wire run against wf's task space and interns it
+// into the dense representation. All errors are ErrInvalidTrace-coded
+// (wrapping workflow.ErrUnknownTask where a task lookup failed).
+func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.Error) {
+	run := &Run{
+		id:      w.Run,
+		version: version,
+		n:       wf.N(),
+		artIdx:  make(map[string]int32, len(w.Artifacts)),
+		invoked: bitset.New(wf.N()),
+	}
+	implicit := len(w.Invocations) == 0
+	procIdx := make(map[string]int32, len(w.Invocations))
+
+	addProc := func(id string, task int) int32 {
+		pi := int32(len(run.procID))
+		procIdx[id] = pi
+		run.procID = append(run.procID, id)
+		run.procTask = append(run.procTask, int32(task))
+		run.invoked.Set(task)
+		return pi
+	}
+	for i, inv := range w.Invocations {
+		if inv.ID == "" {
+			return nil, errf(engine.ErrInvalidTrace, "ingest",
+				"run %q: invocation %d has an empty id", w.Run, i)
+		}
+		if _, dup := procIdx[inv.ID]; dup {
+			return nil, errf(engine.ErrInvalidTrace, "ingest",
+				"run %q: duplicate invocation id %q", w.Run, inv.ID)
+		}
+		ti, ok := wf.Index(inv.Task)
+		if !ok {
+			return nil, traceErr(w.Run, fmt.Errorf("invocation %q: %w: %q",
+				inv.ID, workflow.ErrUnknownTask, inv.Task))
+		}
+		addProc(inv.ID, ti)
+	}
+	// resolve maps a process reference onto a dense invocation index. In
+	// implicit mode the reference is a task ID and the invocation is
+	// created on first use.
+	resolve := func(ref, where string) (int32, *engine.Error) {
+		if pi, ok := procIdx[ref]; ok {
+			return pi, nil
+		}
+		if !implicit {
+			return 0, errf(engine.ErrInvalidTrace, "ingest",
+				"run %q: %s references unknown invocation %q", w.Run, where, ref)
+		}
+		ti, ok := wf.Index(ref)
+		if !ok {
+			return 0, traceErr(w.Run, fmt.Errorf("%s: %w: %q",
+				where, workflow.ErrUnknownTask, ref))
+		}
+		return addProc(ref, ti), nil
+	}
+
+	for i, a := range w.Artifacts {
+		if a.ID == "" {
+			return nil, errf(engine.ErrInvalidTrace, "ingest",
+				"run %q: artifact %d has an empty id", w.Run, i)
+		}
+		if _, dup := run.artIdx[a.ID]; dup {
+			return nil, errf(engine.ErrInvalidTrace, "ingest",
+				"run %q: duplicate artifact id %q", w.Run, a.ID)
+		}
+		gen := int32(-1)
+		if a.GeneratedBy != "" {
+			pi, gerr := resolve(a.GeneratedBy, fmt.Sprintf("artifact %q generated_by", a.ID))
+			if gerr != nil {
+				return nil, gerr
+			}
+			gen = pi
+		}
+		run.artIdx[a.ID] = int32(len(run.artID))
+		run.artID = append(run.artID, a.ID)
+		run.artGen = append(run.artGen, gen)
+	}
+
+	for _, u := range w.Used {
+		pi, uerr := resolve(u.Process, fmt.Sprintf("used edge for artifact %q", u.Artifact))
+		if uerr != nil {
+			return nil, uerr
+		}
+		ai, ok := run.artIdx[u.Artifact]
+		if !ok {
+			return nil, errf(engine.ErrInvalidTrace, "ingest",
+				"run %q: dangling used edge: process %q consumes unknown artifact %q",
+				w.Run, u.Process, u.Artifact)
+		}
+		run.used = append(run.used, [2]int32{pi, ai})
+	}
+
+	// CSR adjacency (artifacts consumed per invocation) for why-provenance
+	// walks: O(invocations + used) words, built once at ingestion.
+	counts := make([]int32, len(run.procID)+1)
+	for _, e := range run.used {
+		counts[e[0]+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	run.usedStart = counts
+	run.usedArt = make([]int32, len(run.used))
+	fill := make([]int32, len(run.procID))
+	for _, e := range run.used {
+		run.usedArt[run.usedStart[e[0]]+fill[e[0]]] = e[1]
+		fill[e[0]]++
+	}
+
+	// Canonical document: the normalized wire shape (implicit invocations
+	// materialized, everything in dense order). Journal records and
+	// snapshots carry these bytes, so recovery rebuilds this exact run.
+	doc, err := json.Marshal(run.wireDoc(wf))
+	if err != nil {
+		return nil, errf(engine.ErrInternal, "ingest", "encode run %q: %v", w.Run, err)
+	}
+	run.doc = doc
+	return run, nil
+}
+
+// traceErr wraps a cause (typically workflow.ErrUnknownTask) in an
+// ErrInvalidTrace-coded error, keeping errors.Is reachable.
+func traceErr(runID string, cause error) *engine.Error {
+	return &engine.Error{
+		Code:    engine.ErrInvalidTrace,
+		Op:      "ingest",
+		Message: fmt.Sprintf("run %q: %v", runID, cause),
+		Err:     cause,
+	}
+}
+
+// wireDoc re-encodes the dense run as its normalized wire document;
+// called at build time, while the workflow is lock-protected.
+func (r *Run) wireDoc(wf *workflow.Workflow) *wireRun {
+	w := &wireRun{Run: r.id, Version: r.version}
+	for i, id := range r.procID {
+		w.Invocations = append(w.Invocations, wireInvocation{ID: id, Task: wf.Task(int(r.procTask[i])).ID})
+	}
+	for i, id := range r.artID {
+		a := wireArtifact{ID: id}
+		if g := r.artGen[i]; g >= 0 {
+			a.GeneratedBy = r.procID[g]
+		}
+		w.Artifacts = append(w.Artifacts, a)
+	}
+	for _, e := range r.used {
+		w.Used = append(w.Used, wireUsed{Process: r.procID[e[0]], Artifact: r.artID[e[1]]})
+	}
+	return w
+}

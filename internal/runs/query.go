@@ -1,0 +1,351 @@
+package runs
+
+import (
+	"context"
+
+	"wolves/internal/bitset"
+	"wolves/internal/engine"
+)
+
+// Query levels and directions.
+const (
+	LevelExact   = "exact"   // task closure from the registry's incremental rows
+	LevelView    = "view"    // composite (quotient) closure of an attached view
+	LevelAudited = "audited" // view level + provenance-audit delta
+
+	DirAncestors   = "ancestors"   // lineage: what produced this artifact
+	DirDescendants = "descendants" // impact: what consumed it downstream
+)
+
+// Query is one lineage question against an ingested run.
+type Query struct {
+	Run      string `json:"run"`
+	Artifact string `json:"artifact"`
+	// Level selects the answer granularity: exact (default), view or
+	// audited. The view levels require View.
+	Level string `json:"level,omitempty"`
+	// View names the attached view for the view/audited levels.
+	View string `json:"view,omitempty"`
+	// Direction is ancestors (default) or descendants.
+	Direction string `json:"direction,omitempty"`
+	// Witness additionally returns the why-provenance of the answer: the
+	// run's used/wasGeneratedBy edges reachable backward from the
+	// artifact (ancestors direction only).
+	Witness bool `json:"witness,omitempty"`
+}
+
+// WhyEdge is one edge of a why-provenance witness.
+type WhyEdge struct {
+	Relation string `json:"relation"` // "used" | "wasGeneratedBy"
+	Process  string `json:"process"`  // invocation ID
+	Artifact string `json:"artifact"`
+}
+
+// Answer is the response to one lineage query. Tasks and Artifacts are
+// restricted to what actually happened in the queried run (tasks with an
+// invocation, artifacts the run recorded); an artifact that was an
+// external input answers with empty sets. For the view and audited
+// levels ViewSound carries the view's incrementally maintained
+// soundness; the audited level adds the per-query delta — Sound is true
+// iff this specific answer has no spurious or missing composites.
+type Answer struct {
+	Workflow string `json:"workflow"`
+	Run      string `json:"run"`
+	Artifact string `json:"artifact"`
+	// Producer is the task whose invocation generated the artifact;
+	// empty for external inputs.
+	Producer  string `json:"producer,omitempty"`
+	Level     string `json:"level"`
+	Direction string `json:"direction"`
+	// Version is the workflow version the answer was computed against.
+	Version uint64 `json:"version"`
+	// Tasks are the lineage (or impact) tasks invoked in this run,
+	// ascending by task index; Artifacts are this run's artifacts those
+	// tasks generated.
+	Tasks     []string `json:"tasks"`
+	Artifacts []string `json:"artifacts"`
+	// View levels only:
+	View       string   `json:"view,omitempty"`
+	ViewSound  *bool    `json:"view_sound,omitempty"`
+	Composites []string `json:"composites,omitempty"`
+	// Audited level only:
+	Sound *bool `json:"sound,omitempty"`
+	// Spurious lists composites the view wrongly includes in this
+	// answer (no real member-level path); Missing is the dual and stays
+	// empty for quotient views. SpuriousTasks are the invoked member
+	// tasks of the spurious composites — the concrete false positives a
+	// view user would be misled by.
+	Spurious      []string `json:"spurious_composites,omitempty"`
+	Missing       []string `json:"missing_composites,omitempty"`
+	SpuriousTasks []string `json:"spurious_tasks,omitempty"`
+	// Witness (when requested) is the why-provenance: the used /
+	// wasGeneratedBy edges of this run that support the answer.
+	Witness []WhyEdge `json:"witness,omitempty"`
+}
+
+// Lineage answers one query against an ingested run.
+func (s *Store) Lineage(workflowID string, q Query) (*Answer, error) {
+	level := q.Level
+	if level == "" {
+		level = LevelExact
+	}
+	dir := q.Direction
+	if dir == "" {
+		dir = DirAncestors
+	}
+	switch level {
+	case LevelExact, LevelView, LevelAudited:
+	default:
+		return nil, errf(engine.ErrBadInput, "lineage",
+			"unknown level %q (want exact|view|audited)", q.Level)
+	}
+	switch dir {
+	case DirAncestors, DirDescendants:
+	default:
+		return nil, errf(engine.ErrBadInput, "lineage",
+			"unknown direction %q (want ancestors|descendants)", q.Direction)
+	}
+	if level != LevelExact && q.View == "" {
+		return nil, errf(engine.ErrBadInput, "lineage", "level %q requires a view", level)
+	}
+	if q.Witness && dir != DirAncestors {
+		return nil, errf(engine.ErrBadInput, "lineage", "witness requires direction ancestors")
+	}
+	if q.Artifact == "" {
+		return nil, errf(engine.ErrBadInput, "lineage", "missing artifact")
+	}
+
+	lw, run, err := s.lookup(workflowID, q.Run)
+	if err != nil {
+		return nil, err
+	}
+	ai, ok := run.artIdx[q.Artifact]
+	if !ok {
+		return nil, errf(engine.ErrUnknownArtifact, "lineage",
+			"run %q has no artifact %q", q.Run, q.Artifact)
+	}
+	s.queries.Add(1)
+
+	ans := &Answer{
+		Workflow:  workflowID,
+		Run:       q.Run,
+		Artifact:  q.Artifact,
+		Level:     level,
+		Direction: dir,
+		Tasks:     []string{},
+		Artifacts: []string{},
+	}
+	qerr := lw.Query(func(ps *engine.ProvSession) error {
+		ans.Version = ps.Version()
+		gen := run.artGen[ai]
+		if gen < 0 {
+			// External input: it has no producing invocation, so its
+			// closure-level lineage is empty at every level; the witness
+			// is empty too. View fields still report the view's health.
+			if level != LevelExact {
+				_, _, rep, verr := ps.View(q.View)
+				if verr != nil {
+					return verr
+				}
+				ans.View = q.View
+				sound := rep.Sound
+				ans.ViewSound = &sound
+				if level == LevelAudited {
+					t := true
+					ans.Sound = &t
+				}
+			}
+			return nil
+		}
+		t := int(run.procTask[gen])
+		ans.Producer = ps.Workflow().Task(t).ID
+
+		switch level {
+		case LevelExact:
+			s.answerExact(ans, ps, run, t, dir)
+		default:
+			if verr := s.answerView(ans, ps, run, t, q.View, dir, level == LevelAudited); verr != nil {
+				return verr
+			}
+		}
+		if q.Witness {
+			ans.Witness = run.witness(ai)
+		}
+		return nil
+	})
+	if qerr != nil {
+		return nil, wrapErr("lineage", qerr)
+	}
+	return ans, nil
+}
+
+// inRun reports whether task u (an index of the possibly-grown live
+// workflow) had an invocation in the run; tasks added after ingestion
+// are outside the run by construction.
+func (r *Run) inRun(u int) bool { return u < r.n && r.invoked.Test(u) }
+
+// fillTasks writes the invoked tasks of want (excluding home) into the
+// answer, plus this run's artifacts they generated.
+func (r *Run) fillTasks(ans *Answer, ps *engine.ProvSession, want *bitset.Set, home int) {
+	wf := ps.Workflow()
+	want.ForEach(func(u int) bool {
+		if u != home && r.inRun(u) {
+			ans.Tasks = append(ans.Tasks, wf.Task(u).ID)
+		}
+		return true
+	})
+	for i, g := range r.artGen {
+		if g < 0 {
+			continue
+		}
+		if u := int(r.procTask[g]); u != home && want.Test(u) {
+			ans.Artifacts = append(ans.Artifacts, r.artID[i])
+		}
+	}
+}
+
+// answerExact serves the task-closure level from the registry's
+// incrementally maintained rows: zero closure builds per query.
+func (s *Store) answerExact(ans *Answer, ps *engine.ProvSession, run *Run, t int, dir string) {
+	// Both directions read the shared closure rows directly (stable under
+	// the session's read lock); fillTasks excludes the home task itself.
+	prov := ps.Lineage()
+	var want *bitset.Set
+	if dir == DirAncestors {
+		want = prov.LineageSet(t)
+	} else {
+		want = prov.DescendantSet(t)
+	}
+	run.fillTasks(ans, ps, want, t)
+}
+
+// answerView serves the composite-closure level (and, when audited is
+// set, attaches the cached provenance-audit delta for the home
+// composite).
+func (s *Store) answerView(ans *Answer, ps *engine.ProvSession, run *Run, t int, vid, dir string, audited bool) error {
+	v, ve, rep, err := ps.View(vid)
+	if err != nil {
+		return err
+	}
+	ans.View = vid
+	sound := rep.Sound
+	ans.ViewSound = &sound
+
+	home := v.CompOf(t)
+	var comps []int
+	var taskList []int
+	if dir == DirAncestors {
+		comps = ve.CompositeLineage(home)
+		taskList = ve.TaskLineage(t)
+	} else {
+		comps = ve.CompositeDescendants(home)
+		taskList = ve.TaskDescendants(t)
+	}
+	for _, ci := range comps {
+		ans.Composites = append(ans.Composites, v.Composite(ci).ID)
+	}
+	want := bitset.New(ps.Workflow().N())
+	for _, u := range taskList {
+		want.Set(u)
+	}
+	run.fillTasks(ans, ps, want, t)
+
+	if !audited {
+		return nil
+	}
+	audit, err := ps.Audit(vid)
+	if err != nil {
+		return err
+	}
+	var spur, miss []int
+	if dir == DirAncestors {
+		spur, miss = audit.SpuriousUpstream[home], audit.MissingUpstream[home]
+	} else {
+		spur, miss = audit.SpuriousDownstream[home], audit.MissingDownstream[home]
+	}
+	wf := ps.Workflow()
+	for _, ci := range spur {
+		ans.Spurious = append(ans.Spurious, v.Composite(ci).ID)
+		for _, m := range v.Composite(ci).Members() {
+			if run.inRun(m) {
+				ans.SpuriousTasks = append(ans.SpuriousTasks, wf.Task(m).ID)
+			}
+		}
+	}
+	for _, ci := range miss {
+		ans.Missing = append(ans.Missing, v.Composite(ci).ID)
+	}
+	ok := len(spur) == 0 && len(miss) == 0
+	ans.Sound = &ok
+	return nil
+}
+
+// witness computes the why-provenance of artifact ai: a breadth-first
+// backward walk over this run's wasGeneratedBy/used edges, O(edges).
+func (r *Run) witness(ai int32) []WhyEdge {
+	out := []WhyEdge{}
+	seenArt := make([]bool, len(r.artID))
+	seenProc := make([]bool, len(r.procID))
+	queue := []int32{ai}
+	seenArt[ai] = true
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		g := r.artGen[a]
+		if g < 0 {
+			continue
+		}
+		out = append(out, WhyEdge{Relation: "wasGeneratedBy", Process: r.procID[g], Artifact: r.artID[a]})
+		if seenProc[g] {
+			continue
+		}
+		seenProc[g] = true
+		for _, ua := range r.usedArt[r.usedStart[g]:r.usedStart[g+1]] {
+			out = append(out, WhyEdge{Relation: "used", Process: r.procID[g], Artifact: r.artID[ua]})
+			if !seenArt[ua] {
+				seenArt[ua] = true
+				queue = append(queue, ua)
+			}
+		}
+	}
+	return out
+}
+
+// BatchResult is the per-query outcome of LineageBatch; exactly one of
+// Answer and Err is set.
+type BatchResult struct {
+	Answer *Answer       `json:"answer,omitempty"`
+	Err    *engine.Error `json:"error,omitempty"`
+}
+
+// LineageBatch answers every query over the worker pool (the engine's
+// batch fan-out machinery) and returns per-query results in input
+// order. An unknown workflow fails the whole batch; everything else —
+// unknown run, unknown artifact, bad level — fails only its own query.
+// A canceled ctx marks the unclaimed remainder ErrCanceled.
+func (s *Store) LineageBatch(ctx context.Context, workflowID string, qs []Query, workers int) ([]BatchResult, error) {
+	if len(qs) == 0 {
+		return nil, errf(engine.ErrBadInput, "lineage", "no queries")
+	}
+	if _, err := s.reg.Get(workflowID); err != nil {
+		return nil, wrapErr("lineage", err)
+	}
+	if workers <= 0 {
+		workers = s.workers
+	}
+	results := make([]BatchResult, len(qs))
+	engine.FanOut(ctx, workers, len(qs),
+		func(i int) {
+			a, err := s.Lineage(workflowID, qs[i])
+			if err != nil {
+				results[i] = BatchResult{Err: wrapErr("lineage", err)}
+				return
+			}
+			results[i] = BatchResult{Answer: a}
+		},
+		func(i int) {
+			results[i] = BatchResult{Err: &engine.Error{
+				Code: engine.ErrCanceled, Op: "lineage", Message: ctx.Err().Error(), Err: ctx.Err()}}
+		})
+	return results, nil
+}

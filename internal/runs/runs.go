@@ -1,0 +1,364 @@
+// Package runs is the multi-run provenance store and query engine of
+// wolvesd: the subsystem that turns the WOLVES view machinery into a
+// provenance *service*. Clients ingest OPM-style execution traces
+// (invocations + artifacts + used/wasGeneratedBy edges, JSON or NDJSON
+// streaming) against a workflow registered in the live registry; every
+// record is validated against the workflow's task space, artifact and
+// invocation IDs are interned into dense indices, and the run is indexed
+// under its workflow so it costs O(edges) machine words. Lineage,
+// descendant and why-provenance queries are then served at three levels:
+//
+//   - exact: the task-level closure, read from the registry's
+//     incrementally maintained IncrementalClosure rows;
+//   - view: the composite-level closure of an attached view — the
+//     paper's cheap answer, correct only for sound views;
+//   - audited: the view-level answer plus the provenance-audit delta,
+//     so every response carries a soundness flag and the exact set of
+//     spurious/missing composites (the paper's 14→18 example).
+//
+// Concurrency: the store holds one shard per workflow with its own
+// RWMutex, so ingestion into one workflow never stalls queries on
+// another; individual runs are immutable after ingestion, so queries
+// hold no shard lock while computing. Shards are anchored to the
+// registry's live-workflow handle — when a workflow is deleted, replaced
+// or evicted, its runs die with it (lazily, on the next touch).
+//
+// Durability: with a Journal installed (internal/storage implements it),
+// every ingested run is appended to the registry's WAL and folded into
+// the workflow's snapshots, so a daemon restart recovers every run
+// byte-identically (see storage.RecoverWithRuns).
+package runs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wolves/internal/bitset"
+	"wolves/internal/engine"
+)
+
+// Journal receives every committed run ingestion. The storage package's
+// Store implements it next to engine.Journal: RunIngested appends one
+// WAL record and reports whether the workflow's WAL growth passed the
+// snapshot trigger; the store then follows up with SnapshotWorkflow
+// under the workflow's read lock. A nil Journal means purely in-memory.
+type Journal interface {
+	// RunIngested journals one ingested (or replaced) run document.
+	RunIngested(workflowID, runID string, doc []byte) (wantSnapshot bool, err error)
+	// SnapshotWorkflow folds the workflow into a fresh snapshot covering
+	// everything journaled so far (runs included, via the run provider).
+	SnapshotWorkflow(st *engine.LiveState) error
+}
+
+// Store is the concurrent multi-run provenance store, layered on the
+// live workflow registry. Construct with New; all methods are safe for
+// concurrent use.
+type Store struct {
+	reg     *engine.Registry
+	workers int
+	// journal is set at construction (WithJournal) or during setup
+	// (SetJournal) — not synchronized with live traffic, exactly like
+	// the registry's journal seam.
+	journal Journal
+
+	mu     sync.Mutex // guards shards map only
+	shards map[string]*shard
+
+	ingested       atomic.Int64
+	queries        atomic.Int64
+	journaledBytes atomic.Int64
+}
+
+// Option configures a Store at construction time.
+type Option func(*Store)
+
+// WithJournal installs the durability journal (see Journal).
+func WithJournal(j Journal) Option {
+	return func(s *Store) { s.journal = j }
+}
+
+// WithWorkers sets the default fan-out width of LineageBatch. n <= 0
+// (the default) means 8.
+func WithWorkers(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// New returns an empty run store over reg.
+func New(reg *engine.Registry, opts ...Option) *Store {
+	s := &Store{reg: reg, workers: 8, shards: make(map[string]*shard)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// SetJournal installs (or clears) the store's journal. Call during
+// setup — after recovery, before serving traffic.
+func (s *Store) SetJournal(j Journal) { s.journal = j }
+
+// shard holds every run of one workflow registration. The anchor lw
+// pins the registration the runs belong to: when the registry hands out
+// a different handle for the same ID (delete + re-register, replace,
+// eviction), the stale shard is discarded on the next touch — runs never
+// outlive the workflow they were validated against.
+type shard struct {
+	lw *engine.LiveWorkflow
+
+	mu    sync.RWMutex
+	runs  map[string]*Run
+	order []string // ingestion order
+}
+
+// shardFor returns (creating or re-anchoring as needed) the shard of the
+// given live registration.
+func (s *Store) shardFor(lw *engine.LiveWorkflow) *shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shards[lw.ID()]
+	if !ok || sh.lw != lw {
+		sh = &shard{lw: lw, runs: make(map[string]*Run)}
+		s.shards[lw.ID()] = sh
+	}
+	return sh
+}
+
+// shardRead returns the shard anchored to exactly this registration, or
+// nil when no runs were ingested for it (read paths never create
+// shards, and never resurrect a stale one).
+func (s *Store) shardRead(lw *engine.LiveWorkflow) *shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shards[lw.ID()]
+	if sh == nil || sh.lw != lw {
+		return nil
+	}
+	return sh
+}
+
+// Run is one ingested execution trace in dense interned form. Runs are
+// immutable after ingestion (replacement swaps the whole pointer), so
+// queries read them without any lock.
+type Run struct {
+	id      string
+	version uint64 // workflow version at ingestion
+	n       int    // workflow task count at ingestion
+
+	procID   []string // invocation IDs, dense
+	procTask []int32  // invocation → workflow task index
+
+	artID  []string
+	artGen []int32 // artifact → generating invocation, -1 = external input
+	artIdx map[string]int32
+
+	used      [][2]int32 // (invocation, artifact), ingestion order
+	usedStart []int32    // CSR offsets: artifacts used by each invocation
+	usedArt   []int32
+
+	invoked *bitset.Set // tasks with at least one invocation
+
+	doc []byte // canonical JSON document (journal, snapshots, export)
+}
+
+// ID returns the run ID.
+func (r *Run) ID() string { return r.id }
+
+// Doc returns the canonical JSON document of the run. Shared; do not
+// mutate.
+func (r *Run) Doc() []byte { return r.doc }
+
+// RunInfo is the wire metadata of one ingested run.
+type RunInfo struct {
+	Run          string `json:"run"`
+	Workflow     string `json:"workflow"`
+	Version      uint64 `json:"version"` // workflow version at ingestion
+	Invocations  int    `json:"invocations"`
+	Artifacts    int    `json:"artifacts"`
+	UsedEdges    int    `json:"used_edges"`
+	TasksInvoked int    `json:"tasks_invoked"`
+	Bytes        int64  `json:"bytes"`
+	Replaced     bool   `json:"replaced,omitempty"`
+}
+
+func (r *Run) info(workflowID string) *RunInfo {
+	return &RunInfo{
+		Run:          r.id,
+		Workflow:     workflowID,
+		Version:      r.version,
+		Invocations:  len(r.procID),
+		Artifacts:    len(r.artID),
+		UsedEdges:    len(r.used),
+		TasksInvoked: r.invoked.Count(),
+		Bytes:        int64(len(r.doc)),
+	}
+}
+
+// Runs lists the ingested runs of a workflow in ingestion order.
+func (s *Store) Runs(workflowID string) ([]RunInfo, error) {
+	lw, err := s.reg.Get(workflowID)
+	if err != nil {
+		return nil, wrapErr("runs", err)
+	}
+	infos := []RunInfo{}
+	sh := s.shardRead(lw)
+	if sh == nil {
+		return infos, nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, id := range sh.order {
+		infos = append(infos, *sh.runs[id].info(workflowID))
+	}
+	return infos, nil
+}
+
+// Info returns the metadata of one run.
+func (s *Store) Info(workflowID, runID string) (*RunInfo, error) {
+	_, run, err := s.lookup(workflowID, runID)
+	if err != nil {
+		return nil, err
+	}
+	return run.info(workflowID), nil
+}
+
+// lookup resolves a (workflow, run) pair to the live handle and the
+// immutable run object.
+func (s *Store) lookup(workflowID, runID string) (*engine.LiveWorkflow, *Run, error) {
+	lw, err := s.reg.Get(workflowID)
+	if err != nil {
+		return nil, nil, wrapErr("lineage", err)
+	}
+	sh := s.shardRead(lw)
+	if sh == nil {
+		return nil, nil, errf(engine.ErrUnknownRun, "lineage", "no run %q on workflow %q", runID, workflowID)
+	}
+	sh.mu.RLock()
+	run := sh.runs[runID]
+	sh.mu.RUnlock()
+	if run == nil {
+		return nil, nil, errf(engine.ErrUnknownRun, "lineage", "no run %q on workflow %q", runID, workflowID)
+	}
+	return lw, run, nil
+}
+
+// Stats is a snapshot of the store's counters for the /v1/stats
+// endpoint. Resident numbers (Workflows … DocBytes) count what the
+// store currently holds; Ingested/Queries/JournaledBytes are lifetime
+// totals since boot.
+type Stats struct {
+	Workflows      int   `json:"workflows"`
+	Runs           int   `json:"runs"`
+	Invocations    int64 `json:"invocations"`
+	Artifacts      int64 `json:"artifacts"`
+	UsedEdges      int64 `json:"used_edges"`
+	DocBytes       int64 `json:"doc_bytes"`
+	JournaledBytes int64 `json:"journaled_bytes"`
+	Ingested       int64 `json:"ingested_total"`
+	Queries        int64 `json:"queries_total"`
+}
+
+// Stats sweeps the shards (pruning those whose registration died) and
+// returns aggregate counters. The sweep uses Peek, not Get, so
+// observability never reorders the registry's LRU eviction queue.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	shards := make(map[string]*shard, len(s.shards))
+	for id, sh := range s.shards {
+		shards[id] = sh
+	}
+	s.mu.Unlock()
+
+	st := Stats{
+		Ingested:       s.ingested.Load(),
+		Queries:        s.queries.Load(),
+		JournaledBytes: s.journaledBytes.Load(),
+	}
+	for id, sh := range shards {
+		if lw, err := s.reg.Peek(id); err != nil || lw != sh.lw {
+			s.mu.Lock()
+			if s.shards[id] == sh {
+				delete(s.shards, id)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		sh.mu.RLock()
+		if len(sh.runs) > 0 {
+			st.Workflows++
+		}
+		for _, r := range sh.runs {
+			st.Runs++
+			st.Invocations += int64(len(r.procID))
+			st.Artifacts += int64(len(r.artID))
+			st.UsedEdges += int64(len(r.used))
+			st.DocBytes += int64(len(r.doc))
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// SnapshotRuns implements the storage package's run provider: the
+// canonical documents of every run currently held for workflowID, in
+// ingestion order. The docs are immutable and safe to retain.
+func (s *Store) SnapshotRuns(workflowID string) (ids []string, docs [][]byte) {
+	lw, err := s.reg.Peek(workflowID)
+	if err != nil {
+		return nil, nil
+	}
+	sh := s.shardRead(lw)
+	if sh == nil {
+		return nil, nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, id := range sh.order {
+		ids = append(ids, id)
+		docs = append(docs, sh.runs[id].doc)
+	}
+	return ids, docs
+}
+
+// RestoreRun implements the storage package's run restorer: re-ingest a
+// recovered run document, bypassing the journal (the record being
+// replayed is already durable). Replay of a record for a workflow that
+// did not survive recovery returns an ErrUnknownWorkflow-coded error,
+// which the replayer tolerates.
+func (s *Store) RestoreRun(workflowID, runID string, doc []byte) error {
+	w, err := decodeRunDoc(doc)
+	if err != nil {
+		return errf(engine.ErrInvalidTrace, "restore", "run %q of workflow %q: %v", runID, workflowID, err)
+	}
+	if w.Run == "" {
+		w.Run = runID
+	}
+	_, ierr := s.ingestWire(workflowID, w, false)
+	if ierr != nil {
+		return ierr
+	}
+	return nil
+}
+
+// --- error helpers ------------------------------------------------------------
+
+func errf(code engine.Code, op, format string, args ...any) *engine.Error {
+	return &engine.Error{Code: code, Op: op, Message: fmt.Sprintf(format, args...)}
+}
+
+// wrapErr reuses the engine's error classification: engine errors pass
+// through untouched, everything else becomes internal.
+func wrapErr(op string, err error) *engine.Error {
+	if err == nil {
+		return nil
+	}
+	var ee *engine.Error
+	if errors.As(err, &ee) {
+		return ee
+	}
+	return &engine.Error{Code: engine.ErrInternal, Op: op, Message: err.Error(), Err: err}
+}

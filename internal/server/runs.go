@@ -1,0 +1,186 @@
+package server
+
+import (
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"time"
+
+	"wolves/internal/engine"
+	"wolves/internal/runs"
+)
+
+// This file implements the provenance service endpoints: ingest real
+// execution traces against registered workflows and query lineage over
+// them at three levels (exact / view / audited), plus the daemon's
+// observability endpoint.
+//
+//	POST /v1/workflows/{id}/runs                   ingest a run (JSON or NDJSON)
+//	GET  /v1/workflows/{id}/runs                   list ingested runs
+//	GET  /v1/workflows/{id}/runs/{rid}             run metadata
+//	GET  /v1/workflows/{id}/runs/{rid}/lineage     ?artifact=…&level=exact|view|audited
+//	                                               [&view=vid][&direction=ancestors|descendants][&witness=1]
+//	POST /v1/workflows/{id}/runs/query             {"queries": [{…}, …]} (worker-pool batch)
+//	GET  /v1/stats                                 cache / registry / run-store counters
+
+// RunListResponse is the body of GET /v1/workflows/{id}/runs.
+type RunListResponse struct {
+	Workflow string         `json:"workflow"`
+	Count    int            `json:"count"`
+	Runs     []runs.RunInfo `json:"runs"`
+}
+
+// RunQueryRequest is the body of POST /v1/workflows/{id}/runs/query.
+type RunQueryRequest struct {
+	Queries []runs.Query `json:"queries"`
+}
+
+// RunQueryResponse carries per-query results in input order.
+type RunQueryResponse struct {
+	Results []runs.BatchResult `json:"results"`
+}
+
+// RegistryStats summarizes the live workflow registry for /v1/stats.
+type RegistryStats struct {
+	Workflows int               `json:"workflows"`
+	Capacity  int               `json:"capacity"`
+	Views     int               `json:"views"`
+	Versions  map[string]uint64 `json:"versions"`
+}
+
+// StatsResponse is the body of GET /v1/stats: the oracle cache's
+// hit/miss/eviction/invalidation counters, the registry population with
+// per-workflow versions, and the run store's resident and lifetime
+// counters (runs, artifacts, bytes journaled).
+type StatsResponse struct {
+	Status        string            `json:"status"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      int64             `json:"requests"`
+	Workers       int               `json:"workers"`
+	Cache         engine.CacheStats `json:"cache"`
+	Registry      RegistryStats     `json:"registry"`
+	Runs          runs.Stats        `json:"runs"`
+}
+
+// isNDJSON reports whether the request body is an NDJSON stream.
+func isNDJSON(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/x-ndjson" || mt == "application/ndjson" ||
+		strings.HasSuffix(mt, "+ndjson")
+}
+
+func (s *Server) handleRunIngest(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	id := r.PathValue("id")
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	var info *runs.RunInfo
+	var err error
+	if isNDJSON(r) {
+		info, err = s.runs.IngestNDJSON(id, r.Body)
+	} else {
+		var raw []byte
+		raw, err = io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, &engine.Error{Code: engine.ErrBadInput, Op: "ingest", Message: err.Error(), Err: err})
+			return
+		}
+		info, err = s.runs.Ingest(id, raw)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleRunList(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	id := r.PathValue("id")
+	infos, err := s.runs.Runs(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunListResponse{Workflow: id, Count: len(infos), Runs: infos})
+}
+
+func (s *Server) handleRunGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	info, err := s.runs.Info(r.PathValue("id"), r.PathValue("rid"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleRunLineage(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	qs := r.URL.Query()
+	q := runs.Query{
+		Run:       r.PathValue("rid"),
+		Artifact:  qs.Get("artifact"),
+		Level:     qs.Get("level"),
+		View:      qs.Get("view"),
+		Direction: qs.Get("direction"),
+	}
+	switch qs.Get("witness") {
+	case "", "0", "false":
+	default:
+		q.Witness = true
+	}
+	ans, err := s.runs.Lineage(r.PathValue("id"), q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleRunQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req RunQueryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	// Width 0 defers to the run store's configured WithWorkers default
+	// (seeded from the engine's width at construction).
+	results, err := s.runs.LineageBatch(r.Context(), r.PathValue("id"), req.Queries, 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunQueryResponse{Results: results})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	infos := s.reg.Infos()
+	rs := RegistryStats{
+		Workflows: len(infos),
+		Capacity:  s.reg.Capacity(),
+		Versions:  make(map[string]uint64, len(infos)),
+	}
+	for _, info := range infos {
+		rs.Versions[info.ID] = info.Version
+		rs.Views += len(info.Views)
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Workers:       s.eng.Workers(),
+		Cache:         s.eng.CacheStats(),
+		Registry:      rs,
+		Runs:          s.runs.Stats(),
+	})
+}

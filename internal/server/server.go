@@ -26,6 +26,15 @@
 //	POST   /v1/workflows/{id}/views/{vid}/validate
 //	POST   /v1/workflows/{id}/views/{vid}/correct  {"criterion": "strong"}
 //	POST   /v1/workflows/{id}/views/{vid}/lineage  {"task": "8"}
+//
+// Provenance runs (see runs.go: ingest execution traces, query lineage):
+//
+//	POST /v1/workflows/{id}/runs                   ingest (JSON or NDJSON)
+//	GET  /v1/workflows/{id}/runs                   list runs
+//	GET  /v1/workflows/{id}/runs/{rid}             run metadata
+//	GET  /v1/workflows/{id}/runs/{rid}/lineage     ?artifact=…&level=exact|view|audited
+//	POST /v1/workflows/{id}/runs/query             batch lineage queries
+//	GET  /v1/stats                                 observability counters
 package server
 
 import (
@@ -40,6 +49,7 @@ import (
 
 	"wolves/internal/core"
 	"wolves/internal/engine"
+	"wolves/internal/runs"
 	"wolves/internal/soundness"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
@@ -49,11 +59,12 @@ import (
 // unbounded uploads into memory.
 const MaxBodyBytes = 8 << 20
 
-// Server wires an Engine and a live workflow Registry to the HTTP
-// endpoints.
+// Server wires an Engine, a live workflow Registry and a run store to
+// the HTTP endpoints.
 type Server struct {
 	eng      *engine.Engine
 	reg      *engine.Registry
+	runs     *runs.Store
 	start    time.Time
 	requests atomic.Int64
 }
@@ -68,6 +79,13 @@ func WithRegistry(reg *engine.Registry) Option {
 	return func(s *Server) { s.reg = reg }
 }
 
+// WithRunStore supplies a pre-built run store (wolvesd uses it to wire
+// the durable journal). The default is an in-memory store over the
+// server's registry.
+func WithRunStore(rs *runs.Store) Option {
+	return func(s *Server) { s.runs = rs }
+}
+
 // New wraps eng in a Server.
 func New(eng *engine.Engine, opts ...Option) *Server {
 	s := &Server{eng: eng, start: time.Now()}
@@ -76,6 +94,9 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	}
 	if s.reg == nil {
 		s.reg = engine.NewRegistry(eng)
+	}
+	if s.runs == nil {
+		s.runs = runs.New(s.reg, runs.WithWorkers(eng.Workers()))
 	}
 	return s
 }
@@ -97,6 +118,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/validate", s.handleViewValidate)
 	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/correct", s.handleViewCorrect)
 	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/lineage", s.handleViewLineage)
+	mux.HandleFunc("POST /v1/workflows/{id}/runs", s.handleRunIngest)
+	mux.HandleFunc("GET /v1/workflows/{id}/runs", s.handleRunList)
+	mux.HandleFunc("GET /v1/workflows/{id}/runs/{rid}", s.handleRunGet)
+	mux.HandleFunc("GET /v1/workflows/{id}/runs/{rid}/lineage", s.handleRunLineage)
+	mux.HandleFunc("POST /v1/workflows/{id}/runs/query", s.handleRunQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
 
@@ -190,11 +217,12 @@ func statusFor(e *engine.Error) int {
 	case engine.ErrBadInput, engine.ErrUnknownTask,
 		engine.ErrUnknownComposite, engine.ErrWorkflowMismatch:
 		return http.StatusBadRequest
-	case engine.ErrUnknownWorkflow, engine.ErrUnknownView:
+	case engine.ErrUnknownWorkflow, engine.ErrUnknownView,
+		engine.ErrUnknownRun, engine.ErrUnknownArtifact:
 		return http.StatusNotFound
 	case engine.ErrVersionConflict:
 		return http.StatusConflict
-	case engine.ErrOptimalLimit, engine.ErrCycleRejected:
+	case engine.ErrOptimalLimit, engine.ErrCycleRejected, engine.ErrInvalidTrace:
 		return http.StatusUnprocessableEntity
 	case engine.ErrCanceled:
 		return http.StatusGatewayTimeout

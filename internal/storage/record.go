@@ -28,6 +28,7 @@ const (
 	recAttach   byte = 3 // attachBody: view attached/replaced
 	recDetach   byte = 4 // detachBody: view detached
 	recDelete   byte = 5 // deleteBody: workflow deleted/evicted
+	recRun      byte = 6 // runBody: execution trace ingested/replaced
 )
 
 // segMagic opens every WAL segment file; a file without it is rejected
@@ -115,7 +116,7 @@ func readRecord(r *bufio.Reader) (record, int64, error) {
 		lsn:  binary.LittleEndian.Uint64(payload[1:recPrefixLen]),
 		body: payload[recPrefixLen:],
 	}
-	if rec.typ < recRegister || rec.typ > recDelete {
+	if rec.typ < recRegister || rec.typ > recRun {
 		return record{}, 0, fmt.Errorf("storage: unknown record type %d at lsn %d", rec.typ, rec.lsn)
 	}
 	return rec, int64(recHeaderLen) + int64(payloadLen), nil
@@ -167,4 +168,14 @@ type detachBody struct {
 // deleteBody records a workflow deletion (explicit or by eviction).
 type deleteBody struct {
 	ID string `json:"id"`
+}
+
+// runBody records one ingested (or replaced) execution trace: the
+// canonical run document as produced by the run store. Replay re-ingests
+// the document; ingestion is idempotent by run ID, so a record also
+// covered by a snapshot replays harmlessly.
+type runBody struct {
+	ID  string          `json:"id"`  // workflow ID
+	Run string          `json:"run"` // run ID
+	Doc json.RawMessage `json:"doc"`
 }

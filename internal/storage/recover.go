@@ -26,18 +26,40 @@ type RecoveryStats struct {
 	// by a snapshot (or referencing a workflow evicted during restore).
 	Replayed int64 `json:"replayed"`
 	Skipped  int64 `json:"skipped"`
+	// Runs counts execution traces restored into the run store — from
+	// snapshot-embedded documents and uncovered WAL run records alike.
+	// Zero when recovery ran without a run restorer.
+	Runs int64 `json:"runs"`
 	// TornBytes is how much of the last segment the crash tore off.
 	TornBytes int64 `json:"torn_bytes"`
 }
 
-// Recover rebuilds reg from the store: snapshots first (ascending LSN,
-// so if the registry's capacity forces evictions the freshest state
-// wins), then every WAL record not covered by a snapshot, in log order.
-// View reports are recomputed by validation — byte-identical to the
-// incrementally maintained reports of the pre-crash registry. Call it
-// exactly once, on a registry that is not yet serving traffic and has no
-// journal installed; install the store with reg.SetJournal afterwards.
+// RunRestorer re-ingests recovered run documents; the run store
+// (internal/runs) implements it. RestoreRun must bypass the journal (the
+// document being restored is already durable) and must be idempotent by
+// run ID — replay may re-apply a run a snapshot already restored.
+type RunRestorer interface {
+	RestoreRun(workflowID, runID string, doc []byte) error
+}
+
+// Recover is RecoverWithRuns without a run restorer: run records and
+// snapshot-embedded runs are skipped (counted, not applied). Registries
+// that never ingested runs lose nothing.
 func (s *Store) Recover(reg *engine.Registry) (*RecoveryStats, error) {
+	return s.RecoverWithRuns(reg, nil)
+}
+
+// RecoverWithRuns rebuilds reg (and, when rr is non-nil, the run store
+// behind it) from the store: snapshots first (ascending LSN, so if the
+// registry's capacity forces evictions the freshest state wins), then
+// every WAL record not covered by a snapshot, in log order. View reports
+// are recomputed by validation — byte-identical to the incrementally
+// maintained reports of the pre-crash registry — and runs are re-ingested
+// through the ordinary validation path, so their lineage answers are
+// byte-identical too. Call it exactly once, on a registry that is not
+// yet serving traffic and has no journal installed; install the store
+// with reg.SetJournal (and the run store's SetJournal) afterwards.
+func (s *Store) RecoverWithRuns(reg *engine.Registry, rr RunRestorer) (*RecoveryStats, error) {
 	s.mu.Lock()
 	if s.recovered {
 		s.mu.Unlock()
@@ -77,7 +99,7 @@ func (s *Store) Recover(reg *engine.Registry) (*RecoveryStats, error) {
 		stats.SnapshotsDropped++
 	}
 	for _, ls := range snaps {
-		if err := restoreSnapshot(reg, &ls.doc); err != nil {
+		if err := restoreSnapshot(reg, rr, &ls.doc, stats); err != nil {
 			// A snapshot that does not decode is a half-written file from
 			// an unsynced crash: drop it (and its record coverage, so the
 			// WAL's history for this workflow replays in full) and fall
@@ -99,7 +121,7 @@ func (s *Store) Recover(reg *engine.Registry) (*RecoveryStats, error) {
 	paths := s.wal.segmentPaths()
 	for i, path := range paths {
 		_, _, err := scanSegment(path, i == len(paths)-1, func(rec record) error {
-			return s.replayRecord(reg, rec, snapLSN, deleted, stats)
+			return s.replayRecord(reg, rr, rec, snapLSN, deleted, stats)
 		})
 		if err != nil {
 			return stats, err
@@ -188,8 +210,9 @@ type decodeError struct{ err error }
 func (e *decodeError) Error() string { return e.err.Error() }
 func (e *decodeError) Unwrap() error { return e.err }
 
-// restoreSnapshot registers one snapshot document into reg.
-func restoreSnapshot(reg *engine.Registry, doc *snapshotDoc) error {
+// restoreSnapshot registers one snapshot document into reg and
+// re-ingests its embedded runs.
+func restoreSnapshot(reg *engine.Registry, rr RunRestorer, doc *snapshotDoc, stats *RecoveryStats) error {
 	wf, err := workflow.DecodeJSON(bytes.NewReader(doc.Workflow))
 	if err != nil {
 		return &decodeError{fmt.Errorf("snapshot %q: %w", doc.ID, err)}
@@ -204,6 +227,18 @@ func restoreSnapshot(reg *engine.Registry, doc *snapshotDoc) error {
 	if _, err := reg.Restore(doc.ID, doc.Version, wf, views); err != nil {
 		return &decodeError{fmt.Errorf("snapshot %q: %w", doc.ID, err)}
 	}
+	if rr == nil {
+		return nil
+	}
+	for _, sr := range doc.Runs {
+		if err := rr.RestoreRun(doc.ID, sr.ID, sr.Doc); err != nil {
+			// A run that no longer validates against its own snapshot is a
+			// half-written document from an unsynced crash: treat it like a
+			// corrupt snapshot and fall back to the WAL's history.
+			return &decodeError{fmt.Errorf("snapshot %q: run %q: %w", doc.ID, sr.ID, err)}
+		}
+		stats.Runs++
+	}
 	return nil
 }
 
@@ -212,7 +247,7 @@ func restoreSnapshot(reg *engine.Registry, doc *snapshotDoc) error {
 // for the same ID clears the mark). Unknown-workflow lookups are
 // tolerated (the workflow was evicted during restore, or a delete raced
 // the crash); anything else a clean log cannot produce is an error.
-func (s *Store) replayRecord(reg *engine.Registry, rec record, snapLSN map[string]uint64, deleted map[string]bool, stats *RecoveryStats) error {
+func (s *Store) replayRecord(reg *engine.Registry, rr RunRestorer, rec record, snapLSN map[string]uint64, deleted map[string]bool, stats *RecoveryStats) error {
 	fail := func(err error) error {
 		return fmt.Errorf("storage: replay lsn %d: %w", rec.lsn, err)
 	}
@@ -324,6 +359,23 @@ func (s *Store) replayRecord(reg *engine.Registry, rec record, snapLSN map[strin
 			return fail(err)
 		}
 		deleted[body.ID] = true
+	case recRun:
+		var body runBody
+		if err := json.Unmarshal(rec.body, &body); err != nil {
+			return fail(err)
+		}
+		if rec.lsn <= snapLSN[body.ID] || rr == nil {
+			stats.Skipped++
+			return nil
+		}
+		if err := rr.RestoreRun(body.ID, body.Run, body.Doc); err != nil {
+			if engine.IsCode(err, engine.ErrUnknownWorkflow) {
+				stats.Skipped++
+				return nil
+			}
+			return fail(err)
+		}
+		stats.Runs++
 	default:
 		return fail(fmt.Errorf("unknown record type %d", rec.typ))
 	}

@@ -18,8 +18,15 @@ type snapshotView struct {
 	View json.RawMessage `json:"view"`
 }
 
+// snapshotRun is one ingested run inside a snapshot document, carrying
+// the run store's canonical bytes verbatim.
+type snapshotRun struct {
+	ID  string          `json:"id"`
+	Doc json.RawMessage `json:"doc"`
+}
+
 // snapshotDoc is the on-disk JSON shape of one workflow's snapshot: the
-// canonical workflow and view documents plus the LSN the snapshot
+// canonical workflow, view and run documents plus the LSN the snapshot
 // covers — every WAL record for this workflow with lsn <= LSN is
 // subsumed and skipped on replay.
 type snapshotDoc struct {
@@ -28,6 +35,7 @@ type snapshotDoc struct {
 	Version  uint64          `json:"version"`
 	Workflow json.RawMessage `json:"workflow"`
 	Views    []snapshotView  `json:"views,omitempty"`
+	Runs     []snapshotRun   `json:"runs,omitempty"`
 }
 
 // snapName derives the snapshot file name for a workflow ID. IDs come
@@ -40,8 +48,10 @@ func snapName(id string) string {
 
 // encodeSnapshot turns a live state into its snapshot document. wfRaw
 // may carry a pre-marshaled workflow document (the register path has one
-// in hand); pass nil to marshal here.
-func encodeSnapshot(st *engine.LiveState, lsn uint64, wfRaw json.RawMessage) (*snapshotDoc, error) {
+// in hand); pass nil to marshal here. runIDs/runDocs carry the run
+// store's documents for this workflow (snapshots subsume run records the
+// same way they subsume mutation records).
+func encodeSnapshot(st *engine.LiveState, lsn uint64, wfRaw json.RawMessage, runIDs []string, runDocs [][]byte) (*snapshotDoc, error) {
 	var err error
 	if wfRaw == nil {
 		if wfRaw, err = json.Marshal(st.Workflow); err != nil {
@@ -55,6 +65,9 @@ func encodeSnapshot(st *engine.LiveState, lsn uint64, wfRaw json.RawMessage) (*s
 			return nil, fmt.Errorf("storage: snapshot %q: encode view %q: %w", st.ID, av.ID, err)
 		}
 		doc.Views = append(doc.Views, snapshotView{ID: av.ID, View: raw})
+	}
+	for i, rid := range runIDs {
+		doc.Runs = append(doc.Runs, snapshotRun{ID: rid, Doc: json.RawMessage(runDocs[i])})
 	}
 	return doc, nil
 }

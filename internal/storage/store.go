@@ -92,6 +92,11 @@ type Store struct {
 
 	lockf *os.File // exclusive flock on dir/LOCK for the store's lifetime
 
+	// runProv supplies the run documents to embed in workflow snapshots
+	// (SetRunProvider); nil means snapshots carry no runs. Set during
+	// setup, not synchronized with live traffic.
+	runProv RunProvider
+
 	mu        sync.Mutex
 	failed    error
 	needsRec  bool
@@ -218,6 +223,20 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// RunProvider supplies, per workflow, the canonical documents of every
+// currently ingested run, in ingestion order — the run store
+// (internal/runs) implements it. Snapshots embed these documents so run
+// records are snapshot-covered: compaction may drop the segments holding
+// them without losing a single run.
+type RunProvider interface {
+	SnapshotRuns(workflowID string) (ids []string, docs [][]byte)
+}
+
+// SetRunProvider installs the run provider consulted by every snapshot.
+// Call during setup (wolvesd does, right after Open), before the store
+// journals traffic.
+func (s *Store) SetRunProvider(p RunProvider) { s.runProv = p }
+
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
@@ -273,7 +292,17 @@ func (s *Store) appendLocked(typ byte, body any) (uint64, int64, error) {
 // distinct workflows write distinct files concurrently. Bookkeeping and
 // compaction briefly retake s.mu at the end.
 func (s *Store) writeSnapshot(st *engine.LiveState, coverLSN uint64, wfRaw json.RawMessage) error {
-	doc, err := encodeSnapshot(st, coverLSN, wfRaw)
+	var runIDs []string
+	var runDocs [][]byte
+	if s.runProv != nil {
+		// The provider re-reads the run store's shard under its own lock;
+		// runs are inserted there before their records are journaled, so
+		// every run record at or below coverLSN is present (a run racing
+		// in after coverLSN is harmlessly included — its record replays
+		// idempotently on top).
+		runIDs, runDocs = s.runProv.SnapshotRuns(st.ID)
+	}
+	doc, err := encodeSnapshot(st, coverLSN, wfRaw, runIDs, runDocs)
 	if err != nil {
 		return s.fail(err)
 	}
@@ -476,6 +505,56 @@ func (s *Store) Deleted(id string) error {
 	s.mu.Unlock()
 	s.wal.compact(covered)
 	return nil
+}
+
+// --- runs.Journal -------------------------------------------------------------
+
+// RunIngested appends one ingested-run record, implementing the run
+// store's journal. Run documents feed the same size-proportional
+// snapshot trigger as mutations and view churn — a workflow that only
+// ingests runs still gets folded into snapshots and its log still
+// compacts — but the snapshot itself is the caller's follow-up (the run
+// store calls SnapshotWorkflow under the workflow's read lock), because
+// this method has no LiveState in hand.
+func (s *Store) RunIngested(workflowID, runID string, doc []byte) (bool, error) {
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	ticket, n, err := s.appendLocked(recRun, runBody{ID: workflowID, Run: runID, Doc: doc})
+	want := false
+	if err == nil {
+		ws := s.wfs[workflowID]
+		if ws == nil {
+			ws = &wfState{}
+			s.wfs[workflowID] = ws
+		}
+		ws.sinceSnapRecs++
+		ws.sinceSnapBytes += n
+		want = ws.wantSnapshot(s.opts)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return want, s.wal.waitDurable(ticket)
+}
+
+// SnapshotWorkflow folds st into a fresh snapshot covering everything
+// journaled so far, compacting segments the snapshot subsumes. The
+// caller holds st's workflow lock (the run store calls through
+// LiveWorkflow.State), which keeps st stable and serializes snapshots of
+// the same workflow.
+func (s *Store) SnapshotWorkflow(st *engine.LiveState) error {
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	coverLSN := s.lsn
+	s.mu.Unlock()
+	return s.writeSnapshot(st, coverLSN, nil)
 }
 
 // --- lifecycle ----------------------------------------------------------------

@@ -14,6 +14,7 @@ import (
 
 	"wolves/internal/engine"
 	"wolves/internal/gen"
+	"wolves/internal/runs"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
 )
@@ -745,4 +746,272 @@ func mustRegistryFingerprint(t *testing.T, reg *engine.Registry) string {
 		}
 	}
 	return b.String()
+}
+
+// --- run durability -----------------------------------------------------------
+
+// runDoc builds a deterministic small trace over the workload's task
+// space: a chain of four artifacts produced by four tasks.
+func (w *mutationWorkload) runDoc(i int) (string, []byte) {
+	runID := fmt.Sprintf("run-%d", i)
+	n := w.wf.N()
+	type art struct {
+		ID  string `json:"id"`
+		Gen string `json:"generated_by,omitempty"`
+	}
+	type used struct {
+		Process  string `json:"process"`
+		Artifact string `json:"artifact"`
+	}
+	doc := struct {
+		Run       string `json:"run"`
+		Artifacts []art  `json:"artifacts"`
+		Used      []used `json:"used"`
+	}{Run: runID}
+	var tasks []string
+	for k := 0; k < 4; k++ {
+		tasks = append(tasks, w.wf.Task((i*7+k*13)%n).ID)
+	}
+	for k, task := range tasks {
+		doc.Artifacts = append(doc.Artifacts, art{ID: fmt.Sprintf("%s/a%d", runID, k), Gen: task})
+		if k > 0 {
+			doc.Used = append(doc.Used, used{Process: task, Artifact: doc.Artifacts[k-1].ID})
+		}
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		panic(err)
+	}
+	return runID, raw
+}
+
+// assertRunsEqual compares the run stores' contents and a sample of
+// lineage answers byte-for-byte.
+func assertRunsEqual(t *testing.T, id string, got, want *runs.Store) {
+	t.Helper()
+	gotRuns, err := got.Runs(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns, err := want.Runs(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRuns, wantRuns) {
+		t.Fatalf("run lists diverge:\ngot:  %+v\nwant: %+v", gotRuns, wantRuns)
+	}
+	for _, info := range wantRuns {
+		for _, q := range []runs.Query{
+			{Run: info.Run, Artifact: info.Run + "/a3", Witness: true},
+			{Run: info.Run, Artifact: info.Run + "/a3", Level: runs.LevelAudited, View: "interval"},
+		} {
+			wantAns, err := want.Lineage(id, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotAns, err := got.Lineage(id, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRaw, _ := json.Marshal(wantAns)
+			gotRaw, _ := json.Marshal(gotAns)
+			if string(wantRaw) != string(gotRaw) {
+				t.Fatalf("lineage answer for %+v diverges:\ngot:  %s\nwant: %s", q, gotRaw, wantRaw)
+			}
+		}
+	}
+}
+
+// TestRecoverRunsAfterHardKill is the run-store acceptance scenario: a
+// stream of interleaved mutations and run ingestions (with snapshot and
+// compaction churn), a hard kill, and a recovery whose run store must
+// answer every lineage query byte-identically to a never-killed
+// reference.
+func TestRecoverRunsAfterHardKill(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := newMutationWorkload(t, 96, 2048, 43)
+
+	durable := engine.NewRegistry(engine.New(), engine.WithJournal(st))
+	reference := engine.NewRegistry(engine.New())
+	dlw := wl.register(t, durable, "phylo")
+	rlw := wl.register(t, reference, "phylo")
+	dRuns := runs.New(durable, runs.WithJournal(st))
+	rRuns := runs.New(reference)
+	st.SetRunProvider(dRuns)
+
+	for i := 0; i < 300; i++ {
+		m := wl.mutation(i)
+		if _, err := dlw.Mutate(m); err != nil {
+			t.Fatalf("mutation %d (durable): %v", i, err)
+		}
+		if _, err := rlw.Mutate(m); err != nil {
+			t.Fatalf("mutation %d (reference): %v", i, err)
+		}
+		if i%3 == 0 {
+			_, doc := wl.runDoc(i)
+			if _, err := dRuns.Ingest("phylo", doc); err != nil {
+				t.Fatalf("ingest %d (durable): %v", i, err)
+			}
+			if _, err := rRuns.Ingest("phylo", doc); err != nil {
+				t.Fatalf("ingest %d (reference): %v", i, err)
+			}
+		}
+	}
+	// Replace one run late, so a replacement record replays too.
+	_, doc := wl.runDoc(0)
+	if _, err := dRuns.Ingest("phylo", doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rRuns.Ingest("phylo", doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hard kill (no checkpoint), reopen cold, recover runs and registry.
+	st.Close()
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := engine.NewRegistry(engine.New())
+	recRuns := runs.New(recovered)
+	stats, err := st2.RecoverWithRuns(recovered, recRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs == 0 {
+		t.Fatalf("recovery restored no runs: %+v", stats)
+	}
+	assertRegistriesEqual(t, recovered, reference)
+	assertRunsEqual(t, "phylo", recRuns, rRuns)
+
+	// The recovered pair must accept new journaled traffic.
+	st2.SetRunProvider(recRuns)
+	recRuns.SetJournal(st2)
+	recovered.SetJournal(st2)
+	_, doc = wl.runDoc(9999)
+	if _, err := recRuns.Ingest("phylo", doc); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+}
+
+// TestRecoverWithoutRestorerSkipsRuns pins backward compatibility: a
+// directory holding run records recovers fine through the run-less
+// Recover, skipping (not failing on) every run record.
+func TestRecoverWithoutRestorerSkipsRuns(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := newMutationWorkload(t, 32, 256, 11)
+	reg := engine.NewRegistry(engine.New(), engine.WithJournal(st))
+	wl.register(t, reg, "wf")
+	rs := runs.New(reg, runs.WithJournal(st))
+	st.SetRunProvider(rs)
+	for i := 0; i < 8; i++ {
+		_, doc := wl.runDoc(i)
+		if _, err := rs.Ingest("wf", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered := engine.NewRegistry(engine.New())
+	stats, err := st2.Recover(recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workflows != 1 || stats.Runs != 0 {
+		t.Fatalf("run-less recovery stats: %+v", stats)
+	}
+}
+
+// TestIngestVsReRegisterRecovers hammers run ingestion against
+// concurrent same-ID re-registration. The ingestion path journals its
+// recRun record inside the workflow's read lock, which orders it before
+// the registration record of any replacing incarnation (close() needs
+// the write lock first) — so no interleaving may ever produce a WAL
+// whose replay fails. The registries re-register with different
+// workflows (disjoint task spaces), so a mis-ordered record would
+// surface as an invalid_trace replay error.
+func TestIngestVsReRegisterRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := engine.NewRegistry(engine.New(), engine.WithJournal(st))
+	rs := runs.New(reg, runs.WithJournal(st))
+	st.SetRunProvider(rs)
+
+	mkWF := func(gen int) *workflow.Workflow {
+		b := workflow.NewBuilder(fmt.Sprintf("g%d", gen))
+		for i := 0; i < 8; i++ {
+			b.AddTask(fmt.Sprintf("g%d-t%d", gen, i))
+		}
+		wf, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wf
+	}
+	if _, err := reg.Register("wf", mkWF(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for gen := 1; gen <= 40; gen++ {
+			if _, err := reg.Register("wf", mkWF(gen)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			// The task referenced may belong to an already-replaced
+			// incarnation; that must fail the ingest (invalid_trace or
+			// unknown workflow), never corrupt the log.
+			gen := i % 41
+			doc := fmt.Sprintf(`{"run":"r%d","artifacts":[{"id":"a%d","generated_by":"g%d-t0"}]}`, i, i, gen)
+			if _, err := rs.Ingest("wf", []byte(doc)); err != nil &&
+				!engine.IsCode(err, engine.ErrInvalidTrace) && !engine.IsCode(err, engine.ErrUnknownWorkflow) {
+				t.Errorf("ingest %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st.Close()
+
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered := engine.NewRegistry(engine.New())
+	recRuns := runs.New(recovered)
+	if _, err := st2.RecoverWithRuns(recovered, recRuns); err != nil {
+		t.Fatalf("recovery must survive any ingest/re-register interleaving: %v", err)
+	}
+	if got := recovered.IDs(); len(got) != 1 || got[0] != "wf" {
+		t.Fatalf("recovered IDs = %v", got)
+	}
 }

@@ -76,6 +76,7 @@ import (
 	"wolves/internal/moml"
 	"wolves/internal/provenance"
 	"wolves/internal/repo"
+	"wolves/internal/runs"
 	"wolves/internal/soundness"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
@@ -138,6 +139,9 @@ const (
 	ErrUnknownView      = engine.ErrUnknownView
 	ErrVersionConflict  = engine.ErrVersionConflict
 	ErrCycleRejected    = engine.ErrCycleRejected
+	ErrInvalidTrace     = engine.ErrInvalidTrace
+	ErrUnknownRun       = engine.ErrUnknownRun
+	ErrUnknownArtifact  = engine.ErrUnknownArtifact
 	ErrInternal         = engine.ErrInternal
 )
 
@@ -186,6 +190,46 @@ var WithRegistryCapacity = engine.WithRegistryCapacity
 
 // WithJournal installs a journal at registry construction; see Journal.
 var WithJournal = engine.WithJournal
+
+// Run store: a concurrent, multi-run provenance store layered on the
+// registry. Ingest OPM-style execution traces (JSON or NDJSON) against
+// a registered workflow, then query lineage / descendants /
+// why-provenance at three levels — exact (task closure), view
+// (composite closure) and audited (view answer plus the soundness
+// delta: a sound flag and the exact spurious/missing composites). See
+// internal/runs for the full semantics; wolvesd serves the same store
+// under /v1/workflows/{id}/runs.
+type (
+	// RunStore is the multi-run provenance store.
+	RunStore = runs.Store
+	// RunStoreOption configures a RunStore at construction time.
+	RunStoreOption = runs.Option
+	// RunInfo is the metadata of one ingested run.
+	RunInfo = runs.RunInfo
+	// RunQuery is one lineage question against an ingested run.
+	RunQuery = runs.Query
+	// RunLineage is the answer to a RunQuery.
+	RunLineage = runs.Answer
+	// RunBatchResult is the per-query outcome of batched lineage.
+	RunBatchResult = runs.BatchResult
+	// RunStoreStats is the run store's counter snapshot (/v1/stats).
+	RunStoreStats = runs.Stats
+	// RunJournal persists ingested runs; internal/storage implements it
+	// next to the registry Journal.
+	RunJournal = runs.Journal
+	// ProvSession is a read-locked provenance query session over a live
+	// workflow (LiveWorkflow.Query).
+	ProvSession = engine.ProvSession
+)
+
+// NewRunStore constructs a run store over reg.
+func NewRunStore(reg *Registry, opts ...RunStoreOption) *RunStore {
+	return runs.New(reg, opts...)
+}
+
+// WithRunJournal installs the durability journal on a run store at
+// construction.
+var WithRunJournal = runs.WithJournal
 
 // defaultEngine backs the deprecated free-function layer.
 var (
