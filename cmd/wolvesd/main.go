@@ -16,18 +16,28 @@
 // daemon serves the same workflows, versions and reports it held before.
 // Without -data-dir the registry is in-memory, exactly as before.
 //
+// If the disk misbehaves at runtime the daemon degrades instead of
+// lying: reads keep serving the in-memory state, mutations and ingests
+// are shed with 503 + Retry-After, /readyz reports degraded, and a
+// background probe rotates the journal onto a fresh segment and resyncs
+// before flipping ready again. A failed final checkpoint is logged and
+// the daemon exits non-zero — the WAL already holds every acknowledged
+// transition, so the next boot replays it.
+//
 // Usage:
 //
 //	wolvesd [-addr :8342] [-workers N] [-cache N] [-live-workflows N]
-//	        [-optimal-timeout 2s] [-read-timeout 30s]
-//	        [-data-dir DIR] [-fsync none|batch|always]
+//	        [-optimal-timeout 2s] [-read-timeout 30s] [-request-timeout 30s]
+//	        [-ingest-concurrency N] [-data-dir DIR] [-fsync none|batch|always]
+//	        [-snapshot-bytes N] [-snapshot-every N] [-probe-backoff 250ms]
 //
 // Stateless endpoints:
 //
 //	POST /v1/validate  {"workflow": …, "view": …}
 //	POST /v1/correct   {"workflow": …, "view": …, "criterion": "strong"}
 //	POST /v1/batch     {"jobs": [{"op": "validate", …}, …]}
-//	GET  /healthz
+//	GET  /healthz      liveness: 200 while the process serves
+//	GET  /readyz       readiness: 503 while degraded or draining
 //
 // Live workflow resources:
 //
@@ -76,6 +86,10 @@ import (
 	"wolves/internal/storage"
 )
 
+// openStore is swapped by tests to wrap the store's filesystem with
+// fault injection.
+var openStore = storage.Open
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "wolvesd:", err)
@@ -93,10 +107,20 @@ func run(args []string) error {
 	optimalTimeout := fs.Duration("optimal-timeout", 2*time.Second,
 		"per-request bound on the exponential optimal corrector (0 = unbounded)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+	requestTimeout := fs.Duration("request-timeout", server.DefaultRequestTimeout,
+		"per-request handler deadline (0 = unbounded)")
+	ingestConcurrency := fs.Int("ingest-concurrency", 0,
+		"max concurrent run ingests before shedding with 503 (0 = max(2, workers))")
 	dataDir := fs.String("data-dir", "",
 		"durable registry directory: WAL + snapshots, recovered at boot (empty = in-memory)")
 	fsyncFlag := fs.String("fsync", "batch",
 		"WAL durability: none (write, never fsync), batch (group-commit), always (fsync per record)")
+	snapshotBytes := fs.Int64("snapshot-bytes", 0,
+		"snapshot trigger floor in journaled bytes per workflow (0 = default)")
+	snapshotEvery := fs.Int("snapshot-every", 0,
+		"additionally snapshot a workflow after this many journaled records (0 = size-based only)")
+	probeBackoff := fs.Duration("probe-backoff", engine.DefaultProbeBackoffMin,
+		"initial backoff between journal recovery probes while degraded")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,7 +130,9 @@ func run(args []string) error {
 		engine.WithOracleCache(*cacheSize),
 		engine.WithOptimalTimeout(*optimalTimeout),
 	)
-	reg := engine.NewRegistry(eng, engine.WithRegistryCapacity(*liveWorkflows))
+	reg := engine.NewRegistry(eng,
+		engine.WithRegistryCapacity(*liveWorkflows),
+		engine.WithProbeBackoff(*probeBackoff, engine.DefaultProbeBackoffMax))
 	runStore := runs.New(reg, runs.WithWorkers(eng.Workers()))
 
 	var store *storage.Store
@@ -115,7 +141,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		store, err = storage.Open(*dataDir, storage.Options{Fsync: mode})
+		store, err = openStore(*dataDir, storage.Options{
+			Fsync:         mode,
+			SnapshotBytes: *snapshotBytes,
+			SnapshotEvery: *snapshotEvery,
+		})
 		if err != nil {
 			return fmt.Errorf("open data dir: %w", err)
 		}
@@ -132,9 +162,15 @@ func run(args []string) error {
 			stats.Workflows, stats.Views, stats.Runs, *dataDir, stats.Snapshots, stats.Replayed, stats.TornBytes, mode)
 	}
 
+	websrv := server.New(eng,
+		server.WithRegistry(reg),
+		server.WithRunStore(runStore),
+		server.WithRequestTimeout(*requestTimeout),
+		server.WithIngestConcurrency(*ingestConcurrency),
+	)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng, server.WithRegistry(reg), server.WithRunStore(runStore)).Handler(),
+		Handler:           websrv.Handler(),
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -157,6 +193,7 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 		log.Print("wolvesd: shutting down")
+		websrv.StartDraining() // /readyz flips to 503 before the listener closes
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -167,12 +204,21 @@ func run(args []string) error {
 		}
 		if store != nil {
 			// Requests are drained: fold every live workflow into a final
-			// snapshot so the next boot replays nothing.
-			if err := store.Checkpoint(reg); err != nil {
-				return fmt.Errorf("final checkpoint: %w", err)
+			// snapshot so the next boot replays nothing. If the checkpoint
+			// fails, the WAL on disk is still authoritative — every
+			// acknowledged transition is journaled — so the next boot
+			// replays instead. Close regardless (it releases the directory
+			// lock without fsyncing anything suspect) and exit non-zero so
+			// supervisors notice the disk is misbehaving.
+			cpErr := store.Checkpoint(reg)
+			if cpErr != nil {
+				log.Printf("wolvesd: final checkpoint failed (WAL remains authoritative): %v", cpErr)
 			}
 			if err := store.Close(); err != nil {
 				return fmt.Errorf("close store: %w", err)
+			}
+			if cpErr != nil {
+				return fmt.Errorf("final checkpoint: %w", cpErr)
 			}
 			log.Print("wolvesd: checkpoint written")
 		}

@@ -9,6 +9,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"wolves/internal/storage"
+	"wolves/internal/storage/vfs"
 )
 
 // TestRunBadAddr: an unusable listen address must surface as an error,
@@ -179,6 +182,70 @@ func TestDurableRestartPreservesRegistry(t *testing.T) {
 	status, body = httpDo(t, http.MethodPost, base+"/v1/workflows/demo/mutate", `{"edges": [["a","d"]]}`)
 	if status != http.StatusOK || !strings.Contains(body, `"version":3`) {
 		t.Fatalf("mutate after restart: %d %s", status, body)
+	}
+}
+
+// TestShutdownCheckpointFailureKeepsWAL: when the final checkpoint
+// cannot land (disk refuses the snapshot rename), the daemon must not
+// pretend the shutdown was clean — it logs, still releases the store,
+// and exits non-zero. The WAL on disk stays authoritative: a clean
+// reboot replays it and serves the exact pre-shutdown state.
+func TestShutdownCheckpointFailureKeepsWAL(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFault(vfs.OS())
+	openStore = func(d string, opts storage.Options) (*storage.Store, error) {
+		opts.FS = ffs
+		return storage.Open(d, opts)
+	}
+	defer func() { openStore = storage.Open }()
+
+	base, done := bootDaemon(t, "-data-dir", dir, "-fsync", "none")
+	status, body := httpDo(t, http.MethodPut, base+"/v1/workflows/demo", `{
+		"workflow": {"name":"demo","tasks":[{"id":"a"},{"id":"b"},{"id":"c"}],"edges":[["a","b"]]},
+		"views": [{"id":"v","view":{"name":"v","workflow":"demo","composites":[
+			{"id":"ab","members":["a","b"]},{"id":"cc","members":["c"]}]}}]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("register: %d %s", status, body)
+	}
+	status, body = httpDo(t, http.MethodPost, base+"/v1/workflows/demo/mutate",
+		`{"edges": [["b","c"]], "tasks": [{"id":"d"}]}`)
+	if status != http.StatusOK || !strings.Contains(body, `"version":2`) {
+		t.Fatalf("mutate: %d %s", status, body)
+	}
+	if status, body = httpDo(t, http.MethodGet, base+"/readyz", ""); status != http.StatusOK {
+		t.Fatalf("readyz while healthy: %d %s", status, body)
+	}
+
+	// Every snapshot publish now fails: the final checkpoint cannot land.
+	ffs.Deny(vfs.OpRename, vfs.Fault{})
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "final checkpoint") {
+			t.Fatalf("shutdown with failing checkpoint returned %v; want final-checkpoint error", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after checkpoint failure")
+	}
+	ffs.Allow(vfs.OpRename)
+	if ffs.Injected() == 0 {
+		t.Fatal("checkpoint never hit the injected rename fault")
+	}
+
+	// Clean filesystem, same directory: recovery replays the WAL.
+	openStore = storage.Open
+	base2, done2 := bootDaemon(t, "-data-dir", dir, "-fsync", "none")
+	defer stopDaemon(t, done2)
+	status, body = httpDo(t, http.MethodGet, base2+"/v1/workflows/demo", "")
+	if status != http.StatusOK || !strings.Contains(body, `"version":2`) {
+		t.Fatalf("get after reboot: %d %s", status, body)
+	}
+	status, body = httpDo(t, http.MethodPost, base2+"/v1/workflows/demo/mutate", `{"edges": [["a","d"]]}`)
+	if status != http.StatusOK || !strings.Contains(body, `"version":3`) {
+		t.Fatalf("mutate after reboot: %d %s", status, body)
 	}
 }
 

@@ -53,6 +53,14 @@ const (
 	// ErrUnknownArtifact: a lineage query named an artifact the run does
 	// not contain (wolvesd maps it to 404).
 	ErrUnknownArtifact Code = "unknown_artifact"
+	// ErrDegraded: the registry's journal is unavailable and the registry
+	// is serving in degraded read-only mode — queries keep working from
+	// memory, mutations and ingests are rejected until the background
+	// probe reopens the journal (wolvesd maps it to 503 + Retry-After).
+	ErrDegraded Code = "degraded"
+	// ErrOverloaded: the server shed this request under admission control
+	// (wolvesd maps it to 503 + Retry-After).
+	ErrOverloaded Code = "overloaded"
 	// ErrInternal: everything else.
 	ErrInternal Code = "internal"
 )

@@ -19,13 +19,21 @@ import (
 // calls arrive in commit order. Calls for different workflows may arrive
 // concurrently; the journal serializes them itself.
 //
-// Failure contract: a journal error fails the triggering operation with
-// an internal-coded error. Registration is unpublished on journal
-// failure; a mutation or view change that fails to journal remains
-// applied in memory (unwinding a merged report is not worth the
-// complexity for a failing disk) — implementations are expected to treat
-// any append error as sticky, so every later operation fails too and the
-// operator restarts from the last durable state.
+// Failure contract: a journal error fails the triggering operation.
+// Registration is unpublished on journal failure; a mutation or view
+// change that fails to journal remains applied in memory (unwinding a
+// merged report is not worth the complexity for a failing disk) —
+// implementations are expected to treat any append error as sticky, so
+// no later operation can fork memory further from the durable history.
+// A sticky error that implements JournalUnavailable() bool flips the
+// registry into degraded read-only mode (health.go): queries keep
+// serving from memory, writes return typed degraded errors, and when
+// the journal also implements RecoverableJournal a background probe
+// reopens it, resyncs the durable state to memory (which is
+// authoritative — it includes the operations that failed mid-journal),
+// and flips the registry back to healthy. Journal errors without the
+// marker surface as internal-coded errors and the operator restarts
+// from the last durable state.
 
 // AttachedView pairs a view ID with the attached view object.
 type AttachedView struct {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"wolves/internal/bitset"
 	"wolves/internal/core"
@@ -81,6 +82,13 @@ type Registry struct {
 	// during setup (SetJournal) — not synchronized with live traffic.
 	journal Journal
 
+	// probeMin/probeMax bound the degraded-mode probe loop's backoff
+	// (WithProbeBackoff); health is the degraded-mode state machine
+	// (health.go).
+	probeMin time.Duration
+	probeMax time.Duration
+	health   health
+
 	mu     sync.Mutex
 	lws    map[string]*LiveWorkflow
 	useSeq uint64 // LRU clock: bumped on every touch
@@ -112,6 +120,8 @@ func NewRegistry(eng *Engine, opts ...RegistryOption) *Registry {
 	r := &Registry{
 		eng:      eng,
 		capacity: DefaultRegistryCapacity,
+		probeMin: DefaultProbeBackoffMin,
+		probeMax: DefaultProbeBackoffMax,
 		lws:      make(map[string]*LiveWorkflow),
 	}
 	for _, o := range opts {
@@ -296,6 +306,11 @@ func (r *Registry) register(id string, wf *workflow.Workflow, version uint64, jo
 	if wf == nil {
 		return nil, errf(ErrBadInput, "register", "nil workflow")
 	}
+	if journal {
+		if ee := r.checkWritable("register"); ee != nil {
+			return nil, ee
+		}
+	}
 	ic, err := dag.NewIncrementalClosure(wf.Graph())
 	if err != nil {
 		return nil, wrapErr("register", err)
@@ -350,7 +365,7 @@ func (r *Registry) register(id string, wf *workflow.Workflow, version uint64, jo
 			lw.mu.Unlock()
 			r.unpublish(lw)
 			lw.close()
-			return nil, wrapErr("register", err)
+			return nil, r.JournalFault("register", err)
 		}
 	}
 	lw.mu.Unlock()
@@ -377,7 +392,7 @@ func (r *Registry) retire(lw *LiveWorkflow, journal bool) error {
 	if _, reborn := r.lws[lw.id]; reborn {
 		return nil
 	}
-	return r.journal.Deleted(lw.id)
+	return r.JournalFault("delete", r.journal.Deleted(lw.id))
 }
 
 // unpublish removes lw from the map if it is still the published entry
@@ -436,6 +451,11 @@ func (r *Registry) Capacity() int { return r.capacity }
 // its durable state when a journal is installed (see retire for the
 // ordering guarantees against a racing re-registration).
 func (r *Registry) Delete(id string) error {
+	if r.journal != nil {
+		if ee := r.checkWritable("delete"); ee != nil {
+			return ee
+		}
+	}
 	r.mu.Lock()
 	lw, ok := r.lws[id]
 	delete(r.lws, id)
@@ -620,6 +640,11 @@ func (lw *LiveWorkflow) attachView(vid string, build func(wf *workflow.Workflow)
 	if lw.closed {
 		return nil, 0, lw.errClosed("attach")
 	}
+	if journal && lw.reg.journal != nil {
+		if ee := lw.reg.checkWritable("attach"); ee != nil {
+			return nil, 0, ee
+		}
+	}
 	v, err := build(lw.wf)
 	if err != nil {
 		// Build failures are the client's input (malformed JSON, broken
@@ -645,7 +670,7 @@ func (lw *LiveWorkflow) attachView(vid string, build func(wf *workflow.Workflow)
 	lw.views[vid] = &liveView{v: v, report: rep}
 	if journal && lw.reg.journal != nil {
 		if err := lw.reg.journal.ViewAttached(lw.stateLocked(), vid, v); err != nil {
-			return nil, 0, wrapErr("attach", err)
+			return nil, 0, lw.reg.JournalFault("attach", err)
 		}
 	}
 	return rep, lw.version, nil
@@ -657,6 +682,11 @@ func (lw *LiveWorkflow) DetachView(vid string) error {
 	defer lw.mu.Unlock()
 	if lw.closed {
 		return lw.errClosed("detach")
+	}
+	if lw.reg.journal != nil {
+		if ee := lw.reg.checkWritable("detach"); ee != nil {
+			return ee
+		}
 	}
 	if _, ok := lw.views[vid]; !ok {
 		return errf(ErrUnknownView, "detach", "no view %q on workflow %q", vid, lw.id)
@@ -670,7 +700,7 @@ func (lw *LiveWorkflow) DetachView(vid string) error {
 	}
 	if lw.reg.journal != nil {
 		if err := lw.reg.journal.ViewDetached(lw.stateLocked(), vid); err != nil {
-			return wrapErr("detach", err)
+			return lw.reg.JournalFault("detach", err)
 		}
 	}
 	return nil
@@ -788,6 +818,15 @@ func (lw *LiveWorkflow) Mutate(m Mutation) (*MutationResult, error) {
 	if m.IfVersion != 0 && m.IfVersion != lw.version {
 		return nil, errf(ErrVersionConflict, "mutate",
 			"workflow %q is at version %d, mutation requires %d", lw.id, lw.version, m.IfVersion)
+	}
+	// Degraded gate, checked before any state is touched: a mutation
+	// rejected here leaves neither memory nor log changed. (A journal
+	// failure below, by contrast, keeps the mutation in memory — see the
+	// Journal failure contract in journal.go.)
+	if lw.reg.journal != nil {
+		if ee := lw.reg.checkWritable("mutate"); ee != nil {
+			return nil, ee
+		}
 	}
 
 	// --- preflight: reject everything rejectable before touching state.
@@ -931,7 +970,7 @@ func (lw *LiveWorkflow) Mutate(m Mutation) (*MutationResult, error) {
 			edges[i] = [2]string{lw.wf.Task(e[0]).ID, lw.wf.Task(e[1]).ID}
 		}
 		if err := j.Committed(&AppliedBatch{Tasks: m.Tasks, Edges: edges}, lw.stateLocked()); err != nil {
-			return nil, wrapErr("mutate", err)
+			return nil, lw.reg.JournalFault("mutate", err)
 		}
 	}
 	return res, nil

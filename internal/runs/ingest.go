@@ -164,6 +164,14 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool) (*RunInf
 	if err != nil {
 		return nil, wrapErr("ingest", err)
 	}
+	// Degraded gate, checked before any state is touched: an ingest
+	// rejected here leaves no partial run anywhere. (Only live ingests
+	// are gated; the restore path replays already-durable documents.)
+	if journal {
+		if gerr := s.reg.CheckWritable("ingest"); gerr != nil {
+			return nil, wrapErr("ingest", gerr)
+		}
+	}
 	if w.Run == "" {
 		return nil, errf(engine.ErrInvalidTrace, "ingest", "run document missing run id")
 	}
@@ -205,13 +213,14 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool) (*RunInf
 		if journal && s.journal != nil {
 			// Journaled under the shard lock so per-run records of one
 			// workflow hit the WAL in ingestion order. A journal error
-			// leaves the run applied in memory — the store is
-			// sticky-failed, so every later ingest fails too and the
-			// operator restarts from the last durable state (the same
-			// contract as the registry's mutations).
+			// leaves the run applied in memory and flips the registry
+			// into degraded read-only mode (JournalFault): every later
+			// ingest is gated until the background probe resyncs the
+			// store — which folds this run into a snapshot — the same
+			// contract as the registry's mutations.
 			ws, jerr := s.journal.RunIngested(workflowID, run.id, run.doc)
 			if jerr != nil {
-				return wrapErr("ingest", jerr)
+				return s.reg.JournalFault("ingest", jerr)
 			}
 			wantSnap = ws
 			s.journaledBytes.Add(int64(len(run.doc)))
@@ -230,7 +239,7 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool) (*RunInf
 		if serr := lw.State(func(st *engine.LiveState) error {
 			return s.journal.SnapshotWorkflow(st)
 		}); serr != nil && !engine.IsCode(serr, engine.ErrUnknownWorkflow) {
-			return nil, wrapErr("ingest", serr)
+			return nil, wrapErr("ingest", s.reg.JournalFault("ingest", serr))
 		}
 	}
 	info := run.info(workflowID)

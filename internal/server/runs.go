@@ -59,6 +59,7 @@ type StatsResponse struct {
 	Requests      int64             `json:"requests"`
 	Workers       int               `json:"workers"`
 	Cache         engine.CacheStats `json:"cache"`
+	Health        engine.HealthInfo `json:"health"`
 	Registry      RegistryStats     `json:"registry"`
 	Runs          runs.Stats        `json:"runs"`
 }
@@ -80,7 +81,18 @@ func isNDJSON(r *http.Request) bool {
 func (s *Server) handleRunIngest(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	id := r.PathValue("id")
-	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	// Admission control: ingests journal and index whole traces, so they
+	// are the expensive writes. Shed immediately when the configured
+	// concurrency is saturated — a bounded 503 beats an unbounded queue
+	// that takes the daemon down with it.
+	select {
+	case s.ingestSem <- struct{}{}:
+		defer func() { <-s.ingestSem }()
+	default:
+		writeError(w, &engine.Error{Code: engine.ErrOverloaded, Op: "ingest",
+			Message: "too many concurrent ingests; retry later"})
+		return
+	}
 	var info *runs.RunInfo
 	var err error
 	if isNDJSON(r) {
@@ -180,6 +192,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		Workers:       s.eng.Workers(),
 		Cache:         s.eng.CacheStats(),
+		Health:        s.reg.Health(),
 		Registry:      rs,
 		Runs:          s.runs.Stats(),
 	})

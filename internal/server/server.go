@@ -39,6 +39,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -59,6 +60,15 @@ import (
 // unbounded uploads into memory.
 const MaxBodyBytes = 8 << 20
 
+// DefaultRequestTimeout bounds how long any single request may run
+// before its context is canceled; see WithRequestTimeout.
+const DefaultRequestTimeout = 30 * time.Second
+
+// retryAfterSeconds is the Retry-After hint attached to 503 responses
+// (degraded registry, shed load, draining). Clients with backoff of
+// their own can ignore it; dumb retry loops get a sane floor.
+const retryAfterSeconds = "1"
+
 // Server wires an Engine, a live workflow Registry and a run store to
 // the HTTP endpoints.
 type Server struct {
@@ -67,6 +77,13 @@ type Server struct {
 	runs     *runs.Store
 	start    time.Time
 	requests atomic.Int64
+
+	// Load-shedding knobs (see the With* options) and the draining flag
+	// flipped by StartDraining during graceful shutdown.
+	maxBody    int64
+	reqTimeout time.Duration
+	ingestSem  chan struct{}
+	draining   atomic.Bool
 }
 
 // Option configures a Server at construction time.
@@ -86,9 +103,41 @@ func WithRunStore(rs *runs.Store) Option {
 	return func(s *Server) { s.runs = rs }
 }
 
+// WithRequestTimeout bounds every request's context: handlers observe
+// the deadline through r.Context() and return 504 when it expires. Zero
+// or negative disables the bound (tests use this); the default is
+// DefaultRequestTimeout.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
+// WithMaxBodyBytes overrides the request body cap (default MaxBodyBytes).
+// Non-positive values keep the default.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithIngestConcurrency caps how many run-ingest requests may be in
+// flight at once; excess requests are shed with a typed overloaded
+// error (503 + Retry-After) instead of queueing unboundedly behind the
+// journal. Non-positive values keep the default of max(2, engine
+// workers).
+func WithIngestConcurrency(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.ingestSem = make(chan struct{}, n)
+		}
+	}
+}
+
 // New wraps eng in a Server.
 func New(eng *engine.Engine, opts ...Option) *Server {
-	s := &Server{eng: eng, start: time.Now()}
+	s := &Server{eng: eng, start: time.Now(),
+		maxBody: MaxBodyBytes, reqTimeout: DefaultRequestTimeout}
 	for _, o := range opts {
 		o(s)
 	}
@@ -98,16 +147,33 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	if s.runs == nil {
 		s.runs = runs.New(s.reg, runs.WithWorkers(eng.Workers()))
 	}
+	if s.ingestSem == nil {
+		n := eng.Workers()
+		if n < 2 {
+			n = 2
+		}
+		s.ingestSem = make(chan struct{}, n)
+	}
 	return s
 }
 
-// Handler returns the wolvesd route table.
+// StartDraining flips /readyz to 503 so load balancers stop routing new
+// traffic here while in-flight requests finish. wolvesd calls it on
+// SIGTERM before closing the listener. Query and mutation handlers keep
+// working during the drain; only the readiness signal changes.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Handler returns the wolvesd route table wrapped in the server's
+// load-shedding middleware: every request gets a context deadline
+// (WithRequestTimeout) and a body size cap (WithMaxBodyBytes) before a
+// handler sees it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	mux.HandleFunc("POST /v1/correct", s.handleCorrect)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/workflows", s.handleWorkflowList)
 	mux.HandleFunc("PUT /v1/workflows/{id}", s.handleWorkflowPut)
 	mux.HandleFunc("GET /v1/workflows/{id}", s.handleWorkflowGet)
@@ -124,7 +190,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workflows/{id}/runs/{rid}/lineage", s.handleRunLineage)
 	mux.HandleFunc("POST /v1/workflows/{id}/runs/query", s.handleRunQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		if s.reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // --- wire types ---------------------------------------------------------------
@@ -226,6 +302,8 @@ func statusFor(e *engine.Error) int {
 		return http.StatusUnprocessableEntity
 	case engine.ErrCanceled:
 		return http.StatusGatewayTimeout
+	case engine.ErrDegraded, engine.ErrOverloaded:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -243,12 +321,17 @@ func writeError(w http.ResponseWriter, err error) {
 	if !errors.As(err, &ee) {
 		ee = &engine.Error{Code: engine.ErrInternal, Message: err.Error()}
 	}
-	writeJSON(w, statusFor(ee), errorResponse{Error: ee})
+	status := statusFor(ee)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	writeJSON(w, status, errorResponse{Error: ee})
 }
 
-// decodeBody reads a JSON body with the size cap applied.
+// decodeBody reads a JSON body. The size cap is applied once, by the
+// Handler middleware; an oversized body surfaces here as a decode error
+// (net/http's MaxBytesReader has already replied 413 on the wire).
 func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(dst); err != nil {
 		return &engine.Error{Code: engine.ErrBadInput, Op: "decode", Message: err.Error(), Err: err}
@@ -488,4 +571,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.eng.CacheStats(),
 		LiveWorkflows: s.reg.Len(),
 	})
+}
+
+// ReadyResponse is the body of GET /readyz. Status is "healthy" (200),
+// "degraded" or "draining" (503 + Retry-After); Health carries the
+// registry's degraded-mode counters either way.
+type ReadyResponse struct {
+	Status string            `json:"status"`
+	Health engine.HealthInfo `json:"health"`
+}
+
+// handleReadyz is the load-balancer readiness probe. /healthz answers
+// "is the process alive" and always says 200; /readyz answers "should
+// you send traffic here" and flips to 503 while the registry is in
+// degraded read-only mode or the daemon is draining for shutdown. A
+// degraded daemon still serves queries — routing reads elsewhere is a
+// policy choice the balancer makes, not one we force.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{Status: engine.HealthHealthy, Health: s.reg.Health()}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case resp.Health.Status != engine.HealthHealthy:
+		resp.Status = resp.Health.Status
+		status = http.StatusServiceUnavailable
+	}
+	if status != http.StatusOK {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	writeJSON(w, status, resp)
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 
 	"wolves/internal/engine"
 	"wolves/internal/view"
@@ -95,7 +94,7 @@ func (s *Store) RecoverWithRuns(reg *engine.Registry, rr RunRestorer) (*Recovery
 			peak, reg.Capacity())
 	}
 	for _, path := range corrupt {
-		os.Remove(path)
+		s.fs.Remove(path)
 		stats.SnapshotsDropped++
 	}
 	for _, ls := range snaps {
@@ -106,7 +105,7 @@ func (s *Store) RecoverWithRuns(reg *engine.Registry, rr RunRestorer) (*Recovery
 			// back to whatever the log still says.
 			if _, ok := err.(*decodeError); ok {
 				reg.Delete(ls.doc.ID) // drop any partially restored state
-				os.Remove(ls.path)
+				s.fs.Remove(ls.path)
 				delete(snapLSN, ls.doc.ID)
 				delete(snapSize, ls.doc.ID)
 				stats.SnapshotsDropped++
@@ -120,7 +119,7 @@ func (s *Store) RecoverWithRuns(reg *engine.Registry, rr RunRestorer) (*Recovery
 	deleted := make(map[string]bool)
 	paths := s.wal.segmentPaths()
 	for i, path := range paths {
-		_, _, err := scanSegment(path, i == len(paths)-1, func(rec record) error {
+		_, _, err := scanSegment(s.fs, path, i == len(paths)-1, func(rec record) error {
 			return s.replayRecord(reg, rr, rec, snapLSN, deleted, stats)
 		})
 		if err != nil {
@@ -154,7 +153,7 @@ func (s *Store) RecoverWithRuns(reg *engine.Registry, rr RunRestorer) (*Recovery
 	s.mu.Unlock()
 	for _, ls := range snaps {
 		if !live[ls.doc.ID] && deleted[ls.doc.ID] {
-			os.Remove(ls.path)
+			s.fs.Remove(ls.path)
 		}
 	}
 	return stats, nil
@@ -172,7 +171,7 @@ func (s *Store) peakPopulation(snapLSN map[string]uint64) (int, error) {
 	peak := len(alive)
 	paths := s.wal.segmentPaths()
 	for i, path := range paths {
-		_, _, err := scanSegment(path, i == len(paths)-1, func(rec record) error {
+		_, _, err := scanSegment(s.fs, path, i == len(paths)-1, func(rec record) error {
 			if rec.typ != recRegister && rec.typ != recDelete {
 				return nil
 			}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"wolves/internal/engine"
+	"wolves/internal/storage/vfs"
 )
 
 // snapshotView is one attached view inside a snapshot document.
@@ -75,40 +76,42 @@ func encodeSnapshot(st *engine.LiveState, lsn uint64, wfRaw json.RawMessage, run
 // writeSnapshotFile persists doc atomically and returns its encoded
 // size: write to a temp file, sync it (unless FsyncNone), rename over
 // the final name, sync the directory. A crash at any point leaves either
-// the old snapshot or the new one, never a torn hybrid.
-func writeSnapshotFile(dir string, doc *snapshotDoc, mode FsyncMode) (int64, error) {
+// the old snapshot or the new one, never a torn hybrid. Every failure
+// path removes the temp file (best-effort) so a retry starts from a
+// fresh inode instead of appending to torn bytes.
+func writeSnapshotFile(fsys vfs.FS, dir string, doc *snapshotDoc, mode FsyncMode) (int64, error) {
 	data, err := json.Marshal(doc)
 	if err != nil {
 		return 0, fmt.Errorf("storage: snapshot %q: %w", doc.ID, err)
 	}
 	final := filepath.Join(dir, snapName(doc.ID))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return 0, err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
 	if mode != FsyncNone {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 			return 0, err
 		}
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return 0, err
 	}
 	if mode != FsyncNone {
-		return int64(len(data)), syncDir(dir)
+		return int64(len(data)), syncDir(fsys, dir)
 	}
 	return int64(len(data)), nil
 }
@@ -129,8 +132,8 @@ type loadedSnapshot struct {
 // documents are set aside, not fatal: the WAL may still hold the
 // workflow's history, and if it does not, dropping a half-written
 // snapshot from an unsynced crash is the correct reading of the disk.
-func loadSnapshots(dir string) (snaps []loadedSnapshot, corrupt []string, err error) {
-	entries, err := os.ReadDir(dir)
+func loadSnapshots(fsys vfs.FS, dir string) (snaps []loadedSnapshot, corrupt []string, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -140,7 +143,7 @@ func loadSnapshots(dir string) (snaps []loadedSnapshot, corrupt []string, err er
 			continue
 		}
 		path := filepath.Join(dir, name)
-		data, err := os.ReadFile(path)
+		data, err := vfs.ReadFile(fsys, path)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"wolves/internal/engine"
+	"wolves/internal/storage/vfs"
 	"wolves/internal/view"
 )
 
@@ -40,6 +43,12 @@ type Options struct {
 	SnapshotEvery int
 	// Fsync selects the durability mode (FsyncBatch by default).
 	Fsync FsyncMode
+	// FS is the filesystem seam every store I/O goes through; nil means
+	// the real filesystem. Tests install a vfs.FaultFS here to inject
+	// disk faults at any I/O site. The directory flock (LOCK) stays on
+	// the real filesystem regardless: it arbitrates between processes,
+	// which a simulated filesystem cannot do.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SnapshotBytes <= 0 {
 		o.SnapshotBytes = DefaultSnapshotBytes
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS()
 	}
 	return o
 }
@@ -76,6 +88,16 @@ func (ws *wfState) wantSnapshot(opts Options) bool {
 // Recover would interleave a live stream with an unread history.
 var errNeedsRecovery = errors.New("storage: directory holds state; call Recover before journaling")
 
+// Snapshot write retry policy: capped exponential backoff over a few
+// attempts. Kept short — the caller holds the workflow's lock, so a
+// snapshot stuck in retries stalls that workflow's traffic (and only
+// that workflow's).
+const (
+	snapRetryMax  = 3
+	snapRetryBase = 5 * time.Millisecond
+	snapRetryCap  = 100 * time.Millisecond
+)
+
 // Store is the durable registry backend: an engine.Journal whose appends
 // go to a checksummed, segment-rotated WAL and whose snapshots bound
 // both recovery time and disk growth. Open one with Open, restore a
@@ -85,9 +107,13 @@ var errNeedsRecovery = errors.New("storage: directory holds state; call Recover 
 // Failure handling is sticky: the first append or snapshot error poisons
 // the store and every later operation returns it, so a registry backed
 // by a failing disk degrades loudly instead of silently forking from its
-// durable history.
+// durable history. The sticky error implements JournalUnavailable, which
+// the engine maps to its degraded read-only mode; Probe and Resync
+// (engine.RecoverableJournal) bring a poisoned store back once the disk
+// recovers.
 type Store struct {
 	dir  string
+	fs   vfs.FS
 	opts Options
 
 	lockf *os.File // exclusive flock on dir/LOCK for the store's lifetime
@@ -99,6 +125,7 @@ type Store struct {
 
 	mu        sync.Mutex
 	failed    error
+	closed    bool // Close was called; Probe must not resurrect the store
 	needsRec  bool
 	recovered bool
 	lsn       uint64 // last assigned LSN
@@ -131,7 +158,8 @@ func lockDir(dir string) (*os.File, error) {
 // If dir already holds state, Recover must run before journaling.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	lockf, err := lockDir(dir)
@@ -144,16 +172,26 @@ func Open(dir string, opts Options) (*Store, error) {
 			lockf.Close()
 		}
 	}()
-	segs, err := listSegments(dir)
+	// Clear snapshot temp files orphaned by a crash or disk fault between
+	// create and rename; loadSnapshots never reads them, but left in
+	// place they hold torn bytes and waste space forever.
+	if entries, err := fsys.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+				fsys.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts, lockf: lockf, wfs: make(map[string]*wfState)}
+	s := &Store{dir: dir, fs: fsys, opts: opts, lockf: lockf, wfs: make(map[string]*wfState)}
 
-	w := &wal{dir: dir, segBytes: opts.SegmentBytes, mode: opts.Fsync}
+	w := &wal{fs: fsys, dir: dir, segBytes: opts.SegmentBytes, mode: opts.Fsync}
 	w.syncCond = sync.NewCond(&w.syncMu)
 	if len(segs) == 0 {
-		f, err := createSegment(dir, 1, opts.Fsync)
+		f, err := createSegment(fsys, dir, 1, opts.Fsync)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +201,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		for i := range segs {
 			isLast := i == len(segs)-1
 			segMax := uint64(0)
-			validSize, torn, err := scanSegment(segs[i].path, isLast, func(rec record) error {
+			validSize, torn, err := scanSegment(fsys, segs[i].path, isLast, func(rec record) error {
 				segMax = rec.lsn
 				records = true
 				return nil
@@ -179,22 +217,22 @@ func Open(dir string, opts Options) (*Store, error) {
 				continue
 			}
 			if torn {
-				st, err := os.Stat(segs[i].path)
+				st, err := fsys.Stat(segs[i].path)
 				if err != nil {
 					return nil, err
 				}
 				s.tornBytes = st.Size() - validSize
 				if validSize < int64(len(segMagic)) {
 					// The crash tore the magic itself: rewrite it.
-					if err := os.WriteFile(segs[i].path, segMagic, 0o644); err != nil {
+					if err := vfs.WriteFile(fsys, segs[i].path, segMagic, 0o644); err != nil {
 						return nil, err
 					}
 					validSize = int64(len(segMagic))
-				} else if err := os.Truncate(segs[i].path, validSize); err != nil {
+				} else if err := fsys.Truncate(segs[i].path, validSize); err != nil {
 					return nil, err
 				}
 			}
-			f, err := os.OpenFile(segs[i].path, os.O_WRONLY|os.O_APPEND, 0)
+			f, err := fsys.OpenFile(segs[i].path, os.O_WRONLY|os.O_APPEND, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -207,7 +245,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.wal = w
 
-	snaps, corrupt, err := loadSnapshots(dir)
+	snaps, corrupt, err := loadSnapshots(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -251,10 +289,20 @@ func (s *Store) usableLocked() error {
 	return nil
 }
 
+// storeFailure is the sticky error of a poisoned store. It marks itself
+// JournalUnavailable so the engine (which cannot import this package)
+// can classify it via errors.As and flip the registry into degraded
+// read-only mode instead of surfacing an opaque internal error.
+type storeFailure struct{ err error }
+
+func (e *storeFailure) Error() string            { return "storage: store failed: " + e.err.Error() }
+func (e *storeFailure) Unwrap() error            { return e.err }
+func (e *storeFailure) JournalUnavailable() bool { return true }
+
 // failLocked makes err sticky; callers hold s.mu.
 func (s *Store) failLocked(err error) error {
 	if s.failed == nil {
-		s.failed = fmt.Errorf("storage: store failed: %w", err)
+		s.failed = &storeFailure{err: err}
 	}
 	return s.failed
 }
@@ -264,6 +312,18 @@ func (s *Store) fail(err error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.failLocked(err)
+}
+
+// waitDurable waits for ticket's group commit and poisons the store on
+// a sync failure: after a failed fsync the record may sit in dirty
+// pages the kernel already dropped (fsyncgate), so the store must stop
+// appending — and report itself unavailable, so the registry degrades —
+// until Probe rotates to a fresh segment.
+func (s *Store) waitDurable(ticket uint64) error {
+	if err := s.wal.waitDurable(ticket); err != nil {
+		return s.fail(err)
+	}
+	return nil
 }
 
 // appendLocked assigns the next LSN and writes one record, returning the
@@ -278,7 +338,18 @@ func (s *Store) appendLocked(typ byte, body any) (uint64, int64, error) {
 	}
 	ticket, err := s.wal.append(record{typ: typ, lsn: s.lsn + 1, body: raw})
 	if err != nil {
-		return 0, 0, s.failLocked(err)
+		// A full disk is the one write failure worth retrying in place:
+		// when the failed write was cleanly rolled back (the segment still
+		// ends on a record boundary), compact every snapshot-covered
+		// segment to free space and try once more before surrendering.
+		var we *walWriteError
+		if errors.As(err, &we) && we.clean && errors.Is(we.err, syscall.ENOSPC) {
+			s.wal.compact(s.coveredLocked())
+			ticket, err = s.wal.append(record{typ: typ, lsn: s.lsn + 1, body: raw})
+		}
+		if err != nil {
+			return 0, 0, s.failLocked(err)
+		}
 	}
 	s.lsn++
 	return ticket, int64(recHeaderLen + recPrefixLen + len(raw)), nil
@@ -306,9 +377,33 @@ func (s *Store) writeSnapshot(st *engine.LiveState, coverLSN uint64, wfRaw json.
 	if err != nil {
 		return s.fail(err)
 	}
-	size, err := writeSnapshotFile(s.dir, doc, s.opts.Fsync)
-	if err != nil {
-		return s.fail(err)
+	// Snapshot writes are transient-fault tolerant: the temp file is
+	// removed on every failure (fresh inode per attempt, so no torn
+	// bytes accumulate) and the write is retried under a capped
+	// exponential backoff. ENOSPC additionally compacts covered
+	// segments first — reclaimed WAL space is often exactly what the
+	// snapshot needs. Only after the attempts are exhausted is the
+	// store poisoned.
+	var size int64
+	backoff := snapRetryBase
+	for attempt := 0; ; attempt++ {
+		size, err = writeSnapshotFile(s.fs, s.dir, doc, s.opts.Fsync)
+		if err == nil {
+			break
+		}
+		if attempt == snapRetryMax-1 {
+			return s.fail(err)
+		}
+		if errors.Is(err, syscall.ENOSPC) {
+			s.mu.Lock()
+			covered := s.coveredLocked()
+			s.mu.Unlock()
+			s.wal.compact(covered)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > snapRetryCap {
+			backoff = snapRetryCap
+		}
 	}
 	s.mu.Lock()
 	ws := s.wfs[st.ID]
@@ -362,7 +457,7 @@ func (s *Store) Registered(st *engine.LiveState) error {
 	if err := s.writeSnapshot(st, coverLSN, wfRaw); err != nil {
 		return err
 	}
-	return s.wal.waitDurable(ticket)
+	return s.waitDurable(ticket)
 }
 
 // Committed appends the mutation batch; once the workflow's WAL growth
@@ -398,7 +493,7 @@ func (s *Store) Committed(batch *engine.AppliedBatch, st *engine.LiveState) erro
 			return err
 		}
 	}
-	return s.wal.waitDurable(ticket)
+	return s.waitDurable(ticket)
 }
 
 // ViewAttached appends the attach record carrying the view document.
@@ -434,7 +529,7 @@ func (s *Store) ViewAttached(st *engine.LiveState, vid string, v *view.View) err
 			return err
 		}
 	}
-	return s.wal.waitDurable(ticket)
+	return s.waitDurable(ticket)
 }
 
 // ViewDetached appends the detach record.
@@ -462,7 +557,7 @@ func (s *Store) ViewDetached(st *engine.LiveState, vid string) error {
 			return err
 		}
 	}
-	return s.wal.waitDurable(ticket)
+	return s.waitDurable(ticket)
 }
 
 // Deleted appends the delete record, waits for it to be durable, and
@@ -482,7 +577,7 @@ func (s *Store) Deleted(id string) error {
 	}
 	delete(s.wfs, id)
 	s.mu.Unlock()
-	if err := s.wal.waitDurable(ticket); err != nil {
+	if err := s.waitDurable(ticket); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -492,13 +587,13 @@ func (s *Store) Deleted(id string) error {
 	// serializes Deleted against same-ID registration; this guard keeps
 	// the store safe even for journals driven differently.
 	if _, reborn := s.wfs[id]; !reborn {
-		if err := os.Remove(snapPath(s.dir, id)); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(snapPath(s.dir, id)); err != nil && !os.IsNotExist(err) {
 			err = s.failLocked(err)
 			s.mu.Unlock()
 			return err
 		}
 		if s.opts.Fsync != FsyncNone {
-			_ = syncDir(s.dir)
+			_ = syncDir(s.fs, s.dir)
 		}
 	}
 	covered := s.coveredLocked()
@@ -538,7 +633,7 @@ func (s *Store) RunIngested(workflowID, runID string, doc []byte) (bool, error) 
 	if err != nil {
 		return false, err
 	}
-	return want, s.wal.waitDurable(ticket)
+	return want, s.waitDurable(ticket)
 }
 
 // SnapshotWorkflow folds st into a fresh snapshot covering everything
@@ -564,6 +659,10 @@ func (s *Store) SnapshotWorkflow(st *engine.LiveState) error {
 // Checkpoint the next boot replays (almost) nothing. wolvesd runs one on
 // graceful shutdown; operators can also run them periodically.
 func (s *Store) Checkpoint(reg *engine.Registry) error {
+	return s.checkpoint(reg, true)
+}
+
+func (s *Store) checkpoint(reg *engine.Registry, seal bool) error {
 	for _, id := range reg.IDs() {
 		// Peek, not Get: a maintenance sweep must not bump LRU recency,
 		// or every checkpoint would reorder the eviction queue into
@@ -588,8 +687,10 @@ func (s *Store) Checkpoint(reg *engine.Registry) error {
 			return err
 		}
 	}
-	if err := s.wal.seal(); err != nil {
-		return s.fail(err)
+	if seal {
+		if err := s.wal.seal(); err != nil {
+			return s.fail(err)
+		}
 	}
 	s.mu.Lock()
 	covered := s.coveredLocked()
@@ -598,10 +699,99 @@ func (s *Store) Checkpoint(reg *engine.Registry) error {
 	return nil
 }
 
+// Probe attempts to bring a poisoned store back: it repairs the WAL's
+// tail (truncating any bytes a failed write tore), rotates to a fresh
+// segment without ever re-fsyncing the suspect one (fsyncgate: after a
+// failed fsync the kernel may have dropped the dirty pages, so a retried
+// fsync can report success over lost data), and clears the sticky
+// failure. It is idempotent and safe to call repeatedly; each call that
+// fails leaves the store exactly as poisoned as before.
+//
+// Probe alone does not make the store consistent with the registry —
+// operations that failed mid-journal left memory ahead of the log. The
+// caller must follow a successful Probe with Resync before appending;
+// engine.Registry's degraded-mode probe loop does exactly that and keeps
+// mutations gated until Resync succeeds.
+func (s *Store) Probe() error {
+	s.mu.Lock()
+	if s.closed {
+		err := s.failed
+		s.mu.Unlock()
+		return err
+	}
+	if s.failed == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.needsRec && !s.recovered {
+		s.mu.Unlock()
+		return errNeedsRecovery
+	}
+	s.mu.Unlock()
+	// Reopen outside s.mu: it creates and syncs files, and a slow disk
+	// must not block concurrent read-path bookkeeping.
+	if err := s.wal.reopen(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.failed = nil
+	s.mu.Unlock()
+	return nil
+}
+
+// Resync makes the store's durable state equal to the registry's live
+// state after a successful Probe: every live workflow is folded into a
+// fresh snapshot at the current LSN (capturing any mutations that were
+// applied in memory while their journal append failed), bookkeeping for
+// workflows the registry no longer holds is dropped along with their
+// snapshot files, and every segment now covered — including the suspect
+// pre-Probe segment — is compacted away. After Resync returns nil, a
+// crash-recovery from the directory reproduces the registry as it stood
+// at the Resync point.
+//
+// If the machine dies between Probe and the compaction here, the next
+// boot may find a sealed segment whose tail was torn by the original
+// fault; Open refuses such a directory loudly (corrupt record in a
+// non-last segment) rather than ever replaying around missing records.
+func (s *Store) Resync(reg *engine.Registry) error {
+	if err := s.checkpoint(reg, false); err != nil {
+		return err
+	}
+	live := make(map[string]bool)
+	for _, id := range reg.IDs() {
+		live[id] = true
+	}
+	s.mu.Lock()
+	var stale []string
+	for id := range s.wfs {
+		if !live[id] {
+			stale = append(stale, id)
+			delete(s.wfs, id)
+		}
+	}
+	covered := s.coveredLocked()
+	s.mu.Unlock()
+	// Snapshot files for workflows the registry dropped (a registration
+	// or deletion whose journaling failed mid-way) would resurrect state
+	// the client was told does not exist; remove them now that the
+	// registry is authoritative again.
+	for _, id := range stale {
+		if err := s.fs.Remove(snapPath(s.dir, id)); err != nil && !os.IsNotExist(err) {
+			return s.fail(err)
+		}
+	}
+	if len(stale) > 0 && s.opts.Fsync != FsyncNone {
+		_ = syncDir(s.fs, s.dir)
+	}
+	s.wal.compact(covered)
+	return nil
+}
+
 // Close flushes and closes the WAL and releases the directory lock. The
 // store is unusable afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
+	s.closed = true
 	if s.failed == nil {
 		s.failed = errors.New("storage: store closed")
 	}

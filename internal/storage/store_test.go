@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"wolves/internal/engine"
+	"wolves/internal/storage/vfs"
 	"wolves/internal/gen"
 	"wolves/internal/runs"
 	"wolves/internal/view"
@@ -292,7 +293,7 @@ func TestCheckpointThenRecover(t *testing.T) {
 
 	// Checkpoint + snapshot-triggered compaction must actually bound the
 	// log: all that survives is the snapshot and the tail segment.
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

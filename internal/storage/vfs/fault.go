@@ -1,0 +1,336 @@
+package vfs
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Op identifies one class of filesystem operation for fault scheduling.
+type Op uint8
+
+const (
+	OpOpen Op = iota // OpenFile, for files and directory handles alike
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpTruncate
+	OpStat
+	OpReadDir
+	OpMkdir
+	opCount
+)
+
+var opNames = [opCount]string{"open", "read", "write", "sync", "close", "rename", "remove", "truncate", "stat", "readdir", "mkdir"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Fault describes one injected failure.
+type Fault struct {
+	// Err is the error returned to the caller. Defaults to EIO.
+	Err error
+	// Short makes an OpWrite fault a short write: half the buffer is
+	// written through to the underlying file before Err is returned, so
+	// the file holds a torn record.
+	Short bool
+	// TornRename makes an OpRename fault remove the source file before
+	// returning Err — modeling a crash window where the temp file is
+	// gone but the destination never appeared.
+	TornRename bool
+}
+
+func (f Fault) err() error {
+	if f.Err == nil {
+		return syscall.EIO
+	}
+	return f.Err
+}
+
+// ErrInjected wraps every injected error so tests can assert a failure
+// came from the harness and not from the real disk.
+var ErrInjected = errors.New("vfs: injected fault")
+
+type injectedError struct {
+	op  Op
+	err error
+}
+
+func (e *injectedError) Error() string { return "vfs: injected " + e.op.String() + " fault: " + e.err.Error() }
+func (e *injectedError) Unwrap() error { return e.err }
+func (e *injectedError) Is(target error) bool {
+	return target == ErrInjected || errors.Is(e.err, target)
+}
+
+type rule struct {
+	op  Op
+	nth uint64 // 1-based occurrence count that trips the rule
+	f   Fault
+}
+
+// FaultFS wraps an FS and injects scheduled faults. Three schedules
+// compose, checked in order for every operation:
+//
+//  1. FailNth rules — deterministic one-shot faults on the n-th
+//     occurrence of an op (counted from the rule's installation).
+//  2. Deny — every occurrence of an op fails until Allow.
+//  3. Chaos — a seeded random schedule failing each matching op with a
+//     fixed probability, choosing among error kinds (EIO, ENOSPC, short
+//     writes, torn renames) pseudo-randomly.
+//
+// All methods are safe for concurrent use; tests flip faults on and off
+// while a store is serving traffic.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	counts   [opCount]uint64
+	rules    []rule
+	deny     [opCount]*Fault
+	rng      *rand.Rand
+	prob     float64
+	chaosOps [opCount]bool
+	injected uint64
+}
+
+// NewFault wraps inner with a fault injector that (until scheduled
+// otherwise) passes every operation through.
+func NewFault(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// FailNth schedules flt on the n-th occurrence (1-based, counted from
+// now) of op. The rule fires once and is discarded.
+func (f *FaultFS) FailNth(op Op, n uint64, flt Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, rule{op: op, nth: f.counts[op] + n, f: flt})
+}
+
+// Deny fails every subsequent occurrence of op with flt until Allow.
+func (f *FaultFS) Deny(op Op, flt Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := flt
+	f.deny[op] = &c
+}
+
+// Allow clears a Deny on op.
+func (f *FaultFS) Allow(op Op) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.deny[op] = nil
+}
+
+// Chaos enables the seeded random schedule: each matching op fails with
+// probability prob. An empty ops list matches every operation kind.
+func (f *FaultFS) Chaos(seed int64, prob float64, ops ...Op) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = rand.New(rand.NewSource(seed))
+	f.prob = prob
+	f.chaosOps = [opCount]bool{}
+	if len(ops) == 0 {
+		for i := range f.chaosOps {
+			f.chaosOps[i] = true
+		}
+		return
+	}
+	for _, op := range ops {
+		f.chaosOps[op] = true
+	}
+}
+
+// Heal clears every schedule: pending FailNth rules, denies and chaos.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.deny = [opCount]*Fault{}
+	f.rng = nil
+	f.prob = 0
+}
+
+// Count reports how many operations of kind op have been attempted.
+func (f *FaultFS) Count(op Op) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// Injected reports how many faults have fired so far.
+func (f *FaultFS) Injected() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// check counts one occurrence of op and returns the fault to inject, or
+// nil to pass the operation through.
+func (f *FaultFS) check(op Op) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	n := f.counts[op]
+	for i, r := range f.rules {
+		if r.op == op && r.nth == n {
+			f.rules = append(f.rules[:i], f.rules[i+1:]...)
+			f.injected++
+			flt := r.f
+			return &flt
+		}
+	}
+	if flt := f.deny[op]; flt != nil {
+		f.injected++
+		c := *flt
+		return &c
+	}
+	if f.rng != nil && f.chaosOps[op] && f.rng.Float64() < f.prob {
+		f.injected++
+		return f.chaosFault(op)
+	}
+	return nil
+}
+
+// chaosFault picks an error kind for op; callers hold f.mu.
+func (f *FaultFS) chaosFault(op Op) *Fault {
+	switch op {
+	case OpWrite:
+		switch f.rng.Intn(3) {
+		case 0:
+			return &Fault{Err: syscall.EIO}
+		case 1:
+			return &Fault{Err: syscall.ENOSPC}
+		default:
+			return &Fault{Err: syscall.EIO, Short: true}
+		}
+	case OpRename:
+		switch f.rng.Intn(3) {
+		case 0:
+			return &Fault{Err: syscall.EIO}
+		case 1:
+			return &Fault{Err: syscall.ENOSPC}
+		default:
+			return &Fault{Err: syscall.EIO, TornRename: true}
+		}
+	default:
+		if f.rng.Intn(2) == 0 {
+			return &Fault{Err: syscall.ENOSPC}
+		}
+		return &Fault{Err: syscall.EIO}
+	}
+}
+
+func (f *FaultFS) fire(op Op) error {
+	if flt := f.check(op); flt != nil {
+		return &injectedError{op: op, err: flt.err()}
+	}
+	return nil
+}
+
+// --- FS -----------------------------------------------------------------------
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.fire(OpOpen); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if flt := f.check(OpRename); flt != nil {
+		if flt.TornRename {
+			f.inner.Remove(oldpath)
+		}
+		return &injectedError{op: OpRename, err: flt.err()}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.fire(OpRemove); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.fire(OpTruncate); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if err := f.fire(OpStat); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.fire(OpReadDir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) MkdirAll(name string, perm os.FileMode) error {
+	if err := f.fire(OpMkdir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(name, perm)
+}
+
+// --- File ---------------------------------------------------------------------
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.fire(OpRead); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if flt := f.fs.check(OpWrite); flt != nil {
+		n := 0
+		if flt.Short && len(p) > 1 {
+			n, _ = f.inner.Write(p[:len(p)/2])
+		}
+		return n, &injectedError{op: OpWrite, err: flt.err()}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.fire(OpSync); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if err := f.fs.fire(OpClose); err != nil {
+		f.inner.Close() // don't leak the descriptor; the caller sees the fault
+		return err
+	}
+	return f.inner.Close()
+}

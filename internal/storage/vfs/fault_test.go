@@ -1,0 +1,137 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFailNthIsDeterministicAndOneShot(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(OS())
+	ffs.FailNth(OpWrite, 2, Fault{Err: syscall.EIO})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("1st write: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("2nd write: want injected EIO, got %v", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("3rd write after one-shot rule: %v", err)
+	}
+	if got := ffs.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d, want 1", got)
+	}
+}
+
+func TestShortWriteLeavesTornBytes(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(OS())
+	path := filepath.Join(dir, "torn")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.FailNth(OpWrite, 1, Fault{Err: syscall.EIO, Short: true})
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("short write reported success")
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("file holds %q, want torn prefix %q", data, "01234")
+	}
+}
+
+func TestTornRenameRemovesSource(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(OS())
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailNth(OpRename, 1, Fault{Err: syscall.EIO, TornRename: true})
+	if err := ffs.Rename(src, dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: want injected fault, got %v", err)
+	}
+	if _, err := os.Stat(src); !os.IsNotExist(err) {
+		t.Fatalf("source survived torn rename: %v", err)
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatalf("destination appeared despite torn rename: %v", err)
+	}
+}
+
+func TestDenyUntilAllow(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFault(OS())
+	ffs.Deny(OpOpen, Fault{Err: syscall.ENOSPC})
+	if _, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("denied open: want ENOSPC, got %v", err)
+	}
+	ffs.Allow(OpOpen)
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open after Allow: %v", err)
+	}
+	f.Close()
+}
+
+func TestChaosIsSeedDeterministicAndHealable(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		dir := t.TempDir()
+		ffs := NewFault(OS())
+		ffs.Chaos(seed, 0.5, OpWrite, OpSync)
+		f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var marks []uint64
+		for i := 0; i < 64; i++ {
+			if _, err := f.Write([]byte("x")); err != nil {
+				marks = append(marks, uint64(i))
+			}
+		}
+		return marks
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("chaos at p=0.5 injected nothing in 64 writes")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+
+	dir := t.TempDir()
+	ffs := NewFault(OS())
+	ffs.Chaos(7, 1.0)
+	if _, err := ffs.Stat(dir); err == nil {
+		t.Fatal("chaos at p=1 let a stat through")
+	}
+	ffs.Heal()
+	if _, err := ffs.Stat(dir); err != nil {
+		t.Fatalf("stat after Heal: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package vfs is the filesystem seam under internal/storage: every disk
+// operation the WAL, snapshot and recovery code performs goes through an
+// FS, so tests can inject faults at any I/O site (see FaultFS) while
+// production uses the os-backed implementation returned by OS.
+//
+// The seam deliberately mirrors the handful of os calls the store makes
+// (open/write/fsync/rename/remove/truncate/stat/readdir/mkdir) instead
+// of io/fs: the store needs writes, syncs and renames, which io/fs does
+// not model.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage layer uses. Directory
+// handles opened read-only also satisfy it (Sync on a directory handle
+// is how directory entries are made durable).
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of a Store's data directory.
+// All paths are passed through verbatim; implementations must preserve
+// os error semantics (os.IsNotExist, os.ErrClosed, syscall errnos) so
+// the store's error classification keeps working.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	Stat(name string) (os.FileInfo, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	MkdirAll(name string, perm os.FileMode) error
+}
+
+// OS returns the production FS backed by the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                    { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error      { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (os.FileInfo, error)       { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)  { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+// ReadFile reads name in full through fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFile writes data to name through fsys, truncating any previous
+// contents, with os.WriteFile semantics.
+func WriteFile(fsys FS, name string, data []byte, perm os.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// SyncDir fsyncs a directory through fsys so renames/creates/removes
+// inside it are durable.
+func SyncDir(fsys FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

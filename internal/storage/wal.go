@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"wolves/internal/storage/vfs"
 )
 
 // FsyncMode selects the WAL's durability/latency trade-off.
@@ -70,19 +72,22 @@ type sealedSegment struct {
 // serialized by mu; fsync batching runs on top (syncMu) so waiting for
 // durability never blocks the next writer's append.
 type wal struct {
+	fs       vfs.FS
 	dir      string
 	segBytes int64
 	mode     FsyncMode
 
 	mu       sync.Mutex
-	f        *os.File
+	f        vfs.File
 	seq      uint64
 	size     int64
 	maxLSN   uint64
 	sealed   []sealedSegment
 	buf      []byte // reusable encode buffer
 	writeSeq uint64 // count of appended records (group-commit ticket)
-	werr     error  // sticky write/rotate failure
+	werr     error  // sticky write/rotate/fsync failure
+	torn     bool   // a failed write left bytes we could not truncate away
+	goodSize int64  // last clean record boundary, for reopen's truncate
 
 	syncMu    sync.Mutex
 	syncCond  *sync.Cond
@@ -108,39 +113,59 @@ func segSeq(name string) (uint64, bool) {
 // syncDir fsyncs a directory so renames/creates/removes inside it are
 // durable. Failures degrade durability, not correctness; callers ignore
 // them on best-effort paths.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+func syncDir(fsys vfs.FS, dir string) error {
+	return vfs.SyncDir(fsys, dir)
 }
 
-// createSegment creates and magic-stamps a fresh segment file.
-func createSegment(dir string, seq uint64, mode FsyncMode) (*os.File, error) {
+// createSegment creates and magic-stamps a fresh segment file. On any
+// failure after the create, the partial file is removed (best-effort) so
+// a retry can O_EXCL-create the same sequence number again.
+func createSegment(fsys vfs.FS, dir string, seq uint64, mode FsyncMode) (vfs.File, error) {
 	path := filepath.Join(dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := f.Write(segMagic); err != nil {
 		f.Close()
+		fsys.Remove(path)
 		return nil, err
 	}
 	if mode != FsyncNone {
-		if err := syncDir(dir); err != nil {
+		if err := syncDir(fsys, dir); err != nil {
 			f.Close()
+			fsys.Remove(path)
 			return nil, err
 		}
 	}
 	return f, nil
 }
 
+// walWriteError reports a failed record write. clean means the partial
+// bytes were truncated away and the segment still ends on a record
+// boundary — the store may retry the append (it does for ENOSPC, after
+// compacting); a non-clean failure leaves a torn tail that only reopen
+// can repair.
+type walWriteError struct {
+	err   error
+	clean bool
+}
+
+func (e *walWriteError) Error() string { return e.err.Error() }
+func (e *walWriteError) Unwrap() error { return e.err }
+
 // append encodes and writes rec to the current segment, rotating first
 // when the segment is full, and returns the group-commit ticket to pass
 // to waitDurable. The write syscall happens here; the fsync (if any)
 // happens in waitDurable so callers can release their own locks first.
+//
+// A failed write syscall is rolled back by truncating the segment to the
+// previous record boundary (segments are opened O_APPEND, so the next
+// write lands exactly at the truncated end); if even the truncate fails
+// the wal is poisoned until reopen. A failed fsync always poisons:
+// the kernel may have dropped the dirty pages, so retrying fsync over
+// them could succeed while the data is gone (fsyncgate) — the only safe
+// continuation is a fresh segment, which reopen provides.
 func (w *wal) append(rec record) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -154,20 +179,36 @@ func (w *wal) append(rec record) (uint64, error) {
 			return 0, err
 		}
 	}
+	prevSize := w.size
 	n, err := w.f.Write(w.buf)
 	w.size += int64(n)
 	if err != nil {
+		if terr := w.fs.Truncate(filepath.Join(w.dir, segName(w.seq)), prevSize); terr == nil {
+			w.size = prevSize
+			return 0, &walWriteError{err: err, clean: true}
+		}
+		w.torn = true
+		w.goodSize = prevSize
 		w.werr = err
-		return 0, err
+		return 0, &walWriteError{err: err}
 	}
-	w.maxLSN = rec.lsn
-	w.writeSeq++
 	if w.mode == FsyncAlways {
 		if err := w.f.Sync(); err != nil {
+			// The write landed but its fsync failed: the record's pages may
+			// already be dropped (fsyncgate), and the store never assigned
+			// its LSN (the append errors out). Mark the tail torn at the
+			// pre-record boundary so reopen truncates the suspect bytes
+			// away — otherwise the sealed segment would advertise an LSN
+			// the store reuses, blocking compaction forever and replaying
+			// the unacknowledged record on top of the resync snapshot.
+			w.torn = true
+			w.goodSize = prevSize
 			w.werr = err
 			return 0, err
 		}
 	}
+	w.maxLSN = rec.lsn
+	w.writeSeq++
 	return w.writeSeq, nil
 }
 
@@ -238,7 +279,7 @@ func (w *wal) rotateLocked() error {
 		w.syncCond.Broadcast()
 		w.syncMu.Unlock()
 	}
-	f, err := createSegment(w.dir, w.seq+1, w.mode)
+	f, err := createSegment(w.fs, w.dir, w.seq+1, w.mode)
 	if err != nil {
 		return err
 	}
@@ -246,6 +287,65 @@ func (w *wal) rotateLocked() error {
 	w.f = f
 	w.size = int64(len(segMagic))
 	w.maxLSN = 0
+	return nil
+}
+
+// reopen repairs a poisoned wal for Store.Probe: it restores a clean
+// tail on the current segment if a failed write left a torn one, then
+// seals that segment WITHOUT fsyncing it — after an fsync failure the
+// kernel may have dropped the dirty pages, and re-fsyncing could report
+// success over lost data (fsyncgate), so the suspect segment is never
+// flushed again — and opens a fresh segment for future appends. Sticky
+// write and sync errors are cleared only once the fresh segment exists.
+//
+// The records in the suspect segment are intact on-disk bytes of
+// already-acknowledged-or-failed operations; the caller (Store.Resync)
+// immediately re-snapshots every live workflow so the segment is fully
+// covered and compacted away before the store accepts new appends.
+//
+// reopen is idempotent on failure: nothing is mutated until the fresh
+// segment has been created.
+func (w *wal) reopen() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("storage: wal closed")
+	}
+	if w.torn {
+		if err := w.fs.Truncate(filepath.Join(w.dir, segName(w.seq)), w.goodSize); err != nil {
+			return err
+		}
+		w.torn = false
+		w.size = w.goodSize
+	}
+	f, err := createSegment(w.fs, w.dir, w.seq+1, w.mode)
+	if errors.Is(err, os.ErrExist) {
+		// A previous reopen created the next segment and then failed
+		// before adopting it; clear the debris and try once more.
+		if rerr := w.fs.Remove(filepath.Join(w.dir, segName(w.seq+1))); rerr != nil {
+			return rerr
+		}
+		f, err = createSegment(w.fs, w.dir, w.seq+1, w.mode)
+	}
+	if err != nil {
+		return err
+	}
+	w.f.Close() // suspect segment: close unsynced, never fsync again
+	w.sealed = append(w.sealed, sealedSegment{
+		seq:    w.seq,
+		path:   filepath.Join(w.dir, segName(w.seq)),
+		maxLSN: w.maxLSN,
+	})
+	w.seq++
+	w.f = f
+	w.size = int64(len(segMagic))
+	w.maxLSN = 0
+	w.werr = nil
+	w.syncMu.Lock()
+	w.syncErr = nil
+	w.syncedSeq = w.writeSeq
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
 	return nil
 }
 
@@ -279,7 +379,7 @@ func (w *wal) compact(coveredLSN uint64) {
 		if seg.maxLSN <= coveredLSN {
 			// Best-effort: a segment that refuses to die only delays
 			// compaction, it never corrupts state.
-			if err := os.Remove(seg.path); err == nil || os.IsNotExist(err) {
+			if err := w.fs.Remove(seg.path); err == nil || os.IsNotExist(err) {
 				removed = true
 				continue
 			}
@@ -288,7 +388,7 @@ func (w *wal) compact(coveredLSN uint64) {
 	}
 	w.sealed = kept
 	if removed && w.mode != FsyncNone {
-		_ = syncDir(w.dir)
+		_ = syncDir(w.fs, w.dir)
 	}
 }
 
@@ -329,8 +429,8 @@ func (w *wal) close() error {
 // tail was torn. isLast controls torn-tail tolerance: a short or
 // corrupt record at the tail of the last segment is where the crash
 // happened; anywhere else it is unrecoverable corruption.
-func scanSegment(path string, isLast bool, fn func(rec record) error) (int64, bool, error) {
-	f, err := os.Open(path)
+func scanSegment(fsys vfs.FS, path string, isLast bool, fn func(rec record) error) (int64, bool, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, false, err
 	}
@@ -371,8 +471,8 @@ func scanSegment(path string, isLast bool, fn func(rec record) error) (int64, bo
 }
 
 // listSegments returns the segment files of dir sorted by sequence.
-func listSegments(dir string) ([]sealedSegment, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]sealedSegment, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
