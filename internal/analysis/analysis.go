@@ -1,0 +1,44 @@
+// Package analysis registers the wolveslint invariant suite: custom
+// analyzers that machine-check the seams earlier PRs established by
+// convention. See the individual analyzer packages for the invariant
+// each one encodes, and README.md ("Static analysis & invariants") for
+// the catalogue.
+package analysis
+
+import (
+	"wolves/internal/analysis/ctxpass"
+	"wolves/internal/analysis/errcode"
+	"wolves/internal/analysis/lint"
+	"wolves/internal/analysis/lockflow"
+	"wolves/internal/analysis/poolret"
+	"wolves/internal/analysis/vfsseam"
+)
+
+// All returns the full analyzer suite in the order the driver runs it.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		vfsseam.Analyzer,
+		errcode.Analyzer,
+		ctxpass.Analyzer,
+		lockflow.Analyzer,
+		poolret.Analyzer,
+	}
+}
+
+// ByName resolves a subset of the suite by analyzer name; unknown names
+// return nil.
+func ByName(names []string) []*lint.Analyzer {
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package analysistest pins analyzers to golden diagnostics, mirroring
+// golang.org/x/tools/go/analysis/analysistest: a test package lives
+// under testdata/src/<importpath>/, and every expected diagnostic is a
+// `// want "regexp"` comment on the line it must land on. Run fails the
+// test on any unexpected, missing, or mismatched diagnostic — so both
+// the positives and the //lint:allow escape hatch are golden-file
+// verified.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"wolves/internal/analysis/lint"
+)
+
+// std resolves export data for standard-library imports of testdata
+// packages, shared across tests in the process.
+var std lint.StdExports
+
+// Run loads each package under dir/src/<path>, applies the analyzer,
+// and matches its findings against the // want comments in the package
+// sources.
+func Run(t *testing.T, dir string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	ld := &testLoader{
+		srcRoot: filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		loaded:  make(map[string]*lint.Package),
+	}
+	ld.imp = lint.NewExportImporter(ld.fset, std.Resolve)
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				t.Errorf("loading %s: %v", path, e)
+			}
+			continue
+		}
+		findings, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, ld.fset, pkg, findings)
+	}
+}
+
+// expectation is one // want pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted patterns of a want comment. Patterns are
+// Go-quoted strings: // want "foo" `bar.*baz`
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants collects the expectations declared in f.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			pats := wantRE.FindAllString(text, -1)
+			if len(pats) == 0 {
+				t.Errorf("%s: malformed want comment %q", pos, c.Text)
+				continue
+			}
+			for _, p := range pats {
+				unq := p[1 : len(p)-1]
+				if p[0] == '"' {
+					unq = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(unq)
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Errorf("%s: bad want pattern %q: %v", pos, unq, err)
+					continue
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: unq, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// check matches findings against expectations one-to-one.
+func check(t *testing.T, fset *token.FileSet, pkg *lint.Package, findings []lint.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// testLoader typechecks testdata packages, resolving imports first
+// against testdata/src (so golden packages can model multi-package
+// seams like a fake engine + server pair) and then against standard
+// library export data.
+type testLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	imp     types.ImporterFrom
+	loaded  map[string]*lint.Package
+}
+
+func (ld *testLoader) load(path string) (*lint.Package, error) {
+	if pkg, ok := ld.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &lint.Package{PkgPath: path, Dir: dir, Fset: ld.fset}
+	ld.loaded[path] = pkg
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 && len(pkg.Errors) == 0 {
+		pkg.Errors = append(pkg.Errors, fmt.Errorf("no Go files in %s", dir))
+	}
+	if len(pkg.Errors) > 0 {
+		return pkg, nil
+	}
+	pkg.TypesInfo = lint.NewTypesInfo()
+	conf := types.Config{
+		Importer: (*loaderImporter)(ld),
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, ld.fset, pkg.Files, pkg.TypesInfo)
+	return pkg, nil
+}
+
+// loaderImporter adapts testLoader to types.Importer: testdata packages
+// shadow everything else, the standard library resolves through export
+// data.
+type loaderImporter testLoader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	ld := (*testLoader)(li)
+	if _, err := os.Stat(filepath.Join(ld.srcRoot, filepath.FromSlash(path))); err == nil {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.Errors) > 0 {
+			return nil, fmt.Errorf("testdata package %s: %v", path, pkg.Errors[0])
+		}
+		return pkg.Types, nil
+	}
+	return ld.imp.ImportFrom(path, "", 0)
+}

@@ -1,0 +1,14 @@
+package ctxpass_test
+
+import (
+	"testing"
+
+	"wolves/internal/analysis/analysistest"
+	"wolves/internal/analysis/ctxpass"
+)
+
+func TestCtxPass(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpass.Analyzer,
+		"example.com/lib",
+		"example.com/cmd")
+}

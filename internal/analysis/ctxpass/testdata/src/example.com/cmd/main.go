@@ -1,0 +1,14 @@
+// Binaries own their root contexts: package main is exempt.
+package main
+
+import (
+	"context"
+
+	"example.com/lib"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = lib.WorkCtx(ctx, 1)
+	_ = lib.Work(2)
+}

@@ -1,0 +1,72 @@
+// Package lib is golden testdata for the ctx-threading rules: library
+// code must pass ctx through instead of minting fresh roots or calling
+// non-ctx wrappers when a ...Ctx variant exists.
+package lib
+
+import "context"
+
+// WorkCtx is the real implementation.
+func WorkCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Work is the compat wrapper: the one sanctioned fresh root, annotated.
+func Work(n int) int {
+	return WorkCtx(context.Background(), n) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+func freshRoot() int {
+	ctx := context.Background() // want `context.Background\(\) in library code breaks the cancellation thread`
+	return WorkCtx(ctx, 1)
+}
+
+func todoRoot() int {
+	ctx := context.TODO() // want `context.TODO\(\) in library code breaks the cancellation thread`
+	return WorkCtx(ctx, 1)
+}
+
+func discards(ctx context.Context) int {
+	return WorkCtx(context.Background(), 2) // want `context.Background\(\) discards the ctx already in scope`
+}
+
+func drops(ctx context.Context) int {
+	return Work(3) // want `call to Work drops the in-scope ctx; use WorkCtx`
+}
+
+func threads(ctx context.Context) int {
+	return WorkCtx(ctx, 4)
+}
+
+// Runner exercises the method-set lookup.
+type Runner struct{}
+
+func (Runner) RunCtx(ctx context.Context) {}
+
+func (r Runner) Run() {
+	r.RunCtx(context.Background()) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+func methodDrop(ctx context.Context, r Runner) {
+	r.Run() // want `call to Run drops the in-scope ctx; use RunCtx`
+}
+
+// closures inherit the enclosing ctx scope.
+func closures(ctx context.Context) func() {
+	return func() {
+		Work(5) // want `call to Work drops the in-scope ctx; use WorkCtx`
+	}
+}
+
+// a closure that takes no ctx inside a ctx-free function is clean.
+func noCtxAnywhere() int {
+	f := func() int { return Work(6) }
+	return f()
+}
+
+// Plain is not flagged: no Ctx variant exists.
+func Plain(n int) int { return n }
+
+func callsPlain(ctx context.Context) int {
+	return Plain(7)
+}

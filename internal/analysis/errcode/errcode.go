@@ -1,0 +1,260 @@
+// Package errcode checks the engine.Code seam built in PR 2 and
+// extended by PRs 3–6: every declared engine.Code constant must stay
+// wired through the surfaces that enumerate codes — the wolvesd
+// status-mapping switch and the engine.Codes() registry — and no code
+// may be minted ad hoc from a string literal outside the declaration
+// block.
+//
+// Enumerating surfaces opt in with a `//lint:exhaustive errcode`
+// directive on (or directly above) the switch statement or []Code
+// composite literal; the analyzer then reports any declared constant
+// the surface misses. Everywhere, a raw string literal used at type
+// engine.Code (composite literal fields, call arguments, comparisons,
+// conversions) is reported: codes must be the declared constants so
+// the exhaustiveness checks can see them.
+package errcode
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"wolves/internal/analysis/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "errcode",
+	Doc: "engine.Code exhaustiveness: surfaces marked //lint:exhaustive errcode must handle every declared code, " +
+		"and codes must be declared constants, never raw string literals",
+	Run: run,
+}
+
+// enginePath is the import-path suffix identifying the package that
+// declares Code (suffix-matched so golden testdata can model it).
+const enginePath = "internal/engine"
+
+func run(pass *lint.Pass) (any, error) {
+	eng, codeObj := findEngine(pass)
+	if codeObj == nil {
+		return nil, nil
+	}
+	declared := declaredCodes(eng, codeObj)
+	exempt := exemptLiterals(pass, eng)
+
+	for _, f := range pass.Files {
+		marked := markedLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isCode(pass, n.Tag, codeObj) || !markedAt(marked, pass.Fset, n.Pos()) {
+					return true
+				}
+				checkSwitch(pass, n, declared, codeObj)
+			case *ast.CompositeLit:
+				if !isCodeList(pass, n, codeObj) || !markedAt(marked, pass.Fset, n.Pos()) {
+					return true
+				}
+				checkList(pass, n, declared, codeObj)
+			case *ast.CallExpr:
+				// Conversion Code("...") mints an undeclared code.
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && namedObj(tv.Type) == codeObj {
+					if len(n.Args) == 1 {
+						if lit, ok := n.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							pass.Reportf(n.Pos(), "conversion of a string literal to engine.Code; use a declared Code constant")
+							// The operand also typechecks as Code; don't
+							// report it a second time below.
+							exempt[lit] = true
+						}
+					}
+				}
+			case *ast.BasicLit:
+				if n.Kind != token.STRING || exempt[n] {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n]; ok && namedObj(tv.Type) == codeObj {
+					pass.Reportf(n.Pos(), "raw string literal used as engine.Code; use a declared Code constant")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// findEngine locates the package declaring type Code: the package under
+// analysis itself when its path ends in internal/engine, else a direct
+// import. Returns nil when the package has no engine in sight.
+func findEngine(pass *lint.Pass) (*types.Package, *types.TypeName) {
+	candidates := []*types.Package{pass.Pkg}
+	candidates = append(candidates, pass.Pkg.Imports()...)
+	for _, p := range candidates {
+		if !strings.HasSuffix(p.Path(), enginePath) {
+			continue
+		}
+		if tn, ok := p.Scope().Lookup("Code").(*types.TypeName); ok {
+			if basic, ok := tn.Type().Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+				return p, tn
+			}
+		}
+	}
+	return nil, nil
+}
+
+// declaredCodes collects every package-level constant of type Code.
+func declaredCodes(eng *types.Package, codeObj *types.TypeName) []*types.Const {
+	var out []*types.Const
+	for _, name := range eng.Scope().Names() {
+		if c, ok := eng.Scope().Lookup(name).(*types.Const); ok && namedObj(c.Type()) == codeObj {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// exemptLiterals marks the string literals of the engine package's own
+// Code constant declarations — the one legitimate place codes are
+// spelled out.
+func exemptLiterals(pass *lint.Pass, eng *types.Package) map[*ast.BasicLit]bool {
+	exempt := make(map[*ast.BasicLit]bool)
+	if pass.Pkg != eng {
+		return exempt
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if lit, ok := v.(*ast.BasicLit); ok {
+						exempt[lit] = true
+					}
+				}
+			}
+		}
+	}
+	return exempt
+}
+
+// markedLines returns the lines carrying //lint:exhaustive errcode.
+func markedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	marked := make(map[int]bool)
+	for _, d := range lint.FileDirectives(fset, f) {
+		if d.Verb == "exhaustive" && len(d.Args) > 0 && d.Args[0] == "errcode" {
+			marked[d.Line] = true
+		}
+	}
+	return marked
+}
+
+// markedAt reports whether pos (or the line above it) carries the
+// exhaustive directive.
+func markedAt(marked map[int]bool, fset *token.FileSet, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	return marked[line] || marked[line-1]
+}
+
+// isCode reports whether the expression has the Code named type.
+func isCode(pass *lint.Pass, e ast.Expr, codeObj *types.TypeName) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && namedObj(tv.Type) == codeObj
+}
+
+// isCodeList reports whether the composite literal is a slice or array
+// of Code.
+func isCodeList(pass *lint.Pass, cl *ast.CompositeLit, codeObj *types.TypeName) bool {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return namedObj(u.Elem()) == codeObj
+	case *types.Array:
+		return namedObj(u.Elem()) == codeObj
+	}
+	return false
+}
+
+// namedObj returns the defining TypeName of a named type, or nil.
+func namedObj(t types.Type) *types.TypeName {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// constObj resolves an expression to the declared Code constant it
+// names, or nil for anything else (literals, locals, other consts).
+func constObj(pass *lint.Pass, e ast.Expr, codeObj *types.TypeName) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := pass.TypesInfo.Uses[e].(*types.Const); ok && namedObj(c.Type()) == codeObj {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pass.TypesInfo.Uses[e.Sel].(*types.Const); ok && namedObj(c.Type()) == codeObj {
+			return c
+		}
+	}
+	return nil
+}
+
+// checkSwitch enforces exhaustiveness on a marked Code switch.
+func checkSwitch(pass *lint.Pass, sw *ast.SwitchStmt, declared []*types.Const, codeObj *types.TypeName) {
+	seen := make(map[*types.Const]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok || cc.List == nil { // default clause
+			continue
+		}
+		for _, e := range cc.List {
+			c := constObj(pass, e, codeObj)
+			if c == nil {
+				pass.Reportf(e.Pos(), "case expression is not a declared engine.Code constant")
+				continue
+			}
+			seen[c] = true
+		}
+	}
+	if missing := missingNames(declared, seen); len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over engine.Code marked exhaustive is missing: %s",
+			strings.Join(missing, ", "))
+	}
+}
+
+// checkList enforces exhaustiveness on a marked []Code literal.
+func checkList(pass *lint.Pass, cl *ast.CompositeLit, declared []*types.Const, codeObj *types.TypeName) {
+	seen := make(map[*types.Const]bool)
+	for _, e := range cl.Elts {
+		c := constObj(pass, e, codeObj)
+		if c == nil {
+			pass.Reportf(e.Pos(), "list element is not a declared engine.Code constant")
+			continue
+		}
+		seen[c] = true
+	}
+	if missing := missingNames(declared, seen); len(missing) > 0 {
+		pass.Reportf(cl.Pos(), "engine.Code list marked exhaustive is missing: %s",
+			strings.Join(missing, ", "))
+	}
+}
+
+func missingNames(declared []*types.Const, seen map[*types.Const]bool) []string {
+	var missing []string
+	for _, c := range declared {
+		if !seen[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

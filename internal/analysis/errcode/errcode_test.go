@@ -1,0 +1,14 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"wolves/internal/analysis/analysistest"
+	"wolves/internal/analysis/errcode"
+)
+
+func TestErrCode(t *testing.T) {
+	analysistest.Run(t, "testdata", errcode.Analyzer,
+		"example.com/internal/engine",
+		"example.com/internal/server")
+}

@@ -1,0 +1,42 @@
+// Package engine is golden testdata modeling the real engine error
+// seam: a Code enum, a typed Error, and the Codes registry list.
+package engine
+
+// Code classifies an error.
+type Code string
+
+// The declared codes. These literals are the one legitimate place a
+// code is spelled out.
+const (
+	ErrA Code = "a"
+	ErrB Code = "b"
+	ErrC Code = "c"
+)
+
+// Error is the structured error type.
+type Error struct {
+	Code    Code
+	Message string
+}
+
+//lint:exhaustive errcode
+var allCodes = []Code{ErrA, ErrB} // want `engine.Code list marked exhaustive is missing: ErrC`
+
+// unmarked lists are not checked for exhaustiveness.
+var partial = []Code{ErrA}
+
+func mint() Code {
+	bad := Code("zzz") // want `conversion of a string literal to engine.Code`
+	_ = bad
+	_ = allCodes
+	_ = partial
+	return ErrA
+}
+
+func compare(c Code) bool {
+	return c == "a" // want `raw string literal used as engine.Code`
+}
+
+func escapeHatch() *Error {
+	return &Error{Code: "legacy"} //lint:allow errcode modeled migration shim
+}

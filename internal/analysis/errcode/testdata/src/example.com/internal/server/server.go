@@ -1,0 +1,43 @@
+// Package server is golden testdata modeling the wolvesd status
+// mapping: the marked switch must handle every declared engine.Code.
+package server
+
+import "example.com/internal/engine"
+
+func statusFor(e *engine.Error) int {
+	//lint:exhaustive errcode
+	switch e.Code { // want `switch over engine.Code marked exhaustive is missing: ErrC`
+	case engine.ErrA:
+		return 400
+	case engine.ErrB, "weird": // want `case expression is not a declared engine.Code constant` `raw string literal used as engine.Code`
+		return 404
+	default:
+		return 500
+	}
+}
+
+// unmarked switches are not checked for exhaustiveness, only for raw
+// literals.
+func coarse(e *engine.Error) bool {
+	switch e.Code {
+	case engine.ErrA:
+		return true
+	}
+	return false
+}
+
+func build() *engine.Error {
+	return &engine.Error{Code: "oops"} // want `raw string literal used as engine.Code`
+}
+
+func exhaustive(e *engine.Error) int {
+	//lint:exhaustive errcode
+	switch e.Code {
+	case engine.ErrA, engine.ErrB:
+		return 1
+	case engine.ErrC:
+		return 2
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Errors collects parse and type errors. The driver refuses to lint
+	// a package that does not compile — diagnostics over broken syntax
+	// are noise.
+	Errors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, "."
+// for the current directory) with the go tool and typechecks each
+// matched package from source. Imports — including in-module siblings —
+// resolve through compiler export data produced by `go list -export`,
+// so loading needs no network and no source typechecking of
+// dependencies. Test files are not loaded: the invariants the analyzers
+// encode live in shipping code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %w", patterns, err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg := &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+		if lp.Error != nil {
+			pkg.Errors = append(pkg.Errors, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err))
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				pkg.Errors = append(pkg.Errors, err)
+				continue
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		if len(pkg.Errors) == 0 {
+			pkg.TypesInfo = NewTypesInfo()
+			conf := types.Config{
+				Importer: imp,
+				Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+			}
+			pkg.Types, _ = conf.Check(lp.ImportPath, fset, pkg.Files, pkg.TypesInfo)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from gc export data. The resolve
+// function maps an import path to an export-data file; "unsafe" is
+// served from go/types directly (it has no export data).
+type exportImporter struct {
+	gc      types.ImporterFrom
+	resolve func(path string) (string, bool)
+}
+
+// NewExportImporter builds a types importer over compiler export data.
+// resolve maps import paths to export-data files (as reported by
+// `go list -export`).
+func NewExportImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.ImporterFrom {
+	imp := &exportImporter{resolve: resolve}
+	imp.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+	return imp
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.ImportFrom(path, dir, mode)
+}
+
+// StdExports lazily resolves export-data files for packages outside a
+// caller-managed set (the standard library, in practice) by invoking
+// `go list -export` on demand. It backs the analysistest loader, whose
+// golden packages import std packages the host module may not depend
+// on. Safe for concurrent use; results are cached for the process.
+type StdExports struct {
+	mu    sync.Mutex
+	files map[string]string
+	// misses remembers paths go list could not export, so repeated
+	// lookups fail fast instead of re-invoking the tool.
+	misses map[string]bool
+}
+
+// Resolve returns the export-data file for the import path, invoking
+// the go tool on a cache miss.
+func (s *StdExports) Resolve(path string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[path]; ok {
+		return f, true
+	}
+	if s.misses[path] {
+		return "", false
+	}
+	cmd := exec.Command("go", "list", "-e", "-export",
+		"-json=ImportPath,Export,DepOnly", "-deps", "--", path)
+	out, err := cmd.Output()
+	if err != nil {
+		if s.misses == nil {
+			s.misses = make(map[string]bool)
+		}
+		s.misses[path] = true
+		return "", false
+	}
+	if s.files == nil {
+		s.files = make(map[string]string)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			break
+		}
+		if p.Export != "" {
+			s.files[p.ImportPath] = p.Export
+		}
+	}
+	f, ok := s.files[path]
+	if !ok {
+		if s.misses == nil {
+			s.misses = make(map[string]bool)
+		}
+		s.misses[path] = true
+	}
+	return f, ok
+}

@@ -1,0 +1,232 @@
+// Package lockflow checks lock/unlock pairing on sync.Mutex and
+// sync.RWMutex: the PR 5 re-registration race fix depends on journal
+// appends happening under the workflow lock, and the PR 4 registration
+// path holds the write lock across publish+journal — invariants that
+// rot silently if a refactor drops an Unlock or returns early while
+// holding.
+//
+// The check is deliberately shallow (no CFG): a Lock()/RLock() call
+// must either be followed immediately by the matching defer Unlock, or
+// be explicitly released with no early return at the same nesting
+// level in between. Hand-over-hand and conditional-release patterns
+// (an if-branch that unlocks and returns) are accepted; genuinely
+// intricate flows annotate `//lint:allow lockflow <reason>`.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wolves/internal/analysis/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "lockflow",
+	Doc: "a mutex Lock/RLock must pair with defer Unlock/RUnlock (or an explicit unlock with no early return " +
+		"in between); guards the journal-under-lock and registration-publish orderings",
+	Run: run,
+}
+
+// lockMethods maps a lock method to its matching unlock.
+var lockMethods = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func run(pass *lint.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkBody scans every statement list of the function body (blocks,
+// case bodies) for lock calls, including those inside closures.
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, stmt := range list {
+			if recv, unlock := asLockStmt(pass, stmt); unlock != "" {
+				checkLock(pass, body, list, i, recv, unlock, stmt.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// checkLock applies the pairing rules to one lock statement at list[i].
+func checkLock(pass *lint.Pass, body *ast.BlockStmt, list []ast.Stmt, i int, recv, unlock string, pos token.Pos) {
+	// Canonical form: the very next statement defers the unlock.
+	if i+1 < len(list) && isDeferUnlock(pass, list[i+1], recv, unlock) {
+		return
+	}
+	// No release anywhere in the function is an unconditional leak.
+	if !subtreeUnlocks(pass, body, recv, unlock) {
+		pass.Reportf(pos, "%s is locked but never %sed in this function; add defer %s.%s() "+
+			"(or annotate //lint:allow lockflow if release is delegated)", recv, unlock, recv, unlock)
+		return
+	}
+	// Walk the statements after the lock at the same nesting level.
+	for j := i + 1; j < len(list); j++ {
+		s := list[j]
+		if isDeferUnlock(pass, s, recv, unlock) || isExplicitUnlock(pass, s, recv, unlock) {
+			return
+		}
+		if subtreeUnlocks(pass, s, recv, unlock) {
+			// Conditional release (if err { mu.Unlock(); return err }):
+			// accepted — path-sensitive reasoning is out of scope.
+			return
+		}
+		if subtreeReturns(s) {
+			pass.Reportf(pos, "%s may still be held at the return below; use defer %s.%s() "+
+				"immediately after locking (or annotate //lint:allow lockflow)", recv, recv, unlock)
+			return
+		}
+	}
+}
+
+// asLockStmt matches `recv.Lock()` / `recv.RLock()` expression
+// statements on sync.Mutex / sync.RWMutex and returns the rendered
+// receiver and the matching unlock method name.
+func asLockStmt(pass *lint.Pass, stmt ast.Stmt) (string, string) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, name, ok := syncMutexMethod(pass, call)
+	if !ok {
+		return "", ""
+	}
+	unlock, ok := lockMethods[name]
+	if !ok {
+		return "", ""
+	}
+	return types.ExprString(sel.X), unlock
+}
+
+// syncMutexMethod matches calls to methods of sync.Mutex/sync.RWMutex
+// and returns the selector plus the method name.
+func syncMutexMethod(pass *lint.Pass, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, "", false
+	}
+	recvName := recvTypeName(sig.Recv().Type())
+	if recvName != "Mutex" && recvName != "RWMutex" {
+		return nil, "", false
+	}
+	return sel, fn.Name(), true
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isUnlockCall matches `recv.<unlock>()` for the same rendered receiver.
+func isUnlockCall(pass *lint.Pass, e ast.Expr, recv, unlock string) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, name, ok := syncMutexMethod(pass, call)
+	if !ok || name != unlock {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}
+
+func isDeferUnlock(pass *lint.Pass, stmt ast.Stmt, recv, unlock string) bool {
+	ds, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	if isUnlockCall(pass, ds.Call, recv, unlock) {
+		return true
+	}
+	// defer func() { ...; mu.Unlock() }() releases too.
+	if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+		return subtreeUnlocks(pass, lit.Body, recv, unlock)
+	}
+	return false
+}
+
+func isExplicitUnlock(pass *lint.Pass, stmt ast.Stmt, recv, unlock string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	return ok && isUnlockCall(pass, es.X, recv, unlock)
+}
+
+// subtreeUnlocks reports whether the subtree contains a matching unlock
+// call. Closure bodies only count when deferred or invoked in place —
+// a goroutine's unlock does not release for this frame.
+func subtreeUnlocks(pass *lint.Pass, n ast.Node, recv, unlock string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if isUnlockCall(pass, n, recv, unlock) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// subtreeReturns reports whether the subtree returns from the enclosing
+// function (returns inside nested function literals do not count).
+func subtreeReturns(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package lockflow_test
+
+import (
+	"testing"
+
+	"wolves/internal/analysis/analysistest"
+	"wolves/internal/analysis/lockflow"
+)
+
+func TestLockFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", lockflow.Analyzer, "example.com/locks")
+}

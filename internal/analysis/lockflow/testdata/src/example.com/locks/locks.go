@@ -1,0 +1,117 @@
+// Package locks is golden testdata for the lock/unlock pairing rules
+// guarding the journal-under-lock and registration-publish orderings.
+package locks
+
+import (
+	"errors"
+	"sync"
+)
+
+type registry struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+// good is the canonical form: defer immediately after locking.
+func (r *registry) good(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = v
+}
+
+// goodExplicit releases explicitly with no early return in between.
+func (r *registry) goodExplicit(k string, v int) {
+	r.mu.Lock()
+	r.items[k] = v
+	r.mu.Unlock()
+}
+
+// goodConditional unlocks on the error path before returning — the
+// shallow check accepts conditional release.
+func (r *registry) goodConditional(k string) (int, error) {
+	r.mu.RLock()
+	v, ok := r.items[k]
+	if !ok {
+		r.mu.RUnlock()
+		return 0, errors.New("missing")
+	}
+	r.mu.RUnlock()
+	return v, nil
+}
+
+// goodDeferredClosure releases inside a deferred closure.
+func (r *registry) goodDeferredClosure(k string, v int) {
+	r.mu.Lock()
+	defer func() {
+		r.items[k] = v
+		r.mu.Unlock()
+	}()
+}
+
+// leak never releases at all.
+func (r *registry) leak(k string, v int) {
+	r.mu.Lock() // want `r.mu is locked but never Unlocked in this function`
+	r.items[k] = v
+}
+
+// earlyReturn may exit while still holding.
+func (r *registry) earlyReturn(k string) int {
+	r.mu.RLock() // want `r.mu may still be held at the return below`
+	if len(r.items) == 0 {
+		return -1
+	}
+	v := r.items[k]
+	r.mu.RUnlock()
+	return v
+}
+
+// wrongUnlock pairs RLock with Unlock — a different method, so the
+// RLock is never RUnlocked.
+func (r *registry) wrongUnlock(k string) int {
+	r.mu.RLock() // want `r.mu is locked but never RUnlocked in this function`
+	v := r.items[k]
+	r.mu.Unlock()
+	return v
+}
+
+// goroutineUnlock does not release for this frame: handing the unlock
+// to a goroutine is a leak as far as this function is concerned.
+func (r *registry) goroutineUnlock() {
+	r.mu.Lock() // want `r.mu is locked but never Unlocked in this function`
+	go func() {
+		r.mu.Unlock()
+	}()
+}
+
+// annotated opts out: hand-over-hand release is delegated to unlockAll.
+func (r *registry) annotated() {
+	r.mu.Lock() //lint:allow lockflow release delegated to unlockAll
+	r.unlockAll()
+}
+
+func (r *registry) unlockAll() {
+	r.mu.Unlock()
+}
+
+// twoMutexes must not cross-match: each receiver pairs with its own
+// unlock.
+type twoMutexes struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (t *twoMutexes) crossed() {
+	t.a.Lock() // want `t.a is locked but never Unlocked in this function`
+	t.b.Lock()
+	defer t.b.Unlock()
+}
+
+// notAMutex: Lock methods on non-sync types are ignored.
+type fakeLock struct{}
+
+func (fakeLock) Lock()   {}
+func (fakeLock) Unlock() {}
+
+func usesFake(f fakeLock) {
+	f.Lock()
+}

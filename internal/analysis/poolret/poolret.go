@@ -1,0 +1,97 @@
+// Package poolret checks sync.Pool discipline on the soundness/core
+// scratch pools (PR 1's allocation-free oracle): a function that Gets a
+// buffer from a pool must Put it back — typically `defer pool.Put(sc)`
+// right after the Get — or the steady-state allocation-free property
+// silently degrades into churn under load.
+//
+// Ownership transfers (a Get whose buffer is returned to the caller,
+// which Puts it later) annotate `//lint:allow poolret <reason>`.
+package poolret
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wolves/internal/analysis/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "poolret",
+	Doc: "sync.Pool.Get without a matching Put on the same pool in the same function leaks the buffer " +
+		"and defeats the allocation-free scratch design; defer the Put or annotate //lint:allow poolret",
+	Run: run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc reports Gets without a same-receiver Put in the function.
+// Nested closures are checked as their own scope for Gets, but a Put
+// anywhere in the function (including a deferred closure) satisfies an
+// outer Get.
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	var gets []*ast.CallExpr
+	var getRecvs []string
+	puts := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, name, ok := poolMethod(pass, call); ok {
+			switch name {
+			case "Get":
+				gets = append(gets, call)
+				getRecvs = append(getRecvs, recv)
+			case "Put":
+				puts[recv] = true
+			}
+		}
+		return true
+	})
+	for i, call := range gets {
+		if !puts[getRecvs[i]] {
+			pass.Reportf(call.Pos(),
+				"%s.Get() has no matching %s.Put() in this function; defer the Put "+
+					"(or annotate //lint:allow poolret when ownership transfers out)",
+				getRecvs[i], getRecvs[i])
+		}
+	}
+}
+
+// poolMethod matches calls to (*sync.Pool).Get/Put and returns the
+// rendered receiver expression and method name.
+func poolMethod(pass *lint.Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}

@@ -1,0 +1,12 @@
+package poolret_test
+
+import (
+	"testing"
+
+	"wolves/internal/analysis/analysistest"
+	"wolves/internal/analysis/poolret"
+)
+
+func TestPoolRet(t *testing.T) {
+	analysistest.Run(t, "testdata", poolret.Analyzer, "example.com/pools")
+}

@@ -1,0 +1,77 @@
+// Package pools is golden testdata for sync.Pool Get/Put pairing: the
+// allocation-free scratch design degrades into churn if a Get never
+// returns its buffer.
+package pools
+
+import "sync"
+
+type scratch struct{ bits []uint64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// good is the canonical form: defer the Put right after the Get.
+func good() int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	return len(sc.bits)
+}
+
+// goodExplicit puts the buffer back on every path it takes.
+func goodExplicit(n int) int {
+	sc := pool.Get().(*scratch)
+	sum := n + len(sc.bits)
+	pool.Put(sc)
+	return sum
+}
+
+// goodDeferredClosure releases inside a deferred closure.
+func goodDeferredClosure() int {
+	sc := pool.Get().(*scratch)
+	defer func() {
+		sc.bits = sc.bits[:0]
+		pool.Put(sc)
+	}()
+	return len(sc.bits)
+}
+
+// leak never returns the buffer.
+func leak() *scratch {
+	sc := pool.Get().(*scratch) // want `pool.Get\(\) has no matching pool.Put\(\) in this function`
+	return sc
+}
+
+// transfer hands ownership to the caller — sanctioned via annotation.
+func transfer() *scratch {
+	sc := pool.Get().(*scratch) //lint:allow poolret ownership transfers to caller, released in release()
+	return sc
+}
+
+func release(sc *scratch) {
+	pool.Put(sc)
+}
+
+// twoPools must not cross-match: a Put on pb does not satisfy a Get on
+// pa.
+var (
+	pa = sync.Pool{New: func() any { return new(scratch) }}
+	pb = sync.Pool{New: func() any { return new(scratch) }}
+)
+
+func crossed() int {
+	a := pa.Get().(*scratch) // want `pa.Get\(\) has no matching pa.Put\(\) in this function`
+	b := pb.Get().(*scratch)
+	defer pb.Put(b)
+	return len(a.bits) + len(b.bits)
+}
+
+// methodReceiver exercises pointer-field pools.
+type holder struct{ p *sync.Pool }
+
+func (h *holder) use() {
+	v := h.p.Get()
+	defer h.p.Put(v)
+}
+
+func (h *holder) drop() {
+	_ = h.p.Get() // want `h.p.Get\(\) has no matching h.p.Put\(\) in this function`
+}

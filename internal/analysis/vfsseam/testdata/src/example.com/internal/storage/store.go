@@ -1,0 +1,32 @@
+// Package storage is golden testdata modeling the real
+// internal/storage: file I/O must route through the vfs seam.
+package storage
+
+import (
+	"io/ioutil" // want `io/ioutil bypasses the vfs seam`
+	"os"
+	"syscall"
+)
+
+func bad(dir string) {
+	os.OpenFile(dir, os.O_RDWR, 0o644) // want `direct os.OpenFile bypasses the vfs seam`
+	os.Remove(dir)                     // want `direct os.Remove bypasses the vfs seam`
+	os.ReadDir(dir)                    // want `direct os.ReadDir bypasses the vfs seam`
+	syscall.Flock(0, syscall.LOCK_EX)  // want `raw syscall.Flock inside internal/storage bypasses the vfs seam`
+	ioutil.ReadFile(dir)               // want `ioutil.ReadFile bypasses the vfs seam`
+}
+
+func fine(err error) bool {
+	// Pure helpers and constants stay legal: only filesystem
+	// operations are fenced.
+	var f *os.File
+	_ = f
+	_ = os.FileMode(0o644)
+	return os.IsNotExist(err)
+}
+
+func escapeHatch(dir string) {
+	//lint:allow vfsseam modeled: lock acquisition documented outside the seam
+	os.Create(dir)
+	os.Mkdir(dir, 0o755) //lint:allow vfsseam modeled same-line annotation
+}

@@ -1,0 +1,13 @@
+// Package vfs is the seam itself: the one storage package allowed to
+// touch the real filesystem.
+package vfs
+
+import "os"
+
+// OpenFile passes through to the operating system — legal here, and
+// only here.
+func OpenFile(name string, flag int, perm os.FileMode) (*os.File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func remove(name string) error { return os.Remove(name) }

@@ -1,0 +1,88 @@
+// Package vfsseam checks the PR 6 storage I/O seam: inside
+// internal/storage (everywhere except the vfs package itself), every
+// filesystem operation must route through a vfs.FS so FaultFS can
+// inject faults at the site. A direct os.* file call — or any
+// io/ioutil use, or a raw syscall — is a hole in the fault-injection
+// harness: the chaos suite can never exercise that failure path.
+//
+// The escape hatch is `//lint:allow vfsseam <reason>` on (or directly
+// above) the offending line, for operations that are deliberately
+// outside the seam.
+package vfsseam
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"wolves/internal/analysis/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "vfsseam",
+	Doc: "direct os/ioutil/syscall file I/O inside internal/storage bypasses the vfs fault-injection seam (PR 6); " +
+		"route the operation through vfs.FS or annotate //lint:allow vfsseam",
+	Run: run,
+}
+
+// bannedOS lists the os functions that touch the filesystem. Pure
+// helpers (os.IsNotExist, os.Getenv, constants, types) stay legal —
+// only operations FaultFS would want to fail are fenced.
+var bannedOS = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Rename": true, "Remove": true,
+	"RemoveAll": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "Truncate": true, "Chmod": true, "Chtimes": true,
+	"Link": true, "Symlink": true, "Stat": true, "Lstat": true,
+	"NewFile": true, "ReadLink": true, "Readlink": true,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/storage") || strings.Contains(path, "internal/storage/vfs") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "io/ioutil" {
+				pass.Reportf(imp.Pos(), "io/ioutil bypasses the vfs seam; use vfs.ReadFile/vfs.WriteFile")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "os":
+				if bannedOS[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"direct os.%s bypasses the vfs seam; use the store's vfs.FS so FaultFS covers this I/O site",
+						sel.Sel.Name)
+				}
+			case "syscall":
+				pass.Reportf(call.Pos(),
+					"raw syscall.%s inside internal/storage bypasses the vfs seam; wrap it behind vfs.FS",
+					sel.Sel.Name)
+			case "io/ioutil":
+				pass.Reportf(call.Pos(),
+					"ioutil.%s bypasses the vfs seam; use vfs.ReadFile/vfs.WriteFile", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,14 @@
+package vfsseam_test
+
+import (
+	"testing"
+
+	"wolves/internal/analysis/analysistest"
+	"wolves/internal/analysis/vfsseam"
+)
+
+func TestVFSSeam(t *testing.T) {
+	analysistest.Run(t, "testdata", vfsseam.Analyzer,
+		"example.com/internal/storage",
+		"example.com/internal/storage/vfs")
+}

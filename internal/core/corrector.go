@@ -154,8 +154,10 @@ func canceledErr(ctx context.Context) error {
 // composite) into sound blocks under the chosen criterion. A member set
 // that is already sound is returned as a single block under every
 // criterion.
+// Deprecated: use SplitTaskCtx so callers can cancel the exponential
+// optimal phase.
 func SplitTask(o *soundness.Oracle, members []int, crit Criterion, opts *Options) (*Result, error) {
-	return SplitTaskCtx(context.Background(), o, members, crit, opts)
+	return SplitTaskCtx(context.Background(), o, members, crit, opts) //lint:allow ctxpass compat wrapper anchors its own root
 }
 
 // SplitTaskCtx is SplitTask with cooperative cancellation. The

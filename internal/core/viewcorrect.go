@@ -36,8 +36,9 @@ type ViewCorrection struct {
 // depends only on its member set, repairing one composite never breaks
 // another, and the result is sound by construction (verified by the
 // caller-facing report).
+// Deprecated: use CorrectViewCtx so callers can cancel mid-repair.
 func CorrectView(o *soundness.Oracle, v *view.View, crit Criterion, opts *Options) (*ViewCorrection, error) {
-	return CorrectViewCtx(context.Background(), o, v, crit, opts)
+	return CorrectViewCtx(context.Background(), o, v, crit, opts) //lint:allow ctxpass compat wrapper anchors its own root
 }
 
 // CorrectViewCtx is CorrectView with cooperative cancellation: the

@@ -65,6 +65,35 @@ const (
 	ErrInternal Code = "internal"
 )
 
+// allCodes enumerates every declared Code. The list is machine-checked:
+// wolveslint's errcode analyzer fails the build if a declared constant
+// is missing here, so Codes() can never silently lag the const block.
+//
+//lint:exhaustive errcode
+var allCodes = []Code{
+	ErrBadInput,
+	ErrUnknownTask,
+	ErrUnknownComposite,
+	ErrWorkflowMismatch,
+	ErrOptimalLimit,
+	ErrCanceled,
+	ErrUnknownWorkflow,
+	ErrUnknownView,
+	ErrVersionConflict,
+	ErrCycleRejected,
+	ErrInvalidTrace,
+	ErrUnknownRun,
+	ErrUnknownArtifact,
+	ErrDegraded,
+	ErrOverloaded,
+	ErrInternal,
+}
+
+// Codes returns every declared error code, in declaration order. Tests
+// iterate it to pin down how each code surfaces (HTTP status, retry
+// semantics) so new codes cannot ship unmapped.
+func Codes() []Code { return append([]Code(nil), allCodes...) }
+
 // Error is the structured error type of every Engine method. It always
 // wraps the underlying cause, so errors.Is against sentinel errors
 // (context.Canceled, core.ErrOptimalLimit, workflow.ErrUnknownTask, …)

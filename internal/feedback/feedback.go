@@ -62,7 +62,7 @@ func NewSessionWith(eng *engine.Engine, wf *workflow.Workflow, v *view.View) (*S
 		return nil, errors.New("feedback: view belongs to a different workflow")
 	}
 	s := &Session{eng: eng, wf: wf, current: v}
-	s.record("open", v.Name())
+	s.record(bg(), "open", v.Name())
 	return s, nil
 }
 
@@ -78,19 +78,28 @@ func (s *Session) Accepted() bool { return s.accepted }
 // Log returns the event log.
 func (s *Session) Log() []Event { return append([]Event(nil), s.log...) }
 
+// bg anchors the root context for the session's structural operations
+// (merge, undo, accept, open): their validation is a lookup against the
+// cached oracle closure, bounded and never worth canceling. The engine
+// calls that do search (Validate, Correct, SplitTask) thread a caller
+// ctx via their ...Ctx variants instead.
+func bg() context.Context {
+	return context.Background() //lint:allow ctxpass structural ops validate against the cached oracle; bounded work, nothing to cancel
+}
+
 // validate runs the engine validator on the current view. The session
-// holds a validated (wf, view) pair and an uncancelable context, so the
-// engine cannot fail here.
-func (s *Session) validate() *soundness.Report {
-	rep, err := s.eng.Validate(context.Background(), s.wf, s.current)
+// holds a validated (wf, view) pair, so the engine can only fail here
+// by cancellation — which the panic message calls out.
+func (s *Session) validate(ctx context.Context) *soundness.Report {
+	rep, err := s.eng.Validate(ctx, s.wf, s.current)
 	if err != nil {
 		panic("feedback: validating a session view must not fail: " + err.Error())
 	}
 	return rep
 }
 
-func (s *Session) record(op, detail string) {
-	rep := s.validate()
+func (s *Session) record(ctx context.Context, op, detail string) {
+	rep := s.validate(ctx)
 	s.log = append(s.log, Event{
 		At: time.Now(), Op: op, Detail: detail,
 		Sound: rep.Sound, Composites: s.current.N(),
@@ -98,8 +107,15 @@ func (s *Session) record(op, detail string) {
 }
 
 // Validate runs the validator on the current view.
+//
+// Deprecated: use ValidateCtx so an interactive caller can cancel.
 func (s *Session) Validate() *soundness.Report {
-	rep := s.validate()
+	return s.ValidateCtx(context.Background()) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// ValidateCtx is Validate with cooperative cancellation.
+func (s *Session) ValidateCtx(ctx context.Context) *soundness.Report {
+	rep := s.validate(ctx)
 	s.log = append(s.log, Event{
 		At: time.Now(), Op: "validate", Detail: s.current.Name(),
 		Sound: rep.Sound, Composites: s.current.N(),
@@ -107,15 +123,17 @@ func (s *Session) Validate() *soundness.Report {
 	return rep
 }
 
-func (s *Session) push(v *view.View, op, detail string) {
+func (s *Session) push(ctx context.Context, v *view.View, op, detail string) {
 	s.history = append(s.history, s.current)
 	s.current = v
-	s.record(op, detail)
+	s.record(ctx, op, detail)
 }
 
 // Correct repairs the whole view under the chosen criterion.
+//
+// Deprecated: use CorrectCtx so an interactive caller can cancel.
 func (s *Session) Correct(crit core.Criterion, opts *core.Options) (*core.ViewCorrection, error) {
-	return s.CorrectCtx(context.Background(), crit, opts)
+	return s.CorrectCtx(context.Background(), crit, opts) //lint:allow ctxpass compat wrapper anchors its own root
 }
 
 // CorrectCtx is Correct with cooperative cancellation (an interactive
@@ -128,12 +146,19 @@ func (s *Session) CorrectCtx(ctx context.Context, crit core.Criterion, opts *cor
 	if err != nil {
 		return nil, err
 	}
-	s.push(vc.Corrected, "correct", crit.String())
+	s.push(ctx, vc.Corrected, "correct", crit.String())
 	return vc, nil
 }
 
 // SplitTask corrects a single composite (the demo's "Split Task" popup).
+//
+// Deprecated: use SplitTaskCtx so an interactive caller can cancel.
 func (s *Session) SplitTask(compID string, crit core.Criterion, opts *core.Options) (*core.Result, error) {
+	return s.SplitTaskCtx(context.Background(), compID, crit, opts) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// SplitTaskCtx is SplitTask with cooperative cancellation.
+func (s *Session) SplitTaskCtx(ctx context.Context, compID string, crit core.Criterion, opts *core.Options) (*core.Result, error) {
 	if s.accepted {
 		return nil, ErrAccepted
 	}
@@ -141,7 +166,7 @@ func (s *Session) SplitTask(compID string, crit core.Criterion, opts *core.Optio
 	if !ok {
 		return nil, fmt.Errorf("feedback: %w: %q", view.ErrUnknownComp, compID)
 	}
-	res, err := s.eng.SplitWithOracle(context.Background(), s.Oracle(), comp.Members(), crit, opts)
+	res, err := s.eng.SplitWithOracle(ctx, s.Oracle(), comp.Members(), crit, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +174,7 @@ func (s *Session) SplitTask(compID string, crit core.Criterion, opts *core.Optio
 	if err != nil {
 		return nil, err
 	}
-	s.push(next, "split", fmt.Sprintf("%s via %s → %d blocks", compID, crit, len(res.Blocks)))
+	s.push(ctx, next, "split", fmt.Sprintf("%s via %s → %d blocks", compID, crit, len(res.Blocks)))
 	return res, nil
 }
 
@@ -164,7 +189,7 @@ func (s *Session) Compact(maxMerges int) (int, error) {
 		return 0, err
 	}
 	if merges > 0 {
-		s.push(compacted, "compact", fmt.Sprintf("%d merges", merges))
+		s.push(bg(), compacted, "compact", fmt.Sprintf("%d merges", merges))
 	}
 	return merges, nil
 }
@@ -180,7 +205,7 @@ func (s *Session) MergeTasks(newID string, compIDs ...string) error {
 	if err != nil {
 		return err
 	}
-	s.push(next, "merge", fmt.Sprintf("%s = %s", newID, strings.Join(compIDs, "+")))
+	s.push(bg(), next, "merge", fmt.Sprintf("%s = %s", newID, strings.Join(compIDs, "+")))
 	return nil
 }
 
@@ -194,7 +219,7 @@ func (s *Session) Undo() error {
 	}
 	s.current = s.history[len(s.history)-1]
 	s.history = s.history[:len(s.history)-1]
-	s.record("undo", s.current.Name())
+	s.record(bg(), "undo", s.current.Name())
 	return nil
 }
 
@@ -203,7 +228,7 @@ func (s *Session) Undo() error {
 func (s *Session) Accept() {
 	if !s.accepted {
 		s.accepted = true
-		s.record("accept", s.current.Name())
+		s.record(bg(), "accept", s.current.Name())
 	}
 }
 
@@ -296,7 +321,7 @@ func (s *Session) runCommand(fields []string, out io.Writer) error {
 		fmt.Fprintf(out, "undo: %d composites\n", s.current.N())
 	case "accept":
 		s.Accept()
-		rep := s.validate()
+		rep := s.validate(bg())
 		fmt.Fprintf(out, "accept: sound=%v composites=%d\n", rep.Sound, s.current.N())
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])

@@ -287,8 +287,12 @@ type errorResponse struct {
 
 // --- handlers -----------------------------------------------------------------
 
-// statusFor maps engine error codes onto HTTP statuses.
+// statusFor maps engine error codes onto HTTP statuses. The switch is
+// machine-checked: wolveslint's errcode analyzer fails the build if a
+// declared engine.Code is missing a case, so a code added to the engine
+// cannot silently fall through to 500.
 func statusFor(e *engine.Error) int {
+	//lint:exhaustive errcode
 	switch e.Code {
 	case engine.ErrBadInput, engine.ErrUnknownTask,
 		engine.ErrUnknownComposite, engine.ErrWorkflowMismatch:
@@ -304,7 +308,11 @@ func statusFor(e *engine.Error) int {
 		return http.StatusGatewayTimeout
 	case engine.ErrDegraded, engine.ErrOverloaded:
 		return http.StatusServiceUnavailable
+	case engine.ErrInternal:
+		return http.StatusInternalServerError
 	default:
+		// Unknown codes (future engines, corrupted errors) are server
+		// faults, not client ones.
 		return http.StatusInternalServerError
 	}
 }

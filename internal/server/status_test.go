@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"wolves/internal/engine"
+)
+
+// TestStatusForCoversEveryCode iterates every declared engine.Code and
+// asserts it maps to an intentional HTTP status: only ErrInternal may
+// surface as 500. Together with the errcode analyzer (which fails the
+// build if the statusFor switch misses a declared code) this pins the
+// code↔status table: a new engine code cannot ship as an accidental
+// internal error.
+func TestStatusForCoversEveryCode(t *testing.T) {
+	want := map[engine.Code]int{
+		engine.ErrBadInput:         http.StatusBadRequest,
+		engine.ErrUnknownTask:      http.StatusBadRequest,
+		engine.ErrUnknownComposite: http.StatusBadRequest,
+		engine.ErrWorkflowMismatch: http.StatusBadRequest,
+		engine.ErrUnknownWorkflow:  http.StatusNotFound,
+		engine.ErrUnknownView:      http.StatusNotFound,
+		engine.ErrUnknownRun:       http.StatusNotFound,
+		engine.ErrUnknownArtifact:  http.StatusNotFound,
+		engine.ErrVersionConflict:  http.StatusConflict,
+		engine.ErrOptimalLimit:     http.StatusUnprocessableEntity,
+		engine.ErrCycleRejected:    http.StatusUnprocessableEntity,
+		engine.ErrInvalidTrace:     http.StatusUnprocessableEntity,
+		engine.ErrCanceled:         http.StatusGatewayTimeout,
+		engine.ErrDegraded:         http.StatusServiceUnavailable,
+		engine.ErrOverloaded:       http.StatusServiceUnavailable,
+		engine.ErrInternal:         http.StatusInternalServerError,
+	}
+
+	codes := engine.Codes()
+	if len(codes) != len(want) {
+		t.Fatalf("engine declares %d codes, test table has %d; update the table", len(codes), len(want))
+	}
+	for _, code := range codes {
+		expect, ok := want[code]
+		if !ok {
+			t.Errorf("code %q has no expected status in the test table", code)
+			continue
+		}
+		got := statusFor(&engine.Error{Code: code, Message: "x"})
+		if got != expect {
+			t.Errorf("statusFor(%q) = %d, want %d", code, got, expect)
+		}
+		if code != engine.ErrInternal && got == http.StatusInternalServerError {
+			t.Errorf("code %q surfaces as 500; every non-internal code needs an intentional status", code)
+		}
+	}
+
+	// Codes from the future (or corrupted errors) are server faults.
+	if got := statusFor(&engine.Error{Code: "no_such_code", Message: "x"}); got != http.StatusInternalServerError {
+		t.Errorf("statusFor(unknown) = %d, want 500", got)
+	}
+}

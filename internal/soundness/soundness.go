@@ -308,8 +308,10 @@ const parallelValidateThreshold = 8
 // pool of workers (runtime.GOMAXPROCS when workers <= 0). The report is
 // identical to the sequential one: composites are validated
 // independently and reassembled in index order.
+//
+// Deprecated: use ValidateViewParallelCtx so callers can cancel.
 func ValidateViewParallel(o *Oracle, v *view.View, workers int) *Report {
-	rep, err := ValidateViewParallelCtx(context.Background(), o, v, workers)
+	rep, err := ValidateViewParallelCtx(context.Background(), o, v, workers) //lint:allow ctxpass compat wrapper anchors its own root
 	if err != nil {
 		// Unreachable: the background context never cancels.
 		panic("soundness: background validation canceled: " + err.Error())

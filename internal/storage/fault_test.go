@@ -97,6 +97,33 @@ func TestRecoverCleansDebris(t *testing.T) {
 // TestSnapshotRenameRetries injects a single transient rename failure on
 // the snapshot publish and expects the capped-backoff retry to absorb
 // it: the mutation succeeds and the store stays healthy.
+// TestDeniedLockOpen injects a fault on LOCK acquisition: Open must
+// fail loudly with the injected error, and succeed once the fault is
+// lifted — proving the directory flock sits behind the vfs seam like
+// every other I/O site.
+func TestDeniedLockOpen(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFault(vfs.OS())
+	ffs.Deny(vfs.OpLock, vfs.Fault{Err: syscall.EACCES})
+
+	if _, err := Open(dir, Options{FS: ffs, Fsync: FsyncNone}); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("Open under denied lock = %v, want vfs.ErrInjected", err)
+	}
+	if !errors.Is(func() error { _, err := Open(dir, Options{FS: ffs, Fsync: FsyncNone}); return err }(), syscall.EACCES) {
+		t.Fatal("injected lock fault must preserve the scheduled errno")
+	}
+
+	ffs.Allow(vfs.OpLock)
+	st, err := Open(dir, Options{FS: ffs, Fsync: FsyncNone})
+	if err != nil {
+		t.Fatalf("Open after Allow: %v", err)
+	}
+	defer st.Close()
+	if got := ffs.Count(vfs.OpLock); got != 3 {
+		t.Fatalf("lock attempts = %d, want 3", got)
+	}
+}
+
 func TestSnapshotRenameRetries(t *testing.T) {
 	ffs := vfs.NewFault(vfs.OS())
 	st, err := Open(t.TempDir(), Options{FS: ffs, Fsync: FsyncNone, SnapshotEvery: 1})

@@ -45,9 +45,10 @@ type Options struct {
 	Fsync FsyncMode
 	// FS is the filesystem seam every store I/O goes through; nil means
 	// the real filesystem. Tests install a vfs.FaultFS here to inject
-	// disk faults at any I/O site. The directory flock (LOCK) stays on
-	// the real filesystem regardless: it arbitrates between processes,
-	// which a simulated filesystem cannot do.
+	// disk faults at any I/O site, including acquisition of the
+	// directory flock (LOCK) — a FaultFS delegates the actual flock to
+	// its os-backed inner FS, so the lock still arbitrates between
+	// processes.
 	FS vfs.FS
 }
 
@@ -116,7 +117,7 @@ type Store struct {
 	fs   vfs.FS
 	opts Options
 
-	lockf *os.File // exclusive flock on dir/LOCK for the store's lifetime
+	lockf vfs.File // exclusive flock on dir/LOCK for the store's lifetime
 
 	// runProv supplies the run documents to embed in workflow snapshots
 	// (SetRunProvider); nil means snapshots carry no runs. Set during
@@ -140,14 +141,10 @@ type Store struct {
 // pointed at one -data-dir would otherwise interleave appends at
 // arbitrary byte boundaries and corrupt the WAL beyond recovery; the
 // second Open must fail loudly instead.
-func lockDir(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+func lockDir(fsys vfs.FS, dir string) (vfs.File, error) {
+	f, err := fsys.Lock(filepath.Join(dir, "LOCK"))
 	if err != nil {
-		return nil, err
-	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s is already locked by another process: %w", dir, err)
+		return nil, fmt.Errorf("storage: locking %s: %w", dir, err)
 	}
 	return f, nil
 }
@@ -162,7 +159,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	lockf, err := lockDir(dir)
+	lockf, err := lockDir(fsys, dir)
 	if err != nil {
 		return nil, err
 	}

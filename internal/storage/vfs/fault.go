@@ -23,10 +23,11 @@ const (
 	OpStat
 	OpReadDir
 	OpMkdir
+	OpLock
 	opCount
 )
 
-var opNames = [opCount]string{"open", "read", "write", "sync", "close", "rename", "remove", "truncate", "stat", "readdir", "mkdir"}
+var opNames = [opCount]string{"open", "read", "write", "sync", "close", "rename", "remove", "truncate", "stat", "readdir", "mkdir", "lock"}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) {
@@ -244,6 +245,17 @@ func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error
 		return nil, err
 	}
 	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Lock(name string) (File, error) {
+	if err := f.fire(OpLock); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Lock(name)
 	if err != nil {
 		return nil, err
 	}

@@ -10,8 +10,10 @@
 package vfs
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"syscall"
 )
 
 // File is the subset of *os.File the storage layer uses. Directory
@@ -37,6 +39,11 @@ type FS interface {
 	Stat(name string) (os.FileInfo, error)
 	ReadDir(name string) ([]os.DirEntry, error)
 	MkdirAll(name string, perm os.FileMode) error
+	// Lock opens (creating if missing) name and takes an exclusive,
+	// non-blocking advisory lock on it. Closing the returned handle
+	// releases the lock. A second Lock on a file held by another
+	// process fails with an error mentioning the holder.
+	Lock(name string) (File, error)
 }
 
 // OS returns the production FS backed by the real filesystem.
@@ -48,6 +55,18 @@ func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	f, err := os.OpenFile(name, flag, perm)
 	if err != nil {
 		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Lock(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("vfs: %s is already locked by another process: %w", name, err)
 	}
 	return f, nil
 }

@@ -312,7 +312,7 @@ func NewOracle(wf *Workflow) *Oracle { return soundness.NewOracle(wf) }
 // Deprecated: use Engine.Validate, which is context-aware and reuses
 // cached oracles. This wrapper routes through the default Engine.
 func Validate(o *Oracle, v *View) *Report {
-	rep, err := DefaultEngine().ValidateWithOracle(context.Background(), o, v)
+	rep, err := DefaultEngine().ValidateWithOracle(context.Background(), o, v) //lint:allow ctxpass deprecated compat wrapper anchors its own root
 	if err != nil {
 		// Matches the historical contract: a foreign view panics.
 		panic(err)
@@ -370,7 +370,7 @@ func ParseCriterion(s string) (Criterion, error) { return core.ParseCriterion(s)
 // Deprecated: use Engine.SplitTask, which is context-aware. This
 // wrapper routes through the default Engine.
 func SplitTask(o *Oracle, members []int, crit Criterion, opts *CorrectorOptions) (*SplitResult, error) {
-	return DefaultEngine().SplitWithOracle(context.Background(), o, members, crit, opts)
+	return DefaultEngine().SplitWithOracle(context.Background(), o, members, crit, opts) //lint:allow ctxpass deprecated compat wrapper anchors its own root
 }
 
 // Correct repairs every unsound composite of v; the result is sound.
@@ -379,7 +379,7 @@ func SplitTask(o *Oracle, members []int, crit Criterion, opts *CorrectorOptions)
 // wolves.Optimal a canceled ctx aborts the exponential DP promptly) and
 // reuses cached oracles. This wrapper routes through the default Engine.
 func Correct(o *Oracle, v *View, crit Criterion, opts *CorrectorOptions) (*ViewCorrection, error) {
-	return DefaultEngine().CorrectWithOracle(context.Background(), o, v, crit, opts)
+	return DefaultEngine().CorrectWithOracle(context.Background(), o, v, crit, opts) //lint:allow ctxpass deprecated compat wrapper anchors its own root
 }
 
 // MergeUp repairs an unsound view by merging composites instead of
