@@ -30,6 +30,12 @@
 //	        [-optimal-timeout 2s] [-read-timeout 30s] [-request-timeout 30s]
 //	        [-ingest-concurrency N] [-data-dir DIR] [-fsync none|batch|always]
 //	        [-snapshot-bytes N] [-snapshot-every N] [-probe-backoff 250ms]
+//	        [-pprof-addr 127.0.0.1:6060]
+//
+// -pprof-addr serves net/http/pprof on a separate private listener,
+// never on the service address; keep it bound to loopback (a
+// non-loopback bind works but is logged loudly, since profiles expose
+// process internals).
 //
 // Stateless endpoints:
 //
@@ -74,7 +80,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -89,6 +97,37 @@ import (
 // openStore is swapped by tests to wrap the store's filesystem with
 // fault injection.
 var openStore = storage.Open
+
+// startPprof serves net/http/pprof on its own private listener, kept
+// off the public mux so profiling is never reachable through the
+// service address. The flag is opt-in; a non-loopback bind is allowed
+// (containers, lab networks) but loudly logged, since the profile
+// endpoints expose heap contents and symbol tables.
+func startPprof(addr string) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if host, _, herr := net.SplitHostPort(addr); herr == nil {
+		if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+			log.Printf("wolvesd: WARNING: -pprof-addr %s is not loopback; profiling endpoints expose process internals", addr)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		log.Printf("wolvesd: pprof listening on %s", ln.Addr())
+		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			log.Printf("wolvesd: pprof server: %v", serr)
+		}
+	}()
+	return func() { _ = srv.Close() }, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -121,8 +160,18 @@ func run(args []string) error {
 		"additionally snapshot a workflow after this many journaled records (0 = size-based only)")
 	probeBackoff := fs.Duration("probe-backoff", engine.DefaultProbeBackoffMin,
 		"initial backoff between journal recovery probes while degraded")
+	pprofAddr := fs.String("pprof-addr", "",
+		"serve net/http/pprof on this private listener (e.g. 127.0.0.1:6060; empty = disabled; never expose publicly)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		closePprof, err := startPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer closePprof()
 	}
 
 	eng := engine.New(

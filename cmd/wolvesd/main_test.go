@@ -303,3 +303,40 @@ func TestDurableRestartPreservesRuns(t *testing.T) {
 		t.Fatalf("stats after restart: %d %s", status, body)
 	}
 }
+
+// TestPprofPrivateListener boots the daemon with -pprof-addr on a
+// second loopback port: the profile index must answer there, and must
+// NOT be reachable through the public service address.
+func TestPprofPrivateListener(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := l.Addr().String()
+	l.Close()
+
+	base, done := bootDaemon(t, "-pprof-addr", pprofAddr)
+
+	ok := false
+	for i := 0; i < 100; i++ {
+		resp, gerr := http.Get("http://" + pprofAddr + "/debug/pprof/")
+		if gerr == nil {
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("pprof index not served on the private listener")
+	}
+	if status, _ := httpDo(t, http.MethodGet, base+"/debug/pprof/", ""); status == http.StatusOK {
+		t.Fatal("pprof must not be reachable on the public address")
+	}
+	stopDaemon(t, done)
+
+	// A bad pprof address must fail startup fast.
+	if err := run([]string{"-addr", "127.0.0.1:0", "-pprof-addr", "256.0.0.1:http"}); err == nil {
+		t.Fatal("bad -pprof-addr must fail run()")
+	}
+}

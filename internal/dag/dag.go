@@ -231,6 +231,18 @@ func (g *Graph) Edges(fn func(u, v int)) {
 	}
 }
 
+// Reversed returns a new graph with every edge flipped — the input for
+// reverse (ancestor-direction) label indexes.
+func (g *Graph) Reversed() *Graph {
+	r := New(g.n)
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.preds[v] {
+			r.addEdgeUnchecked(v, int(u))
+		}
+	}
+	return r
+}
+
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)

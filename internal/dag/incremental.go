@@ -32,6 +32,22 @@ type IncrementalClosure struct {
 	g   *Graph
 	fwd *Closure // Row(u) = reflexive descendants of u
 	rev *Closure // Row(v) = reflexive ancestors of v (transpose of fwd)
+
+	// labels/revLabels are the interval reachability label indexes
+	// maintained alongside the closures: labels answers "u reaches v",
+	// revLabels is built over the reversed graph so its rows enumerate
+	// ancestors. Edge insertion patches both in the same Italiano pass
+	// that ORs closure rows; past the patch budget they are dropped and
+	// lazily rebuilt on the next Labels() call, bounding fragmentation
+	// from long patch sequences. Both nil while stale or when the graph
+	// exceeded the label interval budget (callers fall back to closure
+	// rows) — they are always present or absent together.
+	labels        *Labels
+	revLabels     *Labels
+	labelsStale   bool
+	labelBuilds   int64 // label-index (pair) builds: initial + rebuilds
+	labelRebuilds int64 // rebuilds triggered by the patch budget
+	labelPatches  int64 // lifetime Patch calls, both directions
 }
 
 // NewIncrementalClosure computes the initial closure of g (which must be
@@ -45,12 +61,79 @@ func NewIncrementalClosure(g *Graph) (*IncrementalClosure, error) {
 	return ic, nil
 }
 
-// rebuild recomputes both closures from the graph (construction and the
-// rare rollback path).
+// rebuild recomputes both closures and the label indexes from the
+// graph (construction and the rare rollback path).
 func (ic *IncrementalClosure) rebuild() {
 	ic.fwd = ic.g.Reachability()
 	ic.rev = transpose(ic.fwd)
+	ic.rebuildLabels()
 }
+
+// rebuildLabels builds the forward/reverse label pair; if either blows
+// the interval budget both are dropped, keeping the pair invariant.
+func (ic *IncrementalClosure) rebuildLabels() {
+	ic.labels = BuildLabels(ic.g)
+	if ic.labels != nil {
+		ic.revLabels = BuildLabels(ic.g.Reversed())
+		if ic.revLabels == nil {
+			ic.labels = nil
+		}
+	} else {
+		ic.revLabels = nil
+	}
+	ic.labelsStale = false
+	ic.labelBuilds++
+}
+
+// dropLabels discards the label pair past the patch budget, marking it
+// stale so the next Labels()/RevLabels() call rebuilds fresh.
+func (ic *IncrementalClosure) dropLabels() {
+	ic.labels, ic.revLabels = nil, nil
+	ic.labelsStale = true
+	ic.labelRebuilds++
+}
+
+// labelPatchBudget is the number of label patches tolerated (per
+// direction) before the pair is dropped and rebuilt: each patch can
+// fragment a row, and past roughly half the node count a fresh O(n+m)
+// build is cheaper than the accumulated fragmentation it clears.
+func (ic *IncrementalClosure) labelPatchBudget() int64 {
+	if b := int64(ic.g.n) / 2; b > 256 {
+		return b
+	}
+	return 256
+}
+
+// Labels returns the current forward label index, rebuilding the pair
+// first when a patch-budget overrun marked it stale. It returns nil
+// when the graph blew the interval budget — closure rows remain
+// authoritative either way. The returned index is mutated by
+// AddEdge/Grow; concurrent readers must hold a Fork instead.
+func (ic *IncrementalClosure) Labels() *Labels {
+	if ic.labelsStale {
+		ic.rebuildLabels()
+	}
+	return ic.labels
+}
+
+// RevLabels returns the reverse (ancestor-direction) label index, nil
+// exactly when Labels is nil. Same rebuild and sharing rules.
+func (ic *IncrementalClosure) RevLabels() *Labels {
+	if ic.labelsStale {
+		ic.rebuildLabels()
+	}
+	return ic.revLabels
+}
+
+// LabelBuilds returns the number of full label-index builds.
+func (ic *IncrementalClosure) LabelBuilds() int64 { return ic.labelBuilds }
+
+// LabelRebuilds returns the number of rebuilds forced by the patch
+// budget.
+func (ic *IncrementalClosure) LabelRebuilds() int64 { return ic.labelRebuilds }
+
+// LabelPatches returns the lifetime count of incremental label patches.
+func (ic *IncrementalClosure) LabelPatches() int64 { return ic.labelPatches }
 
 // transpose builds the reversed closure: t.Row(v) holds every u with
 // u→…→v (reflexively).
@@ -111,6 +194,27 @@ func (ic *IncrementalClosure) AddEdge(u, v int, dirty *bitset.Set) (bool, error)
 		// The path u→…→v already existed; the closure is unchanged.
 		return true, nil
 	}
+	patchBudget := ic.labelPatchBudget()
+	// Reverse-label patches run first, while the forward rows are still
+	// pre-insertion: every descendant x of v that u did not already
+	// reach gains u's reflexive ancestor cover (anc'(x) = anc(x) ∪
+	// anc(u); u already reaching x implies anc(u) ⊆ anc(x), so the skip
+	// is exact). rows_rev[u] is never the patched row — u ∈ desc(v)
+	// would be the cycle rejected above — so the merge source is stable.
+	if rl := ic.revLabels; rl != nil {
+		ic.fwd.Row(v).ForEach(func(x int) bool {
+			if ic.fwd.Reaches(u, x) {
+				return true
+			}
+			rl.Patch(x, u)
+			ic.labelPatches++
+			if rl.patches >= patchBudget {
+				ic.dropLabels()
+				return false
+			}
+			return true
+		})
+	}
 	// Italiano propagation: every ancestor w of u (including u) that does
 	// not yet reach v gains v's entire descendant row. The newly set bits
 	// of each row are mirrored into the transposed closure before the OR,
@@ -129,6 +233,17 @@ func (ic *IncrementalClosure) AddEdge(u, v int, dirty *bitset.Set) (bool, error)
 			return true
 		})
 		dstRow.Or(srcRow)
+		// Patch the label index in the same pass: w's reach set became
+		// reach(w) ∪ reach(v), so merging v's interval cover into w's
+		// keeps the exact-cover invariant (v is never an ancestor of u
+		// here, so rows[v] is stable throughout the loop).
+		if lbl := ic.labels; lbl != nil {
+			lbl.Patch(w, v)
+			ic.labelPatches++
+			if lbl.patches >= patchBudget {
+				ic.dropLabels()
+			}
+		}
 		if dirty != nil {
 			dirty.Set(w)
 		}
@@ -151,6 +266,10 @@ func (ic *IncrementalClosure) Grow(k int) int {
 	n := ic.g.N()
 	ic.fwd = growClosure(ic.fwd, n)
 	ic.rev = growClosure(ic.rev, n)
+	if ic.labels != nil {
+		ic.labels.Grow(k)
+		ic.revLabels.Grow(k)
+	}
 	return first
 }
 

@@ -1,0 +1,378 @@
+package dag
+
+import "slices"
+
+// This file implements the interval / tree-cover reachability label
+// index (Agrawal–Borgida–Jagadish): each node carries a short sorted
+// list of postorder intervals whose union covers exactly the postorder
+// positions of its reachable set. Membership — "does u reach v?" — is a
+// binary search over u's intervals instead of a closure-row bit test,
+// and, unlike closure rows, a label fits in a couple of cache lines, so
+// the query serve path never touches an O(n)-bit row.
+//
+// Construction numbers a spanning forest of the condensation in
+// postorder (so every subtree owns a contiguous interval), then merges
+// successor labels in reverse topological order. Cyclic inputs (view
+// quotient graphs of unsound views) are handled by labeling the
+// condensation: all members of a strongly connected component share one
+// label and one postorder position, which reproduces the reflexive
+// closure semantics of Reachability exactly.
+//
+// Worst-case label size is O(n) intervals per node; graphs that
+// actually hit that blow-up are detected by an interval budget, in
+// which case Build returns nil and callers fall back to closure rows.
+
+// Interval is a closed range [Lo, Hi] of postorder positions.
+type Interval struct {
+	Lo, Hi int32
+}
+
+// Labels is a reachability label index over a fixed node set. It is
+// immutable from the reader's point of view: the maintenance entry
+// points (Patch, Grow) are called only by the IncrementalClosure that
+// owns it, under the registry's write lock, and Fork snapshots the
+// mutable row table for lock-free readers.
+type Labels struct {
+	// pos[u] is the postorder position of u's condensation component.
+	// Members of one SCC share a position.
+	pos []int32
+	// byPosStart/byPosNodes map a postorder position back to its member
+	// nodes (CSR layout): position p owns byPosNodes[byPosStart[p]:
+	// byPosStart[p+1]]. For acyclic graphs every position is a single
+	// node.
+	byPosStart []int32
+	byPosNodes []int32
+	// rows[u] is u's sorted, disjoint, non-adjacent interval cover.
+	// Members of one SCC share a row at build time; Patch always
+	// installs a freshly allocated row, never mutates one in place, so
+	// forked snapshots stay immutable.
+	rows [][]Interval
+
+	intervals int   // current total interval count across rows
+	patches   int64 // Patch calls since the last build
+}
+
+// labelBudgetFactor bounds the total interval count of a label index to
+// factor×n (+ a small constant floor). Beyond it the cover is
+// degenerating toward quadratic memory and closure rows are the better
+// representation, so Build gives up and returns nil. 128 admits dense
+// layered DAGs (a 4096-task, 16-layer, p=0.05 graph needs ~85
+// intervals/node ≈ 2.7 MB) while still refusing covers within ~3% of
+// the quadratic worst case at that size.
+const labelBudgetFactor = 128
+
+func labelBudget(n int) int { return labelBudgetFactor*n + 256 }
+
+// BuildLabels computes the label index of g, cyclic or not. It returns
+// nil when the interval budget is exceeded — the caller keeps serving
+// from closure rows in that case.
+func BuildLabels(g *Graph) *Labels {
+	n := g.n
+	l := &Labels{
+		pos:        make([]int32, n),
+		byPosStart: make([]int32, 1, n+1),
+		byPosNodes: make([]int32, 0, n),
+	}
+	if n == 0 {
+		l.rows = [][]Interval{}
+		return l
+	}
+
+	// Condense. sccOf[u] names u's component; comps are ordered by
+	// smallest member, which SCC already guarantees, so singleton-SCC
+	// (acyclic) graphs get component indices identical to a plain
+	// renumbering.
+	comps := g.SCC()
+	p := len(comps)
+	sccOf := make([]int32, n)
+	for ci, comp := range comps {
+		for _, u := range comp {
+			sccOf[u] = int32(ci)
+		}
+	}
+
+	// Condensation adjacency, deduplicated with a stamp array.
+	csuccs := make([][]int32, p)
+	stamp := make([]int32, p)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for ci := int32(0); ci < int32(p); ci++ {
+		for _, u := range comps[ci] {
+			for _, v := range g.succs[u] {
+				cv := sccOf[v]
+				if cv == ci || stamp[cv] == ci {
+					continue
+				}
+				stamp[cv] = ci
+				csuccs[ci] = append(csuccs[ci], cv)
+			}
+		}
+	}
+
+	// Spanning forest + postorder numbering over the condensation.
+	// lo[c] is the counter value when c is first entered, post[c] the
+	// value assigned on exit: c's spanning subtree owns exactly
+	// [lo[c], post[c]].
+	const unvisited = -1
+	post := make([]int32, p)
+	lo := make([]int32, p)
+	for i := range post {
+		post[i] = unvisited
+	}
+	var counter int32
+	type dfsFrame struct {
+		c int32
+		i int
+	}
+	var stack []dfsFrame
+	order := make([]int32, 0, p) // DFS finish order = reverse topo prefix order
+	for root := int32(0); root < int32(p); root++ {
+		if post[root] != unvisited {
+			continue
+		}
+		lo[root] = counter
+		post[root] = -2 // on stack
+		stack = append(stack[:0], dfsFrame{c: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.i < len(csuccs[f.c]) {
+				c := csuccs[f.c][f.i]
+				f.i++
+				if post[c] == unvisited {
+					lo[c] = counter
+					post[c] = -2
+					stack = append(stack, dfsFrame{c: c})
+					advanced = true
+					break
+				}
+			}
+			if advanced {
+				continue
+			}
+			post[f.c] = counter
+			counter++
+			order = append(order, f.c)
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	// pos + position→nodes (positions 0..p-1; position of component c is
+	// post[c], so group component members by post).
+	compAtPos := make([]int32, p)
+	for c := int32(0); c < int32(p); c++ {
+		compAtPos[post[c]] = c
+	}
+	for q := 0; q < p; q++ {
+		comp := comps[compAtPos[q]]
+		for _, u := range comp {
+			l.pos[u] = int32(q)
+			l.byPosNodes = append(l.byPosNodes, int32(u))
+		}
+		l.byPosStart = append(l.byPosStart, int32(len(l.byPosNodes)))
+	}
+
+	// Reverse-topological label merge over the condensation. The DFS
+	// finish order is a reverse topological order of the condensation
+	// (every successor finishes before its predecessors), so iterating
+	// it forward visits all successors of c before c.
+	crows := make([][]Interval, p)
+	budget := labelBudget(n)
+	var scratch []Interval
+	for _, c := range order {
+		scratch = scratch[:0]
+		scratch = append(scratch, Interval{Lo: lo[c], Hi: post[c]})
+		for _, s := range csuccs[c] {
+			scratch = append(scratch, crows[s]...)
+		}
+		row := mergeIntervals(nil, scratch)
+		crows[c] = row
+		l.intervals += len(row)
+		if l.intervals > budget {
+			return nil
+		}
+	}
+	// Rows are shared across SCC members (and counted once: the shared
+	// slice is resident once). Patch only ever runs on acyclic graphs,
+	// where every component is a singleton, so its per-row accounting
+	// agrees with this count.
+	l.rows = make([][]Interval, n)
+	for u := 0; u < n; u++ {
+		l.rows[u] = crows[sccOf[u]]
+	}
+	return l
+}
+
+// mergeIntervals sorts ivs by Lo and coalesces overlapping or adjacent
+// intervals into dst (reset to length 0 first). Positions are integral,
+// so [1,3] and [4,6] merge into [1,6].
+func mergeIntervals(dst, ivs []Interval) []Interval {
+	dst = dst[:0]
+	if len(ivs) == 0 {
+		return dst
+	}
+	slices.SortFunc(ivs, func(a, b Interval) int { return int(a.Lo) - int(b.Lo) })
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.Lo <= cur.Hi+1 {
+			if iv.Hi > cur.Hi {
+				cur.Hi = iv.Hi
+			}
+			continue
+		}
+		dst = append(dst, cur)
+		cur = iv
+	}
+	return append(dst, cur)
+}
+
+// Reaches reports whether u reaches v, reflexively, exactly as
+// Closure.Reaches does. O(log k) in u's interval count k, with a linear
+// scan below a handful of intervals.
+func (l *Labels) Reaches(u, v int) bool {
+	p := l.pos[v]
+	row := l.rows[u]
+	if len(row) <= 8 {
+		for _, iv := range row {
+			if p < iv.Lo {
+				return false
+			}
+			if p <= iv.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	// First interval with Lo > p; the candidate is its predecessor.
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid].Lo <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo > 0 && row[lo-1].Hi >= p
+}
+
+// AppendReachable appends the reachable set of u (reflexive, ascending
+// node order) to dst and returns the extended slice. This is the
+// ordered iterator of the index: it walks u's intervals and the
+// position→node table, never a closure row.
+func (l *Labels) AppendReachable(dst []int32, u int) []int32 {
+	start := len(dst)
+	for _, iv := range l.rows[u] {
+		lo, hi := l.byPosStart[iv.Lo], l.byPosStart[iv.Hi+1]
+		dst = append(dst, l.byPosNodes[lo:hi]...)
+	}
+	added := dst[start:]
+	slices.Sort(added)
+	return dst
+}
+
+// Patch merges v's label row into w's, maintaining the exact-cover
+// invariant after the closure gains reach(w) ⊇ reach(v) (the Italiano
+// edge-insertion step). The merged row is freshly allocated and
+// assigned — rows shared with forked snapshots are never written.
+// Patch is only meaningful on indexes built over acyclic graphs (the
+// IncrementalClosure's case); SCC-shared rows are never patched.
+func (l *Labels) Patch(w, v int) {
+	old := l.rows[w]
+	scratch := make([]Interval, 0, len(old)+len(l.rows[v]))
+	scratch = append(scratch, old...)
+	scratch = append(scratch, l.rows[v]...)
+	// In-place merge: dst aliases scratch's front, which is safe (the
+	// write index never catches the read index) and saves a second
+	// allocation; the result is retained as the new row.
+	merged := mergeIntervals(scratch[:0], scratch)
+	l.rows[w] = merged
+	l.intervals += len(merged) - len(old)
+	l.patches++
+}
+
+// Grow appends k new isolated nodes, each its own postorder position
+// with a singleton self-interval — exactly what a from-scratch build of
+// the grown graph produces for isolated nodes appended last. All
+// existing rows and tables are untouched (append-only), so forked
+// snapshots remain valid.
+func (l *Labels) Grow(k int) {
+	for i := 0; i < k; i++ {
+		u := int32(len(l.pos))
+		q := int32(len(l.byPosStart) - 1)
+		l.pos = append(l.pos, q)
+		l.byPosNodes = append(l.byPosNodes, u)
+		l.byPosStart = append(l.byPosStart, int32(len(l.byPosNodes)))
+		l.rows = append(l.rows, []Interval{{Lo: q, Hi: q}})
+		l.intervals++
+	}
+}
+
+// Fork returns a snapshot sharing every append-only table with l but
+// owning its own copy of the row table. Later Patch calls install fresh
+// rows into l only; later Grow calls append past the fork's length.
+// The snapshot is safe for concurrent readers while the original keeps
+// mutating under its owner's lock.
+func (l *Labels) Fork() *Labels {
+	return &Labels{
+		pos:        l.pos,
+		byPosStart: l.byPosStart,
+		byPosNodes: l.byPosNodes,
+		rows:       slices.Clone(l.rows),
+		intervals:  l.intervals,
+		patches:    l.patches,
+	}
+}
+
+// MarkRow sets, in mark — a position-indexed bit array with at least
+// MarkWords(l.N()) words, zeroed by the caller — every postorder
+// position of u's reachable set. Together with Marked this turns a
+// batch of membership tests against one source node into O(1) lookups:
+// interval runs are set word-wise, so marking costs O(intervals +
+// span/64) regardless of how many tests follow.
+func (l *Labels) MarkRow(mark []uint64, u int) {
+	for _, iv := range l.rows[u] {
+		lw, hw := int(iv.Lo)>>6, int(iv.Hi)>>6
+		loMask := ^uint64(0) << (uint(iv.Lo) & 63)
+		hiMask := ^uint64(0) >> (63 - (uint(iv.Hi) & 63))
+		if lw == hw {
+			mark[lw] |= loMask & hiMask
+			continue
+		}
+		mark[lw] |= loMask
+		for w := lw + 1; w < hw; w++ {
+			mark[w] = ^uint64(0)
+		}
+		mark[hw] |= hiMask
+	}
+}
+
+// Marked reports whether v's position was set in mark by a MarkRow on
+// this same index: Marked(mark, v) after MarkRow(mark, u) is exactly
+// Reaches(u, v).
+func (l *Labels) Marked(mark []uint64, v int) bool {
+	p := l.pos[v]
+	return mark[p>>6]&(1<<(uint(p)&63)) != 0
+}
+
+// MarkWords returns the scratch length MarkRow needs for n nodes.
+func MarkWords(n int) int { return (n + 63) / 64 }
+
+// N returns the number of labeled nodes.
+func (l *Labels) N() int { return len(l.pos) }
+
+// Intervals returns the total interval count across all rows (shared
+// SCC rows counted once per node).
+func (l *Labels) Intervals() int { return l.intervals }
+
+// Patches returns the number of Patch calls since the build.
+func (l *Labels) Patches() int64 { return l.patches }
+
+// MemoryBytes estimates the resident size of the index.
+func (l *Labels) MemoryBytes() int64 {
+	b := int64(len(l.pos))*4 + int64(len(l.byPosStart))*4 + int64(len(l.byPosNodes))*4
+	b += int64(len(l.rows)) * 24 // slice headers
+	b += int64(l.intervals) * 8
+	return b
+}

@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"wolves/internal/dag"
+	"wolves/internal/provenance"
+	"wolves/internal/view"
+)
+
+// This file implements the epoch-stamped, lock-free read session behind
+// the run store's lineage serve path. Every committed state transition
+// (registration, mutation, view attach/detach — the restore paths
+// re-enter the same functions) publishes a fresh ReadEpoch through an
+// atomic pointer: an immutable snapshot of exactly what a lineage query
+// needs — the workflow version, the task-ID table, a forked reachability
+// label index, and per-view label indexes over the quotient graphs.
+// Readers load the pointer and serve without ever touching the
+// workflow's RWMutex, so heavy read traffic stops contending with
+// mutations entirely. The only lazily filled piece is the audited
+// level's provenance audit, which must read live closure rows: the
+// first audited query per (view, version) takes the read lock to build
+// it, verifies the epoch is still current, and caches the result on the
+// epoch — every later audited query at that version is lock-free again.
+
+// ReadEpoch is an immutable snapshot of one live workflow version for
+// lock-free lineage reads. Obtain one with LiveWorkflow.Epoch; a nil
+// epoch means the label index is unavailable (interval budget exceeded,
+// or the workflow is closed) and callers serve through the locked
+// ProvSession path instead.
+type ReadEpoch struct {
+	version uint64
+	taskIDs []string
+	labels  *dag.Labels
+	rev     *dag.Labels
+	views   map[string]*EpochView
+}
+
+// EpochView is the per-view slice of a ReadEpoch: the immutable view
+// object of that version, its soundness at publication, a label index
+// over the quotient graph, and the lazily cached provenance audit.
+type EpochView struct {
+	v     *view.View
+	sound bool
+	// labels/revLabels are the composite-level label indexes (forward
+	// and ancestor direction); both nil when the quotient graph blew
+	// the interval budget (readers fall back to the locked path for
+	// this view).
+	labels    *dag.Labels
+	revLabels *dag.Labels
+	// audit caches the provenance audit for this epoch's version,
+	// filled by LiveWorkflow.EpochAudit under the read lock on the
+	// first audited query.
+	audit atomic.Pointer[provenance.ViewAudit]
+}
+
+// Version returns the workflow version the epoch snapshots.
+func (ep *ReadEpoch) Version() uint64 { return ep.version }
+
+// TaskID returns the ID of task index u at the epoch's version.
+func (ep *ReadEpoch) TaskID(u int) string { return ep.taskIDs[u] }
+
+// Tasks returns the number of tasks at the epoch's version.
+func (ep *ReadEpoch) Tasks() int { return len(ep.taskIDs) }
+
+// Labels returns the task-level reachability label index (never nil on
+// a published epoch).
+func (ep *ReadEpoch) Labels() *dag.Labels { return ep.labels }
+
+// RevLabels returns the ancestor-direction task-level index (never nil
+// on a published epoch): RevLabels().Reaches(v, u) ⇔ u reaches v.
+func (ep *ReadEpoch) RevLabels() *dag.Labels { return ep.rev }
+
+// View returns the epoch's snapshot of view vid, or nil when the view
+// was not attached at this version.
+func (ep *ReadEpoch) View(vid string) *EpochView { return ep.views[vid] }
+
+// View returns the immutable view object (views are replaced wholesale
+// on mutation, never mutated in place).
+func (ev *EpochView) View() *view.View { return ev.v }
+
+// Sound reports the view's maintained soundness at the epoch's version.
+func (ev *EpochView) Sound() bool { return ev.sound }
+
+// Labels returns the composite-level label index, or nil when the
+// quotient graph exceeded the interval budget.
+func (ev *EpochView) Labels() *dag.Labels { return ev.labels }
+
+// RevLabels returns the ancestor-direction composite-level index, nil
+// exactly when Labels is nil.
+func (ev *EpochView) RevLabels() *dag.Labels { return ev.revLabels }
+
+// Epoch returns the current read epoch, or nil when lock-free serving
+// is unavailable (no epoch published yet, label budget exceeded, or the
+// workflow closed). The returned epoch may lag the live version during
+// an in-flight mutation; answers served from it are consistent as of
+// its stamped version.
+func (lw *LiveWorkflow) Epoch() *ReadEpoch { return lw.epoch.Load() }
+
+// publishEpochLocked rebuilds and atomically publishes the read epoch.
+// Callers hold the write lock (or own lw exclusively, pre-publication).
+// When the task graph's label index is unavailable the epoch is cleared
+// and readers fall back to the locked path wholesale.
+func (lw *LiveWorkflow) publishEpochLocked() {
+	labels := lw.ic.Labels()
+	if labels == nil {
+		lw.epoch.Store(nil)
+		return
+	}
+	ep := &ReadEpoch{
+		version: lw.version,
+		taskIDs: make([]string, lw.wf.N()),
+		labels:  labels.Fork(),
+		rev:     lw.ic.RevLabels().Fork(),
+		views:   make(map[string]*EpochView, len(lw.views)),
+	}
+	// The task-ID table is copied: ExtendTasks appends to the live
+	// workflow's slice in place, so sharing the header with lock-free
+	// readers would race.
+	for i := range ep.taskIDs {
+		ep.taskIDs[i] = lw.wf.Task(i).ID
+	}
+	for vid, lv := range lw.views {
+		ev := &EpochView{v: lv.v, sound: lv.report.Sound}
+		qg := lv.v.Graph()
+		ev.labels = dag.BuildLabels(qg)
+		if ev.labels != nil {
+			ev.revLabels = dag.BuildLabels(qg.Reversed())
+			if ev.revLabels == nil {
+				ev.labels = nil
+			}
+		}
+		lw.reg.viewLabelBuilds.Add(1)
+		ep.views[vid] = ev
+	}
+	lw.epoch.Store(ep)
+}
+
+// EpochAudit returns the provenance audit of view vid at exactly ep's
+// version, building and caching it on the epoch under the read lock on
+// first use. ok is false when the audit cannot be pinned to ep's
+// version — the workflow moved on, closed, or dropped the view — in
+// which case the caller re-resolves a fresh epoch or falls back to the
+// locked session path.
+func (lw *LiveWorkflow) EpochAudit(ep *ReadEpoch, vid string) (audit *provenance.ViewAudit, ok bool) {
+	ev := ep.views[vid]
+	if ev == nil {
+		return nil, false
+	}
+	if a := ev.audit.Load(); a != nil {
+		return a, true
+	}
+	lw.mu.RLock()
+	defer lw.mu.RUnlock()
+	if lw.closed || lw.version != ep.version {
+		return nil, false
+	}
+	lv := lw.views[vid]
+	if lv == nil || lv.v != ev.v {
+		return nil, false
+	}
+	a := lv.viewAudit(lw.prov)
+	ev.audit.Store(a)
+	return a, true
+}
+
+// LabelStats aggregates label-index counters for /v1/stats: lifetime
+// build/rebuild/patch counts summed over resident workflows, plus the
+// resident interval count and memory footprint of every live index
+// (task-level and per-view).
+type LabelStats struct {
+	// Workflows counts resident workflows currently serving lock-free
+	// from a label index; Disabled counts residents whose graphs blew
+	// the interval budget (serving from closure rows).
+	Workflows int `json:"workflows"`
+	Disabled  int `json:"disabled"`
+	// Builds / Rebuilds / Patches are task-level index counters summed
+	// over resident workflows: full builds, rebuilds forced past the
+	// patch damage threshold, and incremental edge patches.
+	Builds   int64 `json:"builds"`
+	Rebuilds int64 `json:"rebuilds"`
+	Patches  int64 `json:"patches"`
+	// ViewBuilds is the lifetime count of view-level (quotient) label
+	// builds across all publications.
+	ViewBuilds int64 `json:"view_builds"`
+	// Intervals / MemoryBytes cover every resident index, task-level
+	// and view-level.
+	Intervals   int64 `json:"intervals"`
+	MemoryBytes int64 `json:"memory_bytes"`
+}
+
+// LabelStats sweeps the resident workflows and aggregates their
+// label-index counters.
+func (r *Registry) LabelStats() LabelStats {
+	r.mu.Lock()
+	lws := make([]*LiveWorkflow, 0, len(r.lws))
+	for _, lw := range r.lws {
+		lws = append(lws, lw)
+	}
+	r.mu.Unlock()
+
+	st := LabelStats{ViewBuilds: r.viewLabelBuilds.Load()}
+	for _, lw := range lws {
+		lw.mu.RLock()
+		if lw.closed {
+			lw.mu.RUnlock()
+			continue
+		}
+		st.Builds += lw.ic.LabelBuilds()
+		st.Rebuilds += lw.ic.LabelRebuilds()
+		st.Patches += lw.ic.LabelPatches()
+		ep := lw.epoch.Load()
+		lw.mu.RUnlock()
+		if ep == nil {
+			st.Disabled++
+			continue
+		}
+		st.Workflows++
+		st.Intervals += int64(ep.labels.Intervals()) + int64(ep.rev.Intervals())
+		st.MemoryBytes += ep.labels.MemoryBytes() + ep.rev.MemoryBytes()
+		for _, ev := range ep.views {
+			if ev.labels != nil {
+				st.Intervals += int64(ev.labels.Intervals()) + int64(ev.revLabels.Intervals())
+				st.MemoryBytes += ev.labels.MemoryBytes() + ev.revLabels.MemoryBytes()
+			}
+		}
+	}
+	return st
+}

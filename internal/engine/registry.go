@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wolves/internal/bitset"
@@ -92,6 +93,10 @@ type Registry struct {
 	mu     sync.Mutex
 	lws    map[string]*LiveWorkflow
 	useSeq uint64 // LRU clock: bumped on every touch
+
+	// viewLabelBuilds counts lifetime view-level (quotient) label-index
+	// builds across epoch publications (see epoch.go).
+	viewLabelBuilds atomic.Int64
 }
 
 // RegistryOption configures a Registry at construction time.
@@ -156,6 +161,12 @@ type LiveWorkflow struct {
 	// oracles through the cache.
 	seedMu sync.Mutex
 	seeded map[string]struct{}
+
+	// epoch is the published lock-free read snapshot (epoch.go):
+	// rebuilt under the write lock after every committed transition,
+	// loaded by the run store's lineage path without any lock. nil
+	// while the label index is unavailable or the workflow is closed.
+	epoch atomic.Pointer[ReadEpoch]
 
 	used uint64 // registry LRU stamp, guarded by reg.mu
 }
@@ -324,6 +335,7 @@ func (r *Registry) register(id string, wf *workflow.Workflow, version uint64, jo
 		views:   make(map[string]*liveView),
 	}
 	lw.repoint()
+	lw.publishEpochLocked()
 
 	lw.mu.Lock()
 	r.mu.Lock()
@@ -515,6 +527,9 @@ func (r *Registry) Infos() []WorkflowInfo {
 func (lw *LiveWorkflow) close() {
 	lw.mu.Lock()
 	lw.closed = true
+	// Lock-free readers must stop serving a dead registration: with the
+	// epoch cleared they fall back to the locked path, which sees closed.
+	lw.epoch.Store(nil)
 	lw.mu.Unlock()
 	lw.seedMu.Lock()
 	for fp := range lw.seeded {
@@ -668,6 +683,7 @@ func (lw *LiveWorkflow) attachView(vid string, build func(wf *workflow.Workflow)
 		lw.viewOrder = append(lw.viewOrder, vid)
 	}
 	lw.views[vid] = &liveView{v: v, report: rep}
+	lw.publishEpochLocked()
 	if journal && lw.reg.journal != nil {
 		if err := lw.reg.journal.ViewAttached(lw.stateLocked(), vid, v); err != nil {
 			return nil, 0, lw.reg.JournalFault("attach", err)
@@ -698,6 +714,7 @@ func (lw *LiveWorkflow) DetachView(vid string) error {
 			break
 		}
 	}
+	lw.publishEpochLocked()
 	if lw.reg.journal != nil {
 		if err := lw.reg.journal.ViewDetached(lw.stateLocked(), vid); err != nil {
 			return lw.reg.JournalFault("detach", err)
@@ -959,6 +976,7 @@ func (lw *LiveWorkflow) Mutate(m Mutation) (*MutationResult, error) {
 
 	lw.version++
 	res.Version = lw.version
+	lw.publishEpochLocked()
 
 	// Journal the committed batch: the tasks appended plus the edges
 	// actually inserted (duplicates dropped), so replay from the same

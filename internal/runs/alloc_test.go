@@ -1,0 +1,95 @@
+package runs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"wolves/internal/engine"
+	"wolves/internal/gen"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// TestLineageAllocationCeiling is the CI allocation-regression guard
+// for the serve path: a warm view-level (and audited, and exact)
+// lineage query over a pooled, label-indexed store must stay under a
+// hard allocs-per-op ceiling. The label rewrite brought view/audited
+// answers from ~47 heap allocations to ~zero; this test fails the
+// build if a change quietly reintroduces per-query garbage.
+func TestLineageAllocationCeiling(t *testing.T) {
+	const n = 512
+	wf := gen.Layered(gen.LayeredConfig{
+		Name: "alloc", Tasks: n, Layers: 16, EdgeProb: 0.05, Seed: int64(n),
+	})
+	reg := engine.NewRegistry(engine.New())
+	lw, err := reg.Register("wf", wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lw.AttachView("iv", func(wf *workflow.Workflow) (*view.View, error) {
+		return gen.IntervalView(wf, 2+n/16, "iv"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg)
+	doc := struct {
+		Run       string           `json:"run"`
+		Artifacts []map[string]any `json:"artifacts"`
+		Used      []map[string]any `json:"used"`
+	}{Run: "r"}
+	for i := 0; i < wf.N(); i++ {
+		doc.Artifacts = append(doc.Artifacts, map[string]any{
+			"id": "a" + wf.Task(i).ID, "generated_by": wf.Task(i).ID})
+	}
+	wf.Graph().Edges(func(u, v int) {
+		doc.Used = append(doc.Used, map[string]any{
+			"process": wf.Task(v).ID, "artifact": "a" + wf.Task(u).ID})
+	})
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest("wf", raw); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := "a" + wf.Task(n-1).ID
+	var encBuf []byte
+	for _, tc := range []struct {
+		name    string
+		q       Query
+		ceiling float64
+	}{
+		// The ceilings leave slack over the measured ~0–2 for pool
+		// misses under GC pressure; 47+ is what the pre-label path cost.
+		{"exact", Query{Run: "r", Artifact: sink}, 8},
+		{"view", Query{Run: "r", Artifact: sink, Level: LevelView, View: "iv"}, 8},
+		{"audited", Query{Run: "r", Artifact: sink, Level: LevelAudited, View: "iv"}, 8},
+		{"witness", Query{Run: "r", Artifact: sink, Witness: true}, 8},
+	} {
+		q := tc.q
+		// Warm: fill pools, the audit cache and slice capacities.
+		for i := 0; i < 4; i++ {
+			ans, qerr := s.Lineage("wf", q)
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			encBuf = ans.AppendJSON(encBuf[:0])
+			ans.Release()
+		}
+		got := testing.AllocsPerRun(100, func() {
+			ans, qerr := s.Lineage("wf", q)
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			encBuf = ans.AppendJSON(encBuf[:0])
+			ans.Release()
+		})
+		if got > tc.ceiling {
+			t.Errorf("%s: %v allocs/op, ceiling %v — the serve path regressed",
+				tc.name, got, tc.ceiling)
+		} else {
+			t.Logf("%s: %v allocs/op (ceiling %v)", tc.name, got, tc.ceiling)
+		}
+	}
+}

@@ -85,10 +85,13 @@ func fullRunDoc(wf *workflow.Workflow, runID string) []byte {
 	return raw
 }
 
-// BenchmarkIngest measures steady-state trace ingestion into a 4096-task
-// workflow: 1k distinct 256-invocation run documents, cycled (so long
-// bench runs replace instead of accumulating). Per-op cost covers JSON
-// decode, task-space validation, dense interning and shard insertion.
+// BenchmarkIngest measures steady-state trace ingestion: a pool of
+// distinct run documents, cycled (so long bench runs replace instead of
+// accumulating), each invoking a quarter of the workflow — the record
+// count scales with n so per-op cost is comparable across sizes (a
+// fixed window made n=4096 look cheaper than n=1024: same trace bytes,
+// larger task space). Per-op cost covers JSON decode, task-space
+// validation, dense interning and shard insertion.
 func BenchmarkIngest(b *testing.B) {
 	for _, n := range []int{1024, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -97,7 +100,7 @@ func BenchmarkIngest(b *testing.B) {
 			docs := make([][]byte, pool)
 			bytes := 0
 			for i := range docs {
-				docs[i] = windowRunDoc(wf, fmt.Sprintf("r%d", i), i*37, 256)
+				docs[i] = windowRunDoc(wf, fmt.Sprintf("r%d", i), i*37, n/4)
 				bytes += len(docs[i])
 			}
 			b.SetBytes(int64(bytes / pool))
@@ -135,10 +138,46 @@ func BenchmarkLineageQuery(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("level=%s/n=%d", level, n), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := s.Lineage("wf", q); err != nil {
+					ans, err := s.Lineage("wf", q)
+					if err != nil {
 						b.Fatal(err)
 					}
+					ans.Release()
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkLineageServe measures the full wire path per answer: query,
+// stream-encode through the reusable encoder, release to the pool —
+// what the HTTP handler does per request, minus the socket.
+func BenchmarkLineageServe(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		s, wf := benchStore(b, n)
+		if _, err := s.Ingest("wf", fullRunDoc(wf, "full")); err != nil {
+			b.Fatal(err)
+		}
+		sink := "a" + wf.Task(n-1).ID
+		for _, level := range []string{"exact", "view", "audited"} {
+			q := Query{Run: "full", Artifact: sink}
+			if level != "exact" {
+				q.Level, q.View = level, "iv"
+			}
+			if _, err := s.Lineage("wf", q); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("level=%s/n=%d", level, n), func(b *testing.B) {
+				var buf []byte
+				for i := 0; i < b.N; i++ {
+					ans, err := s.Lineage("wf", q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					buf = ans.AppendJSON(buf[:0])
+					ans.Release()
+				}
+				b.SetBytes(int64(len(buf)))
 			})
 		}
 	}
@@ -197,8 +236,10 @@ func BenchmarkLineageBatch(b *testing.B) {
 	ctx := b.Context()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.LineageBatch(ctx, "wf", qs, 8); err != nil {
+		results, err := s.LineageBatch(ctx, "wf", qs, 8)
+		if err != nil {
 			b.Fatal(err)
 		}
+		ReleaseResults(results)
 	}
 }

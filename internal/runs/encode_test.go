@@ -1,0 +1,111 @@
+package runs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// nastyStrings exercise every branch of the string escaper: HTML
+// metacharacters, control bytes, quotes/backslashes, invalid UTF-8,
+// multi-byte runes and the JSONP line separators.
+var nastyStrings = []string{
+	"",
+	"plain",
+	`quote " and backslash \`,
+	"<script>&amp;</script>",
+	"ctrl \x00\x01\x1f tab\tnl\ncr\rbs\bff\f",
+	"invalid \xff\xfe utf8 \xc3\x28",
+	"runes: héllo 世界 🦊",
+	"line seps   and  ",
+	"mixed <\xffé \t>",
+}
+
+func randString(rng *rand.Rand) string {
+	if rng.Intn(3) == 0 {
+		return nastyStrings[rng.Intn(len(nastyStrings))]
+	}
+	b := make([]byte, rng.Intn(12))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
+func randAnswer(rng *rand.Rand) *Answer {
+	a := &Answer{
+		Workflow:  randString(rng),
+		Run:       randString(rng),
+		Artifact:  randString(rng),
+		Level:     LevelExact,
+		Direction: DirAncestors,
+		Version:   rng.Uint64(),
+		Tasks:     []string{},
+		Artifacts: []string{},
+	}
+	if rng.Intn(2) == 0 {
+		a.Producer = randString(rng)
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		a.Tasks = append(a.Tasks, randString(rng))
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		a.Artifacts = append(a.Artifacts, randString(rng))
+	}
+	if rng.Intn(2) == 0 {
+		a.View = "v-" + randString(rng)
+		a.viewSoundVal = rng.Intn(2) == 0
+		a.ViewSound = &a.viewSoundVal
+		for i := rng.Intn(3); i > 0; i-- {
+			a.Composites = append(a.Composites, randString(rng))
+		}
+		if rng.Intn(2) == 0 {
+			a.soundVal = rng.Intn(2) == 0
+			a.Sound = &a.soundVal
+			for i := rng.Intn(3); i > 0; i-- {
+				a.Spurious = append(a.Spurious, randString(rng))
+			}
+			for i := rng.Intn(2); i > 0; i-- {
+				a.Missing = append(a.Missing, randString(rng))
+			}
+			for i := rng.Intn(3); i > 0; i-- {
+				a.SpuriousTasks = append(a.SpuriousTasks, randString(rng))
+			}
+		}
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		a.Witness = append(a.Witness, WhyEdge{
+			Relation: "used", Process: randString(rng), Artifact: randString(rng)})
+	}
+	return a
+}
+
+// TestAppendJSONMatchesMarshal pins the hand encoder to encoding/json:
+// every random answer — including ones stuffed with control bytes,
+// invalid UTF-8 and HTML metacharacters — must encode to the exact
+// bytes json.Marshal produces.
+func TestAppendJSONMatchesMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var buf []byte
+	for i := 0; i < 2000; i++ {
+		a := randAnswer(rng)
+		want, err := json.Marshal(a)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		buf = a.AppendJSON(buf[:0])
+		if string(buf) != string(want) {
+			t.Fatalf("iteration %d: encoder diverges\n got: %q\nwant: %q", i, buf, want)
+		}
+	}
+}
+
+// TestAppendJSONNilSlices pins the nil-slice behaviour (null, not []),
+// so the encoder stays honest even for answers built outside the pool.
+func TestAppendJSONNilSlices(t *testing.T) {
+	a := &Answer{Workflow: "w", Run: "r", Artifact: "a", Level: LevelExact, Direction: DirAncestors}
+	want, _ := json.Marshal(a)
+	if got := a.AppendJSON(nil); string(got) != string(want) {
+		t.Fatalf("nil slices: got %q want %q", got, want)
+	}
+}

@@ -1,0 +1,310 @@
+package runs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wolves/internal/engine"
+	"wolves/internal/gen"
+	"wolves/internal/view"
+	"wolves/internal/workflow"
+)
+
+// TestLabelAnswersMatchClosureRows is the equivalence property behind
+// the label-indexed serve path: over a long random mutation history —
+// edge insertions (including rejected cycles), task growth, view
+// attach/detach, runs ingested mid-stream — every lineage query must
+// produce byte-identical answers from the epoch/label path and the
+// locked closure-row path, at every level and direction, witness
+// included. The wire bytes (AppendJSON) are compared, so field-order,
+// omitempty and pointer-bool behaviour are pinned too.
+func TestLabelAnswersMatchClosureRows(t *testing.T) {
+	const (
+		tasks     = 90
+		mutations = 1100
+	)
+	rng := rand.New(rand.NewSource(7))
+	wf := gen.Layered(gen.LayeredConfig{
+		Name: "equiv", Tasks: tasks, Layers: 9, EdgeProb: 0.08, SkipProb: 0.02, Seed: 7,
+	})
+	reg := engine.NewRegistry(engine.New())
+	lw, err := reg.Register("wf", wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg)
+
+	ids := make([]string, 0, tasks+mutations)
+	for i := 0; i < wf.N(); i++ {
+		ids = append(ids, wf.Task(i).ID)
+	}
+
+	// Two resident views: a clean partition and one with injected
+	// unsound merges, so the quotient labels also cover cyclic
+	// condensations and spurious/missing audit deltas.
+	viewSeq := 0
+	attach := func(unsound bool) string {
+		vid := fmt.Sprintf("v%d", viewSeq)
+		seed := int64(viewSeq)
+		viewSeq++
+		if _, _, err := lw.AttachView(vid, func(wf *workflow.Workflow) (*view.View, error) {
+			v := gen.RandomView(wf, 8+int(seed)%5, seed, vid)
+			if unsound {
+				v = gen.InjectUnsound(v, 3, seed)
+			}
+			return v, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return vid
+	}
+	views := []string{attach(false), attach(true)}
+
+	// runDoc invokes a random subset of the current tasks, one artifact
+	// each, a used edge per consecutive invoked pair, plus one external
+	// input artifact (never generated) to exercise the gen<0 branch.
+	runSeq := 0
+	ingest := func() (string, []string) {
+		runID := fmt.Sprintf("r%d", runSeq)
+		runSeq++
+		doc := struct {
+			Run       string           `json:"run"`
+			Artifacts []map[string]any `json:"artifacts"`
+			Used      []map[string]any `json:"used"`
+		}{Run: runID}
+		var arts []string
+		var prev string
+		for _, id := range ids {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			art := "a:" + runID + ":" + id
+			doc.Artifacts = append(doc.Artifacts, map[string]any{"id": art, "generated_by": id})
+			if prev != "" && rng.Intn(2) == 0 {
+				doc.Used = append(doc.Used, map[string]any{"process": id, "artifact": prev})
+			}
+			prev = art
+			arts = append(arts, art)
+		}
+		if prev != "" {
+			// The last producer also consumes an external input (declared
+			// with no generated_by).
+			ext := "ext:" + runID
+			doc.Artifacts = append(doc.Artifacts, map[string]any{"id": ext})
+			doc.Used = append(doc.Used, map[string]any{
+				"process": doc.Artifacts[len(doc.Artifacts)-2]["generated_by"], "artifact": ext})
+			arts = append(arts, ext)
+		}
+		raw, merr := json.Marshal(doc)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if _, ierr := s.Ingest("wf", raw); ierr != nil {
+			t.Fatal(ierr)
+		}
+		return runID, arts
+	}
+	runID, arts := ingest()
+
+	var gotBuf, wantBuf []byte
+	compared := 0
+	check := func(step int) {
+		_, run, lerr := s.lookup("wf", runID)
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		art := arts[rng.Intn(len(arts))]
+		ai := run.artIdx[art]
+		qs := []Query{
+			{Run: runID, Artifact: art},
+			{Run: runID, Artifact: art, Direction: DirDescendants},
+			{Run: runID, Artifact: art, Witness: true},
+		}
+		for _, vid := range views {
+			for _, level := range []string{LevelView, LevelAudited} {
+				qs = append(qs,
+					Query{Run: runID, Artifact: art, Level: level, View: vid},
+					Query{Run: runID, Artifact: art, Level: level, View: vid, Direction: DirDescendants},
+					Query{Run: runID, Artifact: art, Level: level, View: vid, Witness: true},
+				)
+			}
+		}
+		for _, q := range qs {
+			level, dir := q.Level, q.Direction
+			if level == "" {
+				level = LevelExact
+			}
+			if dir == "" {
+				dir = DirAncestors
+			}
+			want, werr := s.lineageRows(lw, run, q, ai, level, dir)
+			got, qerr, served := s.lineageLabels(lw, run, q, ai, level, dir)
+			if !served {
+				t.Fatalf("step %d %+v: label path unavailable (quiesced store must always serve labels)", step, q)
+			}
+			if qerr != nil || werr != nil {
+				t.Fatalf("step %d %+v: label err %v, rows err %v", step, q, qerr, werr)
+			}
+			gotBuf = got.AppendJSON(gotBuf[:0])
+			wantBuf = want.AppendJSON(wantBuf[:0])
+			if string(gotBuf) != string(wantBuf) {
+				t.Fatalf("step %d %+v:\nlabels: %s\nrows:   %s", step, q, gotBuf, wantBuf)
+			}
+			got.Release()
+			want.Release()
+			compared++
+		}
+	}
+
+	grown := 0
+	for step := 0; step < mutations; step++ {
+		switch op := rng.Intn(100); {
+		case op < 55: // random edge; cycle rejections roll back (also covered)
+			u, v := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+			if _, merr := lw.Mutate(engine.Mutation{Edges: [][2]string{{u, v}}}); merr != nil {
+				var ee *engine.Error
+				if !errors.As(merr, &ee) || (ee.Code != engine.ErrCycleRejected && ee.Code != engine.ErrBadInput) {
+					t.Fatalf("step %d: mutate(%s->%s): %v", step, u, v, merr)
+				}
+			}
+		case op < 80: // grow the task space, usually wired to an existing task
+			id := fmt.Sprintf("g%d", grown)
+			grown++
+			m := engine.Mutation{Tasks: []workflow.Task{{ID: id}}}
+			if rng.Intn(4) > 0 {
+				m.Edges = [][2]string{{ids[rng.Intn(len(ids))], id}}
+			}
+			if _, merr := lw.Mutate(m); merr != nil {
+				t.Fatalf("step %d: grow %s: %v", step, id, merr)
+			}
+			ids = append(ids, id)
+		case op < 88: // churn a view: detach the oldest, attach a fresh one
+			if derr := lw.DetachView(views[0]); derr != nil {
+				t.Fatalf("step %d: detach %s: %v", step, views[0], derr)
+			}
+			views = append(views[1:], attach(rng.Intn(2) == 0))
+		default: // ingest a fresh run over the grown task space
+			runID, arts = ingest()
+		}
+		if step%3 == 0 {
+			check(step)
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no comparisons ran")
+	}
+	t.Logf("compared %d answers over %d mutations", compared, mutations)
+}
+
+// TestEpochReadsUnderMutation hammers the public lineage path from
+// concurrent readers while a writer churns edges, tasks and views —
+// the race detector checks the epoch publication protocol, and every
+// read must still come back well-formed (or ErrUnknownView during a
+// detach window).
+func TestEpochReadsUnderMutation(t *testing.T) {
+	wf := gen.Layered(gen.LayeredConfig{
+		Name: "epoch", Tasks: 64, Layers: 8, EdgeProb: 0.1, Seed: 11,
+	})
+	reg := engine.NewRegistry(engine.New())
+	lw, err := reg.Register("wf", wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lw.AttachView("iv", func(wf *workflow.Workflow) (*view.View, error) {
+		return gen.IntervalView(wf, 8, "iv"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg)
+	doc := struct {
+		Run       string           `json:"run"`
+		Artifacts []map[string]any `json:"artifacts"`
+		Used      []map[string]any `json:"used"`
+	}{Run: "r"}
+	for i := 0; i < wf.N(); i++ {
+		doc.Artifacts = append(doc.Artifacts, map[string]any{
+			"id": "a" + wf.Task(i).ID, "generated_by": wf.Task(i).ID})
+	}
+	raw, _ := json.Marshal(doc)
+	if _, err := s.Ingest("wf", raw); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot the queryable artifacts up front: the mutator grows wf in
+	// place, so readers must not touch it concurrently.
+	artNames := make([]string, wf.N())
+	for i := range artNames {
+		artNames[i] = "a" + wf.Task(i).ID
+	}
+	taskIDs := make([]string, wf.N())
+	for i := range taskIDs {
+		taskIDs[i] = wf.Task(i).ID
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				q := Query{Run: "r", Artifact: artNames[rng.Intn(len(artNames))]}
+				switch rng.Intn(3) {
+				case 1:
+					q.Level, q.View = LevelView, "iv"
+				case 2:
+					q.Level, q.View = LevelAudited, "iv"
+				}
+				ans, qerr := s.Lineage("wf", q)
+				if qerr != nil {
+					var ee *engine.Error
+					if errors.As(qerr, &ee) && ee.Code == engine.ErrUnknownView {
+						continue // detach window
+					}
+					errs <- fmt.Errorf("reader %d: %w", g, qerr)
+					return
+				}
+				if ans.Run != "r" || ans.Level == "" {
+					errs <- fmt.Errorf("reader %d: torn answer %+v", g, ans)
+					return
+				}
+				ans.Release()
+			}
+		}(g)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			_ = lw.DetachView("iv")
+			if _, _, err := lw.AttachView("iv", func(wf *workflow.Workflow) (*view.View, error) {
+				return gen.IntervalView(wf, 8, "iv"), nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			id := fmt.Sprintf("m%d", step)
+			if _, err := lw.Mutate(engine.Mutation{Tasks: []workflow.Task{{ID: id}}}); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			u := taskIDs[rng.Intn(len(taskIDs))]
+			v := taskIDs[rng.Intn(len(taskIDs))]
+			_, _ = lw.Mutate(engine.Mutation{Edges: [][2]string{{u, v}}}) // cycles roll back
+		}
+	}
+	close(stop)
+	for g := 0; g < 4; g++ {
+		if rerr := <-errs; rerr != nil {
+			t.Fatal(rerr)
+		}
+	}
+}

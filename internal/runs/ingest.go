@@ -340,6 +340,13 @@ func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.
 		run.used = append(run.used, [2]int32{pi, ai})
 	}
 
+	// Sorted invoked-task list for the label query path (invocations may
+	// arrive in any order and repeat tasks; the bitset dedups).
+	run.invoked.ForEach(func(u int) bool {
+		run.invokedList = append(run.invokedList, int32(u))
+		return true
+	})
+
 	// CSR adjacency (artifacts consumed per invocation) for why-provenance
 	// walks: O(invocations + used) words, built once at ingestion.
 	counts := make([]int32, len(run.procID)+1)

@@ -2,9 +2,13 @@ package runs
 
 import (
 	"context"
+	"sync"
 
 	"wolves/internal/bitset"
+	"wolves/internal/dag"
 	"wolves/internal/engine"
+	"wolves/internal/provenance"
+	"wolves/internal/view"
 )
 
 // Query levels and directions.
@@ -48,6 +52,12 @@ type WhyEdge struct {
 // levels ViewSound carries the view's incrementally maintained
 // soundness; the audited level adds the per-query delta — Sound is true
 // iff this specific answer has no spurious or missing composites.
+//
+// Answers are pool-backed: the store hands them out from a sync.Pool
+// and Release returns one (with its slice capacity) for reuse. Callers
+// that are done with an answer — after encoding it, typically — should
+// Release it and not touch it afterwards; callers that retain answers
+// (tests, long-lived aggregation) simply skip Release.
 type Answer struct {
 	Workflow string `json:"workflow"`
 	Run      string `json:"run"`
@@ -81,9 +91,58 @@ type Answer struct {
 	// Witness (when requested) is the why-provenance: the used /
 	// wasGeneratedBy edges of this run that support the answer.
 	Witness []WhyEdge `json:"witness,omitempty"`
+
+	// viewSoundVal/soundVal back the ViewSound/Sound pointers so a
+	// pooled answer never allocates a bool cell per query.
+	viewSoundVal bool
+	soundVal     bool
+}
+
+var answerPool = sync.Pool{New: func() any { return new(Answer) }}
+
+// newAnswer returns a reset pool-backed answer. Tasks/Artifacts are
+// non-nil empty slices — the wire contract emits [] for them even when
+// empty, never null.
+func newAnswer() *Answer {
+	a := answerPool.Get().(*Answer) //lint:allow poolret ownership transfers to the caller; Answer.Release is the Put
+	if a.Tasks == nil {
+		a.Tasks = []string{}
+	}
+	if a.Artifacts == nil {
+		a.Artifacts = []string{}
+	}
+	return a
+}
+
+// Release resets the answer and returns it to the pool. The answer (and
+// every slice it exposed) must not be used afterwards; release at most
+// once.
+func (a *Answer) Release() {
+	if a == nil {
+		return
+	}
+	*a = Answer{
+		Tasks:         a.Tasks[:0],
+		Artifacts:     a.Artifacts[:0],
+		Composites:    a.Composites[:0],
+		Spurious:      a.Spurious[:0],
+		Missing:       a.Missing[:0],
+		SpuriousTasks: a.SpuriousTasks[:0],
+		Witness:       a.Witness[:0],
+	}
+	answerPool.Put(a)
 }
 
 // Lineage answers one query against an ingested run.
+//
+// The serve path is label-indexed and lock-free: the answer is
+// assembled from the workflow's published ReadEpoch — interval
+// reachability labels for membership, the run's invoked-task list for
+// enumeration — without taking the workflow lock. When no epoch is
+// available (label budget exceeded, or the epoch moved mid-assembly on
+// the audited level) it falls back to the closure-row path under the
+// read lock; the two produce byte-identical answers (see
+// TestLabelAnswersMatchClosureRows).
 func (s *Store) Lineage(workflowID string, q Query) (*Answer, error) {
 	level := q.Level
 	if level == "" {
@@ -126,15 +185,218 @@ func (s *Store) Lineage(workflowID string, q Query) (*Answer, error) {
 	}
 	s.queries.Add(1)
 
-	ans := &Answer{
-		Workflow:  workflowID,
-		Run:       q.Run,
-		Artifact:  q.Artifact,
-		Level:     level,
-		Direction: dir,
-		Tasks:     []string{},
-		Artifacts: []string{},
+	// Two label attempts: the second absorbs an epoch that moved between
+	// the load and the audited-delta pin. Anything rarer than that — or
+	// a workflow with no label index at all — serves from closure rows.
+	for attempt := 0; attempt < 2; attempt++ {
+		if ans, qerr, served := s.lineageLabels(lw, run, q, ai, level, dir); served {
+			if qerr != nil {
+				return nil, qerr
+			}
+			return ans, nil
+		}
 	}
+	return s.lineageRows(lw, run, q, ai, level, dir)
+}
+
+// lineageLabels serves one query entirely from the published read
+// epoch. served is false when the epoch path cannot answer (no epoch,
+// view without labels, audited delta unpinnable) — the caller retries
+// or falls back to closure rows.
+func (s *Store) lineageLabels(lw *engine.LiveWorkflow, run *Run, q Query, ai int32, level, dir string) (*Answer, *engine.Error, bool) {
+	ep := lw.Epoch()
+	if ep == nil || run.n > ep.Tasks() {
+		// No epoch, or the epoch briefly lags a task-growing mutation the
+		// run was already validated against.
+		return nil, nil, false
+	}
+	anc := dir == DirAncestors
+
+	// Resolve the view and pin the audited delta before assembling
+	// anything, so version drift costs a retry, not a torn answer.
+	var ev *engine.EpochView
+	var audit *provenance.ViewAudit
+	if level != LevelExact {
+		if ev = ep.View(q.View); ev == nil {
+			return nil, errf(engine.ErrUnknownView, "query",
+				"no view %q on workflow %q", q.View, lw.ID()), true
+		}
+		if ev.Labels() == nil {
+			return nil, nil, false
+		}
+		if level == LevelAudited {
+			a, ok := lw.EpochAudit(ep, q.View)
+			if !ok {
+				return nil, nil, false
+			}
+			audit = a
+		}
+	}
+
+	ans := newAnswer()
+	ans.Workflow = lw.ID()
+	ans.Run = q.Run
+	ans.Artifact = q.Artifact
+	ans.Level = level
+	ans.Direction = dir
+	ans.Version = ep.Version()
+
+	gen := run.artGen[ai]
+	if gen < 0 {
+		// External input: no producing invocation, so its lineage is
+		// empty at every level (witness included); view fields still
+		// report the view's health.
+		if level != LevelExact {
+			ans.View = q.View
+			ans.viewSoundVal = ev.Sound()
+			ans.ViewSound = &ans.viewSoundVal
+			if level == LevelAudited {
+				ans.soundVal = true
+				ans.Sound = &ans.soundVal
+			}
+		}
+		return ans, nil, true
+	}
+	t := int(run.procTask[gen])
+	ans.Producer = ep.TaskID(t)
+
+	switch level {
+	case LevelExact:
+		run.fillExactLabels(ans, ep, t, anc)
+	default:
+		// Direction picks the index: forward quotient labels mark home's
+		// descendants, reverse quotient labels mark its ancestors.
+		v, vl := ev.View(), ev.Labels()
+		if anc {
+			vl = ev.RevLabels()
+		}
+		home := v.CompOf(t)
+		ans.View = q.View
+		ans.viewSoundVal = ev.Sound()
+		ans.ViewSound = &ans.viewSoundVal
+
+		// Mark home's interval cover once, then every membership test is
+		// one bit probe. Composite enumeration scans ascending, home
+		// excluded — the same order the closure-row path emits.
+		mp := scratchMark(vl)
+		mark := *mp
+		vl.MarkRow(mark, home)
+		for ci, k := 0, v.N(); ci < k; ci++ {
+			if ci != home && vl.Marked(mark, ci) {
+				ans.Composites = append(ans.Composites, v.Composite(ci).ID)
+			}
+		}
+		run.fillViewLabels(ans, ep, v, vl, mark, home)
+		releaseMark(mp)
+
+		if level == LevelAudited {
+			var spur, miss []int
+			if anc {
+				spur, miss = audit.SpuriousUpstream[home], audit.MissingUpstream[home]
+			} else {
+				spur, miss = audit.SpuriousDownstream[home], audit.MissingDownstream[home]
+			}
+			for _, ci := range spur {
+				ans.Spurious = append(ans.Spurious, v.Composite(ci).ID)
+				for _, m := range v.Composite(ci).Members() {
+					if run.inRun(m) {
+						ans.SpuriousTasks = append(ans.SpuriousTasks, ep.TaskID(m))
+					}
+				}
+			}
+			for _, ci := range miss {
+				ans.Missing = append(ans.Missing, v.Composite(ci).ID)
+			}
+			ans.soundVal = len(spur) == 0 && len(miss) == 0
+			ans.Sound = &ans.soundVal
+		}
+	}
+	if q.Witness {
+		ans.Witness = run.appendWitness(ans.Witness[:0], ai)
+	}
+	return ans, nil, true
+}
+
+// fillExactLabels writes the exact-level tasks and artifacts: the run's
+// invoked tasks (home excluded) whose mark bit places them in the
+// answer, ascending, then this run's artifacts those tasks generated in
+// artifact order — the same set and order as the closure-row path.
+// Direction picks the index (forward labels mark descendants of home,
+// reverse labels mark its ancestors); after the one MarkRow pass each
+// candidate costs a single bit probe instead of an interval search.
+func (r *Run) fillExactLabels(ans *Answer, ep *engine.ReadEpoch, home int, anc bool) {
+	l := ep.Labels()
+	if anc {
+		l = ep.RevLabels()
+	}
+	mp := scratchMark(l)
+	mark := *mp
+	l.MarkRow(mark, home)
+	for _, u32 := range r.invokedList {
+		if u := int(u32); u != home && l.Marked(mark, u) {
+			ans.Tasks = append(ans.Tasks, ep.TaskID(u))
+		}
+	}
+	for i, g := range r.artGen {
+		if g < 0 {
+			continue
+		}
+		if u := int(r.procTask[g]); u != home && l.Marked(mark, u) {
+			ans.Artifacts = append(ans.Artifacts, r.artID[i])
+		}
+	}
+	releaseMark(mp)
+}
+
+// fillViewLabels is fillExactLabels at the composite level, reusing the
+// caller's already-marked scratch: a task is in the answer iff its
+// composite's mark bit is set and it is not a member of the home
+// composite itself, exactly like the ViewEngine task sets.
+func (r *Run) fillViewLabels(ans *Answer, ep *engine.ReadEpoch, v *view.View, vl *dag.Labels, mark []uint64, home int) {
+	for _, u32 := range r.invokedList {
+		u := int(u32)
+		if cu := v.CompOf(u); cu != home && vl.Marked(mark, cu) {
+			ans.Tasks = append(ans.Tasks, ep.TaskID(u))
+		}
+	}
+	for i, g := range r.artGen {
+		if g < 0 {
+			continue
+		}
+		if cu := v.CompOf(int(r.procTask[g])); cu != home && vl.Marked(mark, cu) {
+			ans.Artifacts = append(ans.Artifacts, r.artID[i])
+		}
+	}
+}
+
+// markPool holds position-mark scratch for the label serve path.
+var markPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// scratchMark returns a zeroed mark sized for l's position space.
+func scratchMark(l *dag.Labels) *[]uint64 {
+	p := markPool.Get().(*[]uint64) //lint:allow poolret ownership transfers to the caller; releaseMark is the Put
+	if w := dag.MarkWords(l.N()); cap(*p) < w {
+		*p = make([]uint64, w)
+	} else {
+		*p = (*p)[:w]
+		clear(*p)
+	}
+	return p
+}
+
+func releaseMark(p *[]uint64) { markPool.Put(p) }
+
+// lineageRows is the closure-row serve path: the original locked
+// ProvSession implementation, kept as the fallback for workflows
+// without a label index and as the independent oracle the equivalence
+// property test checks the label path against.
+func (s *Store) lineageRows(lw *engine.LiveWorkflow, run *Run, q Query, ai int32, level, dir string) (*Answer, error) {
+	ans := newAnswer()
+	ans.Workflow = lw.ID()
+	ans.Run = q.Run
+	ans.Artifact = q.Artifact
+	ans.Level = level
+	ans.Direction = dir
 	qerr := lw.Query(func(ps *engine.ProvSession) error {
 		ans.Version = ps.Version()
 		gen := run.artGen[ai]
@@ -148,11 +410,11 @@ func (s *Store) Lineage(workflowID string, q Query) (*Answer, error) {
 					return verr
 				}
 				ans.View = q.View
-				sound := rep.Sound
-				ans.ViewSound = &sound
+				ans.viewSoundVal = rep.Sound
+				ans.ViewSound = &ans.viewSoundVal
 				if level == LevelAudited {
-					t := true
-					ans.Sound = &t
+					ans.soundVal = true
+					ans.Sound = &ans.soundVal
 				}
 			}
 			return nil
@@ -169,11 +431,12 @@ func (s *Store) Lineage(workflowID string, q Query) (*Answer, error) {
 			}
 		}
 		if q.Witness {
-			ans.Witness = run.witness(ai)
+			ans.Witness = run.appendWitness(ans.Witness[:0], ai)
 		}
 		return nil
 	})
 	if qerr != nil {
+		ans.Release()
 		return nil, wrapErr("lineage", qerr)
 	}
 	return ans, nil
@@ -228,8 +491,8 @@ func (s *Store) answerView(ans *Answer, ps *engine.ProvSession, run *Run, t int,
 		return err
 	}
 	ans.View = vid
-	sound := rep.Sound
-	ans.ViewSound = &sound
+	ans.viewSoundVal = rep.Sound
+	ans.ViewSound = &ans.viewSoundVal
 
 	home := v.CompOf(t)
 	var comps []int
@@ -275,40 +538,59 @@ func (s *Store) answerView(ans *Answer, ps *engine.ProvSession, run *Run, t int,
 	for _, ci := range miss {
 		ans.Missing = append(ans.Missing, v.Composite(ci).ID)
 	}
-	ok := len(spur) == 0 && len(miss) == 0
-	ans.Sound = &ok
+	ans.soundVal = len(spur) == 0 && len(miss) == 0
+	ans.Sound = &ans.soundVal
 	return nil
 }
 
-// witness computes the why-provenance of artifact ai: a breadth-first
-// backward walk over this run's wasGeneratedBy/used edges, O(edges).
-func (r *Run) witness(ai int32) []WhyEdge {
-	out := []WhyEdge{}
-	seenArt := make([]bool, len(r.artID))
-	seenProc := make([]bool, len(r.procID))
-	queue := []int32{ai}
+// witnessScratch holds the per-walk marking state of appendWitness.
+type witnessScratch struct {
+	seenArt  []bool
+	seenProc []bool
+	queue    []int32
+}
+
+var witnessPool = sync.Pool{New: func() any { return new(witnessScratch) }}
+
+// appendWitness appends the why-provenance of artifact ai to dst: a
+// breadth-first backward walk over this run's wasGeneratedBy/used
+// edges, O(edges), with pooled marking scratch.
+func (r *Run) appendWitness(dst []WhyEdge, ai int32) []WhyEdge {
+	ws := witnessPool.Get().(*witnessScratch) //lint:allow poolret Put follows at the end of this function; the early returns are impossible
+	if cap(ws.seenArt) < len(r.artID) {
+		ws.seenArt = make([]bool, len(r.artID))
+	}
+	if cap(ws.seenProc) < len(r.procID) {
+		ws.seenProc = make([]bool, len(r.procID))
+	}
+	seenArt := ws.seenArt[:len(r.artID)]
+	seenProc := ws.seenProc[:len(r.procID)]
+	clear(seenArt)
+	clear(seenProc)
+	queue := append(ws.queue[:0], ai)
 	seenArt[ai] = true
-	for len(queue) > 0 {
-		a := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		a := queue[head]
 		g := r.artGen[a]
 		if g < 0 {
 			continue
 		}
-		out = append(out, WhyEdge{Relation: "wasGeneratedBy", Process: r.procID[g], Artifact: r.artID[a]})
+		dst = append(dst, WhyEdge{Relation: "wasGeneratedBy", Process: r.procID[g], Artifact: r.artID[a]})
 		if seenProc[g] {
 			continue
 		}
 		seenProc[g] = true
 		for _, ua := range r.usedArt[r.usedStart[g]:r.usedStart[g+1]] {
-			out = append(out, WhyEdge{Relation: "used", Process: r.procID[g], Artifact: r.artID[ua]})
+			dst = append(dst, WhyEdge{Relation: "used", Process: r.procID[g], Artifact: r.artID[ua]})
 			if !seenArt[ua] {
 				seenArt[ua] = true
 				queue = append(queue, ua)
 			}
 		}
 	}
-	return out
+	ws.queue = queue
+	witnessPool.Put(ws)
+	return dst
 }
 
 // BatchResult is the per-query outcome of LineageBatch; exactly one of
@@ -348,4 +630,12 @@ func (s *Store) LineageBatch(ctx context.Context, workflowID string, qs []Query,
 				Code: engine.ErrCanceled, Op: "lineage", Message: ctx.Err().Error(), Err: ctx.Err()}}
 		})
 	return results, nil
+}
+
+// ReleaseResults releases every answer of a batch back to the pool;
+// callers use it after encoding a batch response.
+func ReleaseResults(results []BatchResult) {
+	for _, res := range results {
+		res.Answer.Release()
+	}
 }

@@ -161,6 +161,10 @@ type Run struct {
 	usedArt   []int32
 
 	invoked *bitset.Set // tasks with at least one invocation
+	// invokedList mirrors invoked as a sorted dense slice: the label
+	// query path enumerates candidate tasks by walking it (O(invoked))
+	// instead of scanning an O(n) closure row per query.
+	invokedList []int32
 
 	doc []byte // canonical JSON document (journal, snapshots, export)
 }

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"encoding/json"
 	"io"
 	"mime"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"wolves/internal/engine"
@@ -51,8 +53,9 @@ type RegistryStats struct {
 
 // StatsResponse is the body of GET /v1/stats: the oracle cache's
 // hit/miss/eviction/invalidation counters, the registry population with
-// per-workflow versions, and the run store's resident and lifetime
-// counters (runs, artifacts, bytes journaled).
+// per-workflow versions, the run store's resident and lifetime counters
+// (runs, artifacts, bytes journaled), and the reachability label
+// index's build/patch/memory counters.
 type StatsResponse struct {
 	Status        string            `json:"status"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
@@ -62,6 +65,7 @@ type StatsResponse struct {
 	Health        engine.HealthInfo `json:"health"`
 	Registry      RegistryStats     `json:"registry"`
 	Runs          runs.Stats        `json:"runs"`
+	Labels        engine.LabelStats `json:"labels"`
 }
 
 // isNDJSON reports whether the request body is an NDJSON stream.
@@ -154,8 +158,26 @@ func (s *Server) handleRunLineage(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ans)
+	// Stream the answer straight to the wire through the reusable
+	// encoder: no reflection, no intermediate []byte per response. The
+	// bytes (trailing newline included) are identical to what
+	// writeJSON's json.Encoder would have produced.
+	buf := encodeBufPool.Get().(*[]byte) //lint:allow poolret Put follows after the write below
+	b := ans.AppendJSON((*buf)[:0])
+	ans.Release()
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b) // the status line is already out; nothing to salvage
+	*buf = b
+	encodeBufPool.Put(buf)
 }
+
+// encodeBufPool recycles response buffers for the streaming handlers.
+var encodeBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
 
 func (s *Server) handleRunQuery(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
@@ -171,7 +193,36 @@ func (s *Server) handleRunQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RunQueryResponse{Results: results})
+	// Stream the batch: answers go through the reusable encoder, the
+	// rare error results through reflection (their shape is tiny).
+	buf := encodeBufPool.Get().(*[]byte) //lint:allow poolret Put follows after the write below
+	b := append((*buf)[:0], `{"results":[`...)
+	for i := range results {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if a := results[i].Answer; a != nil {
+			b = append(b, `{"answer":`...)
+			b = a.AppendJSON(b)
+			b = append(b, '}')
+		} else {
+			eb, merr := json.Marshal(results[i])
+			if merr != nil {
+				runs.ReleaseResults(results)
+				encodeBufPool.Put(buf)
+				writeError(w, merr)
+				return
+			}
+			b = append(b, eb...)
+		}
+	}
+	b = append(b, ']', '}', '\n')
+	runs.ReleaseResults(results)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b) // the status line is already out; nothing to salvage
+	*buf = b
+	encodeBufPool.Put(buf)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -195,5 +246,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Health:        s.reg.Health(),
 		Registry:      rs,
 		Runs:          s.runs.Stats(),
+		Labels:        s.reg.LabelStats(),
 	})
 }

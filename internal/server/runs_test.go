@@ -263,3 +263,89 @@ func TestRunErrorStatusesHTTP(t *testing.T) {
 		})
 	}
 }
+
+// TestLineageStreamingBytes pins the streaming serve path to the exact
+// bytes writeJSON's reflection encoder would have produced: decoding
+// the body and re-encoding it through encoding/json must reproduce the
+// wire bytes, trailing newline included — for the single endpoint and
+// for the batch endpoint.
+func TestLineageStreamingBytes(t *testing.T) {
+	ts, _ := bootRunServer(t)
+	if status, body := do(t, ts, http.MethodPost, "/v1/workflows/phylo/runs", figure1HTTPRun("r1"), ""); status != http.StatusOK {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	for _, path := range []string{
+		"/v1/workflows/phylo/runs/r1/lineage?artifact=a8",
+		"/v1/workflows/phylo/runs/r1/lineage?artifact=a8&level=view&view=fig1b",
+		"/v1/workflows/phylo/runs/r1/lineage?artifact=a8&level=audited&view=fig1b&witness=1",
+		"/v1/workflows/phylo/runs/r1/lineage?artifact=a8&direction=descendants",
+	} {
+		status, body := do(t, ts, http.MethodGet, path, "", "")
+		if status != http.StatusOK {
+			t.Fatalf("%s: %d %s", path, status, body)
+		}
+		if !strings.HasSuffix(body, "\n") {
+			t.Fatalf("%s: body must end with newline (json.Encoder parity)", path)
+		}
+		var ans runs.Answer
+		if err := json.Unmarshal([]byte(body), &ans); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		want, err := json.Marshal(&ans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body != string(want)+"\n" {
+			t.Fatalf("%s: streamed bytes diverge from encoding/json\n got: %q\nwant: %q", path, body, want)
+		}
+	}
+
+	// Batch: one good query, one per-query error.
+	req := `{"queries":[{"run":"r1","artifact":"a8"},{"run":"r1","artifact":"nope"}]}`
+	status, body := do(t, ts, http.MethodPost, "/v1/workflows/phylo/runs/query", req, "application/json")
+	if status != http.StatusOK {
+		t.Fatalf("batch: %d %s", status, body)
+	}
+	var qr RunQueryResponse
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Results) != 2 || qr.Results[0].Answer == nil || qr.Results[1].Err == nil {
+		t.Fatalf("batch results = %s", body)
+	}
+	want, err := json.Marshal(&qr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != string(want)+"\n" {
+		t.Fatalf("batch: streamed bytes diverge\n got: %q\nwant: %q", body, want)
+	}
+}
+
+// TestStatsLabelCounters checks /v1/stats exposes the label-index
+// section: the registered workflow serves from a label index, the
+// attached view got its quotient labels built, and the footprint
+// counters are live.
+func TestStatsLabelCounters(t *testing.T) {
+	ts, _ := bootRunServer(t)
+	status, body := do(t, ts, http.MethodGet, "/v1/stats", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, body)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Labels.Workflows != 1 || st.Labels.Disabled != 0 {
+		t.Fatalf("label workflows = %+v", st.Labels)
+	}
+	if st.Labels.Builds < 1 || st.Labels.ViewBuilds < 1 {
+		t.Fatalf("label builds = %+v", st.Labels)
+	}
+	if st.Labels.Intervals <= 0 || st.Labels.MemoryBytes <= 0 {
+		t.Fatalf("label footprint = %+v", st.Labels)
+	}
+	if st.Labels.Patches != 0 || st.Labels.Rebuilds != 0 {
+		t.Fatalf("fresh registry must have no patches/rebuilds: %+v", st.Labels)
+	}
+}
