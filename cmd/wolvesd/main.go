@@ -160,6 +160,8 @@ func run(args []string) error {
 		"additionally snapshot a workflow after this many journaled records (0 = size-based only)")
 	probeBackoff := fs.Duration("probe-backoff", engine.DefaultProbeBackoffMin,
 		"initial backoff between journal recovery probes while degraded")
+	recoveryWorkers := fs.Int("recovery-workers", 0,
+		"parallelism of boot recovery: snapshot loading and WAL replay (0 = GOMAXPROCS, 1 = sequential)")
 	pprofAddr := fs.String("pprof-addr", "",
 		"serve net/http/pprof on this private listener (e.g. 127.0.0.1:6060; empty = disabled; never expose publicly)")
 	if err := fs.Parse(args); err != nil {
@@ -185,15 +187,17 @@ func run(args []string) error {
 	runStore := runs.New(reg, runs.WithWorkers(eng.Workers()))
 
 	var store *storage.Store
+	var recoveryInfo *server.RecoveryInfo
 	if *dataDir != "" {
 		mode, err := storage.ParseFsyncMode(*fsyncFlag)
 		if err != nil {
 			return err
 		}
 		store, err = openStore(*dataDir, storage.Options{
-			Fsync:         mode,
-			SnapshotBytes: *snapshotBytes,
-			SnapshotEvery: *snapshotEvery,
+			Fsync:           mode,
+			SnapshotBytes:   *snapshotBytes,
+			SnapshotEvery:   *snapshotEvery,
+			RecoveryWorkers: *recoveryWorkers,
 		})
 		if err != nil {
 			return fmt.Errorf("open data dir: %w", err)
@@ -207,8 +211,24 @@ func run(args []string) error {
 		}
 		reg.SetJournal(store)
 		runStore.SetJournal(store)
-		log.Printf("wolvesd: recovered %d workflows / %d views / %d runs from %s (snapshots=%d replayed=%d torn=%dB, fsync=%s)",
-			stats.Workflows, stats.Views, stats.Runs, *dataDir, stats.Snapshots, stats.Replayed, stats.TornBytes, mode)
+		// One stable summary line (the "wolvesd: recovery:" prefix is what
+		// restart smoke tests grep for), mirrored into /v1/stats below.
+		log.Printf("wolvesd: recovery: segments=%d snapshots=%d(+%d dropped) replayed=%d skipped=%d workflows=%d views=%d runs=%d torn=%dB workers=%d wall=%dms from %s (fsync=%s)",
+			stats.Segments, stats.Snapshots, stats.SnapshotsDropped, stats.Replayed, stats.Skipped,
+			stats.Workflows, stats.Views, stats.Runs, stats.TornBytes, stats.Workers, stats.WallMillis, *dataDir, mode)
+		recoveryInfo = &server.RecoveryInfo{
+			Workflows:        stats.Workflows,
+			Views:            stats.Views,
+			Snapshots:        stats.Snapshots,
+			SnapshotsDropped: stats.SnapshotsDropped,
+			Segments:         stats.Segments,
+			RecordsReplayed:  stats.Replayed,
+			RecordsSkipped:   stats.Skipped,
+			Runs:             stats.Runs,
+			TornBytes:        stats.TornBytes,
+			Workers:          stats.Workers,
+			WallMillis:       stats.WallMillis,
+		}
 	}
 
 	websrv := server.New(eng,
@@ -216,6 +236,7 @@ func run(args []string) error {
 		server.WithRunStore(runStore),
 		server.WithRequestTimeout(*requestTimeout),
 		server.WithIngestConcurrency(*ingestConcurrency),
+		server.WithRecoveryInfo(recoveryInfo),
 	)
 	srv := &http.Server{
 		Addr:              *addr,

@@ -8,6 +8,7 @@ package analysis
 import (
 	"wolves/internal/analysis/ctxpass"
 	"wolves/internal/analysis/errcode"
+	"wolves/internal/analysis/jsonseam"
 	"wolves/internal/analysis/lint"
 	"wolves/internal/analysis/lockflow"
 	"wolves/internal/analysis/poolret"
@@ -18,6 +19,7 @@ import (
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		vfsseam.Analyzer,
+		jsonseam.Analyzer,
 		errcode.Analyzer,
 		ctxpass.Analyzer,
 		lockflow.Analyzer,

@@ -1,0 +1,83 @@
+// Package jsonseam checks the PR 9 binary write-path seam: inside
+// internal/storage, encoding/json may only be touched by the designated
+// compat files — compat.go (the frozen JSON record-body shapes that
+// pre-PR-9 WALs contain) and snapshot.go (snapshot documents, which are
+// JSON by design). Everywhere else in the package a json.Marshal or
+// json.Unmarshal is a hot-path regression waiting to happen: the WAL
+// record bodies for the hot kinds (mutate, run) are binary binwire, and
+// an accidental JSON encode on that path silently gives back the
+// throughput PR 9 bought.
+//
+// The escape hatch is `//lint:allow jsonseam <reason>` on (or directly
+// above) the offending line, for deliberate cold-path JSON.
+package jsonseam
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"wolves/internal/analysis/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "jsonseam",
+	Doc: "encoding/json inside internal/storage outside the designated compat files (compat.go, snapshot.go) " +
+		"re-opens the hot write path to reflective JSON (PR 9); move the code into the compat seam, " +
+		"encode with binwire, or annotate //lint:allow jsonseam",
+	Run: run,
+}
+
+// exemptFiles are the designated JSON seam: the only storage files
+// allowed to touch encoding/json. Test files are exempt too — they
+// routinely decode documents to assert on them.
+var exemptFiles = map[string]bool{
+	"compat.go":   true,
+	"snapshot.go": true,
+}
+
+func exempt(pass *lint.Pass, f *ast.File) bool {
+	name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+	return exemptFiles[name] || strings.HasSuffix(name, "_test.go")
+}
+
+func run(pass *lint.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/storage") || strings.Contains(path, "internal/storage/vfs") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if exempt(pass, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "encoding/json" {
+				pass.Reportf(imp.Pos(),
+					"encoding/json outside the designated compat seam (compat.go, snapshot.go); "+
+						"hot-path record bodies are binary — move this into the seam or use binwire")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "encoding/json" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"json.%s outside the designated compat seam bypasses the binary write path; "+
+					"move it into compat.go/snapshot.go or encode with binwire",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}

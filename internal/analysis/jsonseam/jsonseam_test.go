@@ -1,0 +1,13 @@
+package jsonseam_test
+
+import (
+	"testing"
+
+	"wolves/internal/analysis/analysistest"
+	"wolves/internal/analysis/jsonseam"
+)
+
+func TestJSONSeam(t *testing.T) {
+	analysistest.Run(t, "testdata", jsonseam.Analyzer,
+		"example.com/internal/storage")
+}

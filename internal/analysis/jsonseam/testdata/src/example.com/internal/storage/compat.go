@@ -1,0 +1,11 @@
+package storage
+
+import "encoding/json"
+
+// compat.go is the designated seam: JSON record-body fallbacks live
+// here, unflagged.
+func decodeCompat(b []byte) (record, error) {
+	var r record
+	err := json.Unmarshal(b, &r)
+	return r, err
+}

@@ -1,0 +1,9 @@
+package storage
+
+import "encoding/json"
+
+// snapshot.go is the other designated seam: snapshot documents are
+// JSON by design.
+func encodeSnapshot(r record) ([]byte, error) {
+	return json.Marshal(r)
+}

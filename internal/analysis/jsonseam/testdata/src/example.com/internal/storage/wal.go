@@ -1,0 +1,32 @@
+// Package storage is golden testdata modeling the real
+// internal/storage: encoding/json may only appear in the designated
+// compat files.
+package storage
+
+import (
+	"encoding/json" // want `encoding/json outside the designated compat seam`
+)
+
+type record struct {
+	ID string `json:"id"`
+}
+
+func badEncode(r record) ([]byte, error) {
+	return json.Marshal(r) // want `json.Marshal outside the designated compat seam`
+}
+
+func badDecode(b []byte) (record, error) {
+	var r record
+	err := json.Unmarshal(b, &r) // want `json.Unmarshal outside the designated compat seam`
+	return r, err
+}
+
+func badType() json.RawMessage { // want `json.RawMessage outside the designated compat seam`
+	return nil
+}
+
+func escapeHatch(r record) {
+	//lint:allow jsonseam modeled: deliberate cold-path JSON
+	json.Marshal(r)
+	json.Valid(nil) //lint:allow jsonseam modeled same-line annotation
+}

@@ -1,0 +1,132 @@
+// Package binwire holds the tiny primitives shared by the binary wire
+// encodings of PR 9: uvarint-length-prefixed strings and byte blobs,
+// plus a bounds-checked sequential reader. Both the storage package
+// (binary WAL record bodies) and the runs package (binary canonical run
+// documents) build their formats from these, so the two codecs cannot
+// drift on the primitive level.
+//
+// Every format built on binwire is version-tagged by its first byte and
+// decoded defensively: a Reader never panics on truncated or corrupt
+// input, it accumulates a sticky error the caller checks once at the
+// end (the same shape as bufio.Scanner). Claimed lengths are bounded by
+// the bytes actually present before any allocation, so a flipped length
+// byte cannot balloon memory.
+package binwire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt reports a truncated or malformed binary payload.
+var ErrCorrupt = errors.New("binwire: truncated or corrupt payload")
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendString appends a uvarint length prefix followed by the bytes
+// of s.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a uvarint length prefix followed by b.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Reader decodes a binwire payload sequentially. The zero value over a
+// byte slice is ready to use; check Err (or Close) once after the last
+// read — intermediate reads after a failure return zero values and
+// never advance.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader aliases b; callers that
+// retain decoded byte slices retain b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// fail records the first error.
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+}
+
+// Uvarint reads one unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Len reads a uvarint and validates it as a length of items still to
+// come: each item occupies at least itemBytes bytes, so a claimed count
+// the remaining payload cannot hold is corruption, reported before any
+// allocation sized by it.
+func (r *Reader) Len(itemBytes int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if itemBytes < 1 {
+		itemBytes = 1
+	}
+	if v > uint64(len(r.b)/itemBytes) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// String reads one length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+// Bytes reads one length-prefixed byte blob. The returned slice aliases
+// the Reader's input; copy it if the input buffer is reused.
+func (r *Reader) Bytes() []byte {
+	n := r.Len(1)
+	if r.err != nil {
+		return nil
+	}
+	b := r.b[:n:n]
+	r.b = r.b[n:]
+	return b
+}
+
+// Close returns the sticky error, or ErrCorrupt when decoding stopped
+// short of the payload's end — a well-formed payload is consumed
+// exactly.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return ErrCorrupt
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package binwire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip writes a payload with every Append primitive and reads
+// it back exactly.
+func TestRoundTrip(t *testing.T) {
+	long := strings.Repeat("x", 300) // length prefix spans two varint bytes
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<40+7)
+	b = AppendString(b, "")
+	b = AppendString(b, "wolves")
+	b = AppendString(b, long)
+	b = AppendBytes(b, nil)
+	b = AppendBytes(b, []byte{0xD1, 0x00, 0x7B})
+
+	r := NewReader(b)
+	if v := r.Uvarint(); v != 0 {
+		t.Fatalf("uvarint 0 = %d", v)
+	}
+	if v := r.Uvarint(); v != 1<<40+7 {
+		t.Fatalf("uvarint big = %d", v)
+	}
+	if s := r.String(); s != "" {
+		t.Fatalf("empty string = %q", s)
+	}
+	if s := r.String(); s != "wolves" {
+		t.Fatalf("string = %q", s)
+	}
+	if s := r.String(); s != long {
+		t.Fatalf("long string: %d bytes", len(s))
+	}
+	if bs := r.Bytes(); len(bs) != 0 {
+		t.Fatalf("empty bytes = %v", bs)
+	}
+	if bs := r.Bytes(); !bytes.Equal(bs, []byte{0xD1, 0x00, 0x7B}) {
+		t.Fatalf("bytes = %v", bs)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestReaderCorruption pins the defensive contract: truncation, bogus
+// lengths and leftover bytes all surface as ErrCorrupt, never a panic,
+// and a failed Reader stays failed (sticky error, zero values).
+func TestReaderCorruption(t *testing.T) {
+	whole := AppendString(AppendUvarint(nil, 42), "payload")
+
+	// Every strict prefix of a valid payload must fail Close — either a
+	// read fails or bytes are left over — and never panic.
+	for cut := 0; cut < len(whole); cut++ {
+		r := NewReader(whole[:cut])
+		r.Uvarint()
+		r.String()
+		if err := r.Close(); err == nil {
+			t.Fatalf("prefix of %d bytes closed clean", cut)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix of %d bytes: %v", cut, err)
+		}
+	}
+
+	// A claimed length larger than the remaining payload is rejected
+	// before any allocation sized by it.
+	huge := AppendUvarint(nil, 1<<50)
+	r := NewReader(append(huge, "tiny"...))
+	if n := r.Len(1); n != 0 || r.Err() == nil {
+		t.Fatalf("oversized length admitted: n=%d err=%v", n, r.Err())
+	}
+
+	// Sticky error: reads after a failure return zero values.
+	if s := r.String(); s != "" {
+		t.Fatalf("read after failure returned %q", s)
+	}
+	if v := r.Uvarint(); v != 0 {
+		t.Fatalf("read after failure returned %d", v)
+	}
+	if !errors.Is(r.Close(), ErrCorrupt) {
+		t.Fatalf("close after failure: %v", r.Close())
+	}
+
+	// Leftover bytes after a clean decode are corruption too — a
+	// well-formed payload is consumed exactly.
+	r = NewReader(append(AppendString(nil, "ok"), 0x00))
+	if s := r.String(); s != "ok" {
+		t.Fatalf("string = %q", s)
+	}
+	if !errors.Is(r.Close(), ErrCorrupt) {
+		t.Fatal("leftover byte must fail Close")
+	}
+
+	// A non-canonical varint that never terminates fails cleanly.
+	r = NewReader(bytes.Repeat([]byte{0x80}, 12))
+	if v := r.Uvarint(); v != 0 || r.Err() == nil {
+		t.Fatalf("unterminated varint: v=%d err=%v", v, r.Err())
+	}
+}
+
+// TestBytesAliasing documents that Bytes aliases the input with a
+// clipped capacity: appending to the result cannot scribble over the
+// bytes that follow it in the payload.
+func TestBytesAliasing(t *testing.T) {
+	payload := AppendBytes(AppendBytes(nil, []byte("first")), []byte("second"))
+	r := NewReader(payload)
+	first := r.Bytes()
+	_ = append(first, '!') // must reallocate, not overwrite "second"'s prefix
+	if second := r.Bytes(); string(second) != "second" {
+		t.Fatalf("append through alias corrupted the next field: %q", second)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -61,12 +61,17 @@ func NewIncrementalClosure(g *Graph) (*IncrementalClosure, error) {
 	return ic, nil
 }
 
-// rebuild recomputes both closures and the label indexes from the
-// graph (construction and the rare rollback path).
+// rebuild recomputes both closures from the graph (construction and
+// the rare rollback path). The label pair is marked stale rather than
+// built: the first Labels()/RevLabels() read builds it, so a workflow
+// that is registered and mutated before anyone queries it — the replay
+// profile, where epoch publication is deferred wholesale — never pays
+// for label builds it immediately invalidates.
 func (ic *IncrementalClosure) rebuild() {
 	ic.fwd = ic.g.Reachability()
 	ic.rev = transpose(ic.fwd)
-	ic.rebuildLabels()
+	ic.labels, ic.revLabels = nil, nil
+	ic.labelsStale = true
 }
 
 // rebuildLabels builds the forward/reverse label pair; if either blows

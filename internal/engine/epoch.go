@@ -102,6 +102,12 @@ func (lw *LiveWorkflow) Epoch() *ReadEpoch { return lw.epoch.Load() }
 // When the task graph's label index is unavailable the epoch is cleared
 // and readers fall back to the locked path wholesale.
 func (lw *LiveWorkflow) publishEpochLocked() {
+	if lw.reg.restoring.Load() {
+		// Replay mode (Registry.BeginRestore): defer the rebuild, clear
+		// any stale epoch so readers take the locked path meanwhile.
+		lw.epoch.Store(nil)
+		return
+	}
 	labels := lw.ic.Labels()
 	if labels == nil {
 		lw.epoch.Store(nil)

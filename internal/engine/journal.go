@@ -118,6 +118,38 @@ func (r *Registry) Restore(id string, version uint64, wf *workflow.Workflow, vie
 	return lw, nil
 }
 
+// BeginRestore puts the registry in replay mode: epoch publication —
+// and with it the per-view quotient label rebuild, the dominant cost of
+// applying a mutation — is deferred until EndRestore. Replay applies
+// thousands of records per workflow before anyone can query, so
+// publishing a fresh read epoch after every one is pure waste; deferred,
+// each workflow pays for exactly one publication at the end of recovery.
+// Pair with EndRestore before the registry serves traffic. Queries
+// issued while restoring (recovery itself runs some) fall back to the
+// locked session path and stay correct.
+func (r *Registry) BeginRestore() { r.restoring.Store(true) }
+
+// EndRestore leaves replay mode and publishes one read epoch per live
+// workflow. Idempotent; a no-op when BeginRestore was never called.
+func (r *Registry) EndRestore() {
+	if !r.restoring.Swap(false) {
+		return
+	}
+	r.mu.Lock()
+	lws := make([]*LiveWorkflow, 0, len(r.lws))
+	for _, lw := range r.lws {
+		lws = append(lws, lw)
+	}
+	r.mu.Unlock()
+	for _, lw := range lws {
+		lw.mu.Lock()
+		if !lw.closed {
+			lw.publishEpochLocked()
+		}
+		lw.mu.Unlock()
+	}
+}
+
 // SetJournal installs (or clears) the registry's journal. Not
 // synchronized with in-flight operations: call it during setup, after
 // recovery and before the registry serves traffic (wolvesd recovers into

@@ -97,6 +97,11 @@ type Registry struct {
 	// viewLabelBuilds counts lifetime view-level (quotient) label-index
 	// builds across epoch publications (see epoch.go).
 	viewLabelBuilds atomic.Int64
+
+	// restoring defers epoch publication during replay (BeginRestore /
+	// EndRestore in journal.go). Read on every publication, written only
+	// by the recovery driver around the replay.
+	restoring atomic.Bool
 }
 
 // RegistryOption configures a Registry at construction time.

@@ -1,0 +1,102 @@
+// Binary canonical run documents (PR 9). The canonical document of an
+// ingested run — the bytes the WAL and snapshots carry, and recovery
+// replays — used to be the JSON re-encoding of the normalized wire
+// shape; for a dense interned run that is pure overhead: field names,
+// quoting, and a reflective json.Marshal per ingest. The binary form
+// below writes the same normalized content (implicit invocations
+// materialized, everything in dense order) as length-prefixed binwire,
+// straight from the interned representation.
+//
+// Binary documents open with the version tag docBinV1 (0xD1), which can
+// never open a JSON document (JSON docs start with '{'), so
+// decodeRunDoc sniffs the first byte and both forms decode through the
+// same path — JSON-era data dirs restore unchanged, byte for byte, and
+// restored documents keep whichever encoding they were written with.
+package runs
+
+import (
+	"fmt"
+
+	"wolves/internal/binwire"
+	"wolves/internal/workflow"
+)
+
+// docBinV1 tags the first binary run-document format; unknown tags are
+// rejected rather than guessed at.
+const docBinV1 = 0xD1
+
+// appendDocBinary encodes the run's canonical document:
+//
+//	docBinV1 | uvarint version | runID
+//	| uvarint ninv  | (invocationID, taskID)*
+//	| uvarint narts | (artifactID, uvarint gen+1)*   gen 0 = external input
+//	| uvarint nused | (uvarint invocation, uvarint artifact)*
+//
+// Strings are uvarint-length-prefixed (binwire); used edges reference
+// invocations and artifacts by their dense index, task references stay
+// ID strings (indices are not stable across workflow versions, IDs are).
+func (r *Run) appendDocBinary(dst []byte, wf *workflow.Workflow) []byte {
+	dst = append(dst, docBinV1)
+	dst = binwire.AppendUvarint(dst, r.version)
+	dst = binwire.AppendString(dst, r.id)
+	dst = binwire.AppendUvarint(dst, uint64(len(r.procID)))
+	for i, id := range r.procID {
+		dst = binwire.AppendString(dst, id)
+		dst = binwire.AppendString(dst, wf.Task(int(r.procTask[i])).ID)
+	}
+	dst = binwire.AppendUvarint(dst, uint64(len(r.artID)))
+	for i, id := range r.artID {
+		dst = binwire.AppendString(dst, id)
+		dst = binwire.AppendUvarint(dst, uint64(r.artGen[i]+1))
+	}
+	dst = binwire.AppendUvarint(dst, uint64(len(r.used)))
+	for _, e := range r.used {
+		dst = binwire.AppendUvarint(dst, uint64(e[0]))
+		dst = binwire.AppendUvarint(dst, uint64(e[1]))
+	}
+	return dst
+}
+
+// decodeRunDocBinaryInto materializes a binary canonical document back
+// into the wire shape, which then flows through the ordinary validation
+// path — a recovered run is re-validated exactly like a fresh one.
+func decodeRunDocBinaryInto(w *wireRun, doc []byte) error {
+	r := binwire.NewReader(doc[1:])
+	w.Version = r.Uvarint()
+	w.Run = r.String()
+	if n := r.Len(2); n > 0 {
+		for i := 0; i < n; i++ {
+			w.Invocations = append(w.Invocations, wireInvocation{ID: r.String(), Task: r.String()})
+		}
+	}
+	if n := r.Len(2); n > 0 {
+		for i := 0; i < n; i++ {
+			a := wireArtifact{ID: r.String()}
+			gen := r.Uvarint()
+			if r.Err() == nil && gen > 0 {
+				gi := int(gen - 1)
+				if gi >= len(w.Invocations) {
+					return fmt.Errorf("binary run document: artifact %q generated_by index %d out of range", a.ID, gi)
+				}
+				a.GeneratedBy = w.Invocations[gi].ID
+			}
+			w.Artifacts = append(w.Artifacts, a)
+		}
+	}
+	if n := r.Len(2); n > 0 {
+		for i := 0; i < n; i++ {
+			pi, ai := r.Uvarint(), r.Uvarint()
+			if r.Err() != nil {
+				break
+			}
+			if pi >= uint64(len(w.Invocations)) || ai >= uint64(len(w.Artifacts)) {
+				return fmt.Errorf("binary run document: used edge %d index out of range", i)
+			}
+			w.Used = append(w.Used, wireUsed{Process: w.Invocations[pi].ID, Artifact: w.Artifacts[ai].ID})
+		}
+	}
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("binary run document: %w", err)
+	}
+	return nil
+}

@@ -2,10 +2,11 @@ package runs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
+	"sync"
 
 	"wolves/internal/bitset"
 	"wolves/internal/engine"
@@ -18,6 +19,10 @@ import (
 // result into the dense Run representation. Every rejection is a typed
 // engine.Error with code ErrInvalidTrace (wolvesd: 422) — malformed
 // input must never panic or surface as internal.
+//
+// The decode and build state is pooled (ingestScratch): at steady state
+// an ingest allocates only what the immutable Run retains, so a
+// sustained NDJSON firehose does not churn the heap per document.
 
 // wireInvocation is one process of the trace: an invocation of a
 // workflow task.
@@ -58,10 +63,87 @@ type wireRun struct {
 	Used        []wireUsed       `json:"used,omitempty"`
 }
 
-// decodeRunDoc parses one full JSON run document.
+// NDJSON framing limits. The line cap equals the HTTP layer's request
+// body cap (server.MaxBodyBytes — a compile-time assertion there ties
+// the two), so no request a client can legally send is rejected by the
+// cap; what the cap bounds is the spill buffer a single over-long line
+// can pin, when the store is fed from a non-HTTP source.
+const (
+	// MaxNDJSONLineBytes caps one NDJSON line; longer lines reject the
+	// run with a typed bad_input error.
+	MaxNDJSONLineBytes = 8 << 20
+	// ndjsonBufBytes sizes the pooled stream reader: lines that fit are
+	// framed with zero copies, longer ones spill.
+	ndjsonBufBytes = 64 << 10
+	// ndjsonSpillKeep caps the spill capacity retained in the pool; a
+	// rare multi-megabyte line must not pin its buffer forever.
+	ndjsonSpillKeep = 1 << 20
+)
+
+// ingestScratch recycles the per-ingest working set: the decoded wire
+// run (slice capacities survive), the build-time invocation index, the
+// CSR fill cursor, the binary-doc encode buffer, and the NDJSON stream
+// reader. One scratch serves one ingest at a time, whole batches
+// included.
+type ingestScratch struct {
+	w        wireRun
+	line     wireLine
+	jd       jdec
+	lineBufs wireLineBufs
+	procIdx  map[string]int32
+	fill     []int32
+	enc      []byte
+	br       *bufio.Reader
+	spill    []byte
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &ingestScratch{
+		procIdx: make(map[string]int32, 64),
+		br:      bufio.NewReaderSize(nil, ndjsonBufBytes),
+	}
+}}
+
+// wire resets and returns the scratch's wire run, keeping the slice
+// capacities of previous decodes so the backing arrays are reused. Only
+// the lengths are reset: both decoders write every field of an element
+// they emit past the reset length (the JSON decoder appends explicit
+// zero elements before filling them, the binary decoder appends full
+// composite literals), so nothing stale from a previous document can
+// leak through.
+func (sc *ingestScratch) wire() *wireRun {
+	sc.w = wireRun{
+		Invocations: sc.w.Invocations[:0],
+		Artifacts:   sc.w.Artifacts[:0],
+		Used:        sc.w.Used[:0],
+	}
+	return &sc.w
+}
+
+// decodeRunDocInto parses one full run document — the binary canonical
+// form when the first byte is its version tag, JSON otherwise — into w.
+func decodeRunDocInto(w *wireRun, doc []byte) error {
+	if len(doc) > 0 && doc[0] == docBinV1 {
+		return decodeRunDocBinaryInto(w, doc)
+	}
+	var d jdec
+	return d.decodeRunDocJSON(w, doc)
+}
+
+// decodeDoc is decodeRunDocInto through the pooled decoder scratch —
+// the hot ingestion paths, where the unquote buffer is reused across
+// documents.
+func (sc *ingestScratch) decodeDoc(w *wireRun, doc []byte) error {
+	if len(doc) > 0 && doc[0] == docBinV1 {
+		return decodeRunDocBinaryInto(w, doc)
+	}
+	return sc.jd.decodeRunDocJSON(w, doc)
+}
+
+// decodeRunDoc parses one full run document of either encoding.
 func decodeRunDoc(doc []byte) (*wireRun, error) {
 	var w wireRun
-	if err := json.Unmarshal(doc, &w); err != nil {
+	if err := decodeRunDocInto(&w, doc); err != nil {
 		return nil, err
 	}
 	return &w, nil
@@ -73,11 +155,13 @@ func decodeRunDoc(doc []byte) (*wireRun, error) {
 // replay safe). The returned info carries the workflow version the run
 // was validated against.
 func (s *Store) Ingest(workflowID string, doc []byte) (*RunInfo, error) {
-	w, err := decodeRunDoc(doc)
-	if err != nil {
+	sc := scratchPool.Get().(*ingestScratch)
+	defer scratchPool.Put(sc)
+	w := sc.wire()
+	if err := sc.decodeDoc(w, doc); err != nil {
 		return nil, errf(engine.ErrInvalidTrace, "ingest", "malformed run document: %v", err)
 	}
-	return s.ingestWire(workflowID, w, true)
+	return s.ingestWire(workflowID, w, true, nil, sc)
 }
 
 // wireLine is one NDJSON record: exactly one of the fields is set.
@@ -92,31 +176,55 @@ type wireLine struct {
 // declaring the run ID, an invocation, an artifact or a used edge.
 // A final line torn mid-record (a client crash or truncated upload)
 // rejects the whole run with ErrInvalidTrace — runs are atomic, never
-// partially ingested.
+// partially ingested. A single line longer than MaxNDJSONLineBytes
+// rejects the run with ErrBadInput.
 func (s *Store) IngestNDJSON(workflowID string, r io.Reader) (*RunInfo, error) {
-	br := bufio.NewReader(r)
-	w := &wireRun{}
+	sc := scratchPool.Get().(*ingestScratch)
+	sc.br.Reset(r)
+	defer func() {
+		sc.br.Reset(nil) // drop the request body before pooling
+		if cap(sc.spill) > ndjsonSpillKeep {
+			sc.spill = nil
+		}
+		scratchPool.Put(sc)
+	}()
+	w := sc.wire()
 	lineNo := 0
 	for {
-		line, err := br.ReadString('\n')
+		// ReadSlice frames a line with zero copies when it fits the
+		// reader's buffer — the overwhelmingly common case; an over-full
+		// line accumulates into the capped spill buffer.
+		line, err := sc.br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			sc.spill = append(sc.spill[:0], line...)
+			for err == bufio.ErrBufferFull {
+				line, err = sc.br.ReadSlice('\n')
+				sc.spill = append(sc.spill, line...)
+				if len(sc.spill) > MaxNDJSONLineBytes {
+					return nil, errf(engine.ErrBadInput, "ingest",
+						"NDJSON line %d exceeds the %d-byte line cap", lineNo+1, MaxNDJSONLineBytes)
+				}
+			}
+			line = sc.spill
+		}
 		if err != nil && err != io.EOF {
 			// A read failure (connection drop, body-size cap) is the
 			// request's problem, not the trace's: bad_input → 400, matching
 			// what the whole-document path reports for the same condition.
 			return nil, errf(engine.ErrBadInput, "ingest", "reading NDJSON stream: %v", err)
 		}
-		torn := err == io.EOF && line != "" && !strings.HasSuffix(line, "\n")
-		if trimmed := strings.TrimSpace(line); trimmed != "" {
+		torn := err == io.EOF && len(line) > 0 && line[len(line)-1] != '\n'
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
 			lineNo++
-			var rec wireLine
-			if jerr := json.Unmarshal([]byte(trimmed), &rec); jerr != nil {
+			sc.line = wireLine{}
+			if jerr := sc.jd.decodeWireLineJSON(&sc.line, trimmed, &sc.lineBufs); jerr != nil {
 				if torn {
 					return nil, errf(engine.ErrInvalidTrace, "ingest",
 						"NDJSON stream ends with a torn record at line %d: %v", lineNo, jerr)
 				}
 				return nil, errf(engine.ErrInvalidTrace, "ingest", "NDJSON line %d: %v", lineNo, jerr)
 			}
-			if aerr := accumulate(w, &rec, lineNo); aerr != nil {
+			if aerr := accumulate(w, &sc.line, lineNo); aerr != nil {
 				return nil, aerr
 			}
 		}
@@ -124,7 +232,7 @@ func (s *Store) IngestNDJSON(workflowID string, r io.Reader) (*RunInfo, error) {
 			break
 		}
 	}
-	return s.ingestWire(workflowID, w, true)
+	return s.ingestWire(workflowID, w, true, nil, sc)
 }
 
 // accumulate folds one NDJSON record into the run under construction.
@@ -159,7 +267,9 @@ func accumulate(w *wireRun, rec *wireLine, lineNo int) *engine.Error {
 
 // ingestWire is the shared ingestion path: validate + intern under the
 // workflow's read lock, insert into the shard, journal, snapshot.
-func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool) (*RunInfo, error) {
+// rawDoc, when non-nil, is an already-canonical document to retain
+// verbatim (the restore path — keeps recovered runs byte-identical).
+func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool, rawDoc []byte, sc *ingestScratch) (*RunInfo, error) {
 	lw, err := s.reg.Get(workflowID)
 	if err != nil {
 		return nil, wrapErr("ingest", err)
@@ -196,7 +306,7 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool) (*RunInf
 			// validated under, so recovered metadata is byte-identical.
 			version = w.Version
 		}
-		r, berr := buildRun(ps.Workflow(), version, w)
+		r, berr := buildRun(ps.Workflow(), version, w, rawDoc, sc, s.legacyDocs)
 		if berr != nil {
 			return berr
 		}
@@ -247,10 +357,104 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool) (*RunInf
 	return info, nil
 }
 
+// IngestBatch validates and stores a batch of run documents for
+// workflowID in one journaled operation: all documents are validated
+// and interned first (any rejection rejects the whole batch before any
+// state is touched), then inserted and journaled together — through the
+// journal's batch append, so one group-commit fsync covers the burst.
+// The returned infos are in document order.
+func (s *Store) IngestBatch(workflowID string, docs [][]byte) ([]RunInfo, error) {
+	infos := make([]RunInfo, 0, len(docs))
+	if len(docs) == 0 {
+		return infos, nil
+	}
+	lw, err := s.reg.Get(workflowID)
+	if err != nil {
+		return nil, wrapErr("ingest", err)
+	}
+	if gerr := s.reg.CheckWritable("ingest"); gerr != nil {
+		return nil, wrapErr("ingest", gerr)
+	}
+	sc := scratchPool.Get().(*ingestScratch)
+	defer scratchPool.Put(sc)
+
+	var wantSnap bool
+	if err := lw.Query(func(ps *engine.ProvSession) error {
+		version := ps.Version()
+		built := make([]*Run, 0, len(docs))
+		for i, doc := range docs {
+			w := sc.wire()
+			if derr := sc.decodeDoc(w, doc); derr != nil {
+				return errf(engine.ErrInvalidTrace, "ingest",
+					"batch document %d: malformed run document: %v", i, derr)
+			}
+			if w.Run == "" {
+				return errf(engine.ErrInvalidTrace, "ingest",
+					"batch document %d: run document missing run id", i)
+			}
+			if len(w.Artifacts) == 0 && len(w.Invocations) == 0 {
+				return errf(engine.ErrInvalidTrace, "ingest",
+					"run %q is empty: no invocations and no artifacts", w.Run)
+			}
+			r, berr := buildRun(ps.Workflow(), version, w, nil, sc, s.legacyDocs)
+			if berr != nil {
+				return berr
+			}
+			built = append(built, r)
+		}
+		ids := make([]string, len(built))
+		runDocs := make([][]byte, len(built))
+		var docBytes int64
+		for i, r := range built {
+			ids[i], runDocs[i] = r.id, r.doc
+			docBytes += int64(len(r.doc))
+		}
+		sh := s.shardFor(lw)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, r := range built {
+			_, replaced := sh.runs[r.id]
+			sh.runs[r.id] = r
+			if !replaced {
+				sh.order = append(sh.order, r.id)
+			}
+			info := r.info(workflowID)
+			info.Replaced = replaced
+			infos = append(infos, *info)
+		}
+		if s.journal != nil {
+			// One batch append: contiguous records, one durability wait.
+			ws, jerr := s.journal.RunsIngested(workflowID, ids, runDocs)
+			if jerr != nil {
+				return s.reg.JournalFault("ingest", jerr)
+			}
+			wantSnap = ws
+			s.journaledBytes.Add(docBytes)
+		}
+		return nil
+	}); err != nil {
+		return nil, wrapErr("ingest", err)
+	}
+	s.ingested.Add(int64(len(docs)))
+
+	if wantSnap {
+		if serr := lw.State(func(st *engine.LiveState) error {
+			return s.journal.SnapshotWorkflow(st)
+		}); serr != nil && !engine.IsCode(serr, engine.ErrUnknownWorkflow) {
+			return nil, wrapErr("ingest", s.reg.JournalFault("ingest", serr))
+		}
+	}
+	return infos, nil
+}
+
 // buildRun validates the wire run against wf's task space and interns it
 // into the dense representation. All errors are ErrInvalidTrace-coded
-// (wrapping workflow.ErrUnknownTask where a task lookup failed).
-func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.Error) {
+// (wrapping workflow.ErrUnknownTask where a task lookup failed). The
+// canonical document is rawDoc verbatim when non-nil (restore path),
+// otherwise freshly encoded — binary by default, JSON under the
+// legacy-docs knob.
+func buildRun(wf *workflow.Workflow, version uint64, w *wireRun, rawDoc []byte,
+	sc *ingestScratch, legacyDocs bool) (*Run, *engine.Error) {
 	run := &Run{
 		id:      w.Run,
 		version: version,
@@ -259,7 +463,8 @@ func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.
 		invoked: bitset.New(wf.N()),
 	}
 	implicit := len(w.Invocations) == 0
-	procIdx := make(map[string]int32, len(w.Invocations))
+	clear(sc.procIdx)
+	procIdx := sc.procIdx
 
 	addProc := func(id string, task int) int32 {
 		pi := int32(len(run.procID))
@@ -287,19 +492,22 @@ func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.
 	}
 	// resolve maps a process reference onto a dense invocation index. In
 	// implicit mode the reference is a task ID and the invocation is
-	// created on first use.
-	resolve := func(ref, where string) (int32, *engine.Error) {
+	// created on first use. The caller's context string is built lazily
+	// (whereFmt+whereArg), only on the failure paths — the success path
+	// of the hot loops below must not pay a fmt.Sprintf per edge.
+	resolve := func(ref, whereFmt, whereArg string) (int32, *engine.Error) {
 		if pi, ok := procIdx[ref]; ok {
 			return pi, nil
 		}
 		if !implicit {
 			return 0, errf(engine.ErrInvalidTrace, "ingest",
-				"run %q: %s references unknown invocation %q", w.Run, where, ref)
+				"run %q: %s references unknown invocation %q",
+				w.Run, fmt.Sprintf(whereFmt, whereArg), ref)
 		}
 		ti, ok := wf.Index(ref)
 		if !ok {
 			return 0, traceErr(w.Run, fmt.Errorf("%s: %w: %q",
-				where, workflow.ErrUnknownTask, ref))
+				fmt.Sprintf(whereFmt, whereArg), workflow.ErrUnknownTask, ref))
 		}
 		return addProc(ref, ti), nil
 	}
@@ -315,7 +523,7 @@ func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.
 		}
 		gen := int32(-1)
 		if a.GeneratedBy != "" {
-			pi, gerr := resolve(a.GeneratedBy, fmt.Sprintf("artifact %q generated_by", a.ID))
+			pi, gerr := resolve(a.GeneratedBy, "artifact %q generated_by", a.ID)
 			if gerr != nil {
 				return nil, gerr
 			}
@@ -327,7 +535,7 @@ func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.
 	}
 
 	for _, u := range w.Used {
-		pi, uerr := resolve(u.Process, fmt.Sprintf("used edge for artifact %q", u.Artifact))
+		pi, uerr := resolve(u.Process, "used edge for artifact %q", u.Artifact)
 		if uerr != nil {
 			return nil, uerr
 		}
@@ -348,7 +556,8 @@ func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.
 	})
 
 	// CSR adjacency (artifacts consumed per invocation) for why-provenance
-	// walks: O(invocations + used) words, built once at ingestion.
+	// walks: O(invocations + used) words, built once at ingestion. counts
+	// is retained as run.usedStart; only the fill cursor is scratch.
 	counts := make([]int32, len(run.procID)+1)
 	for _, e := range run.used {
 		counts[e[0]+1]++
@@ -358,7 +567,14 @@ func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.
 	}
 	run.usedStart = counts
 	run.usedArt = make([]int32, len(run.used))
-	fill := make([]int32, len(run.procID))
+	fill := sc.fill
+	if cap(fill) < len(run.procID) {
+		fill = make([]int32, len(run.procID))
+	} else {
+		fill = fill[:len(run.procID)]
+		clear(fill)
+	}
+	sc.fill = fill
 	for _, e := range run.used {
 		run.usedArt[run.usedStart[e[0]]+fill[e[0]]] = e[1]
 		fill[e[0]]++
@@ -367,11 +583,22 @@ func buildRun(wf *workflow.Workflow, version uint64, w *wireRun) (*Run, *engine.
 	// Canonical document: the normalized wire shape (implicit invocations
 	// materialized, everything in dense order). Journal records and
 	// snapshots carry these bytes, so recovery rebuilds this exact run.
-	doc, err := json.Marshal(run.wireDoc(wf))
-	if err != nil {
-		return nil, errf(engine.ErrInternal, "ingest", "encode run %q: %v", w.Run, err)
+	switch {
+	case rawDoc != nil:
+		// Restore path: the document is already canonical — retain it
+		// verbatim so recovered runs are byte-identical, whichever
+		// encoding (JSON era or binary) they were written with.
+		run.doc = rawDoc
+	case legacyDocs:
+		doc, err := json.Marshal(run.wireDoc(wf))
+		if err != nil {
+			return nil, errf(engine.ErrInternal, "ingest", "encode run %q: %v", w.Run, err)
+		}
+		run.doc = doc
+	default:
+		sc.enc = run.appendDocBinary(sc.enc[:0], wf)
+		run.doc = append(make([]byte, 0, len(sc.enc)), sc.enc...)
 	}
-	run.doc = doc
 	return run, nil
 }
 

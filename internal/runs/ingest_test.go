@@ -112,6 +112,45 @@ func TestNDJSONEdgeCases(t *testing.T) {
 	}
 }
 
+// TestNDJSONLineCap pins the pooled line buffer's framing limits: a
+// single line longer than MaxNDJSONLineBytes rejects the whole stream
+// with a typed bad_input (the daemon's 400) before any of it is
+// ingested, while a long-but-legal line — larger than the pooled
+// bufio buffer, so it exercises the spill path — ingests normally.
+func TestNDJSONLineCap(t *testing.T) {
+	s, _ := figure1Store(t)
+
+	// One line of MaxNDJSONLineBytes+2 bytes, never newline-terminated.
+	// The cap must fire while buffering, long before JSON parsing.
+	over := strings.NewReader(strings.Repeat("a", MaxNDJSONLineBytes+2))
+	_, err := s.IngestNDJSON("phylo", over)
+	if err == nil {
+		t.Fatal("over-long line must reject the stream")
+	}
+	if !engine.IsCode(err, engine.ErrBadInput) {
+		t.Fatalf("want bad_input, got %v", err)
+	}
+	var ee *engine.Error
+	if !errors.As(err, &ee) || !strings.Contains(ee.Message, "line cap") {
+		t.Fatalf("message %q must name the line cap", ee.Message)
+	}
+	if infos, _ := s.Runs("phylo"); len(infos) != 0 {
+		t.Fatalf("rejected stream must leave no runs: %+v", infos)
+	}
+
+	// A 128KiB run ID overflows the pooled reader's buffer but stays
+	// under the cap: the spill path must reassemble it losslessly.
+	longID := strings.Repeat("r", 128<<10)
+	stream := "{\"run\":\"" + longID + "\"}\n{\"artifact\":{\"id\":\"a\",\"generated_by\":\"1\"}}\n"
+	info, err := s.IngestNDJSON("phylo", strings.NewReader(stream))
+	if err != nil {
+		t.Fatalf("long-but-legal line: %v", err)
+	}
+	if info.Run != longID || info.Artifacts != 1 {
+		t.Fatalf("spilled line ingested wrong: run len %d, artifacts %d", len(info.Run), info.Artifacts)
+	}
+}
+
 // TestQueryErrorCodes pins the 404/400-class codes of the query surface.
 func TestQueryErrorCodes(t *testing.T) {
 	s, _ := figure1Store(t)

@@ -47,6 +47,10 @@ import (
 type Journal interface {
 	// RunIngested journals one ingested (or replaced) run document.
 	RunIngested(workflowID, runID string, doc []byte) (wantSnapshot bool, err error)
+	// RunsIngested journals a batch of run documents for one workflow as
+	// contiguous records with a single durability wait, so one
+	// group-commit fsync covers the whole burst (IngestBatch).
+	RunsIngested(workflowID string, runIDs []string, docs [][]byte) (wantSnapshot bool, err error)
 	// SnapshotWorkflow folds the workflow into a fresh snapshot covering
 	// everything journaled so far (runs included, via the run provider).
 	SnapshotWorkflow(st *engine.LiveState) error
@@ -62,6 +66,11 @@ type Store struct {
 	// (SetJournal) — not synchronized with live traffic, exactly like
 	// the registry's journal seam.
 	journal Journal
+	// legacyDocs forces the pre-PR-9 JSON canonical document encoding
+	// (WithLegacyJSONDocs) — for benchmark baselines and compat tests
+	// that write old-format state on purpose. Decoding always accepts
+	// both encodings.
+	legacyDocs bool
 
 	mu     sync.Mutex // guards shards map only
 	shards map[string]*shard
@@ -77,6 +86,13 @@ type Option func(*Store)
 // WithJournal installs the durability journal (see Journal).
 func WithJournal(j Journal) Option {
 	return func(s *Store) { s.journal = j }
+}
+
+// WithLegacyJSONDocs forces the pre-PR-9 JSON canonical run documents
+// instead of the binary form. For benchmark baselines and compat tests;
+// decoding always accepts both encodings regardless of this knob.
+func WithLegacyJSONDocs() Option {
+	return func(s *Store) { s.legacyDocs = true }
 }
 
 // WithWorkers sets the default fan-out width of LineageBatch. n <= 0
@@ -334,14 +350,22 @@ func (s *Store) SnapshotRuns(workflowID string) (ids []string, docs [][]byte) {
 // did not survive recovery returns an ErrUnknownWorkflow-coded error,
 // which the replayer tolerates.
 func (s *Store) RestoreRun(workflowID, runID string, doc []byte) error {
-	w, err := decodeRunDoc(doc)
-	if err != nil {
+	sc := scratchPool.Get().(*ingestScratch)
+	defer scratchPool.Put(sc)
+	w := sc.wire()
+	if err := decodeRunDocInto(w, doc); err != nil {
 		return errf(engine.ErrInvalidTrace, "restore", "run %q of workflow %q: %v", runID, workflowID, err)
 	}
+	// The recovered document is already canonical: retain its bytes
+	// verbatim (no re-encode), so the restored run — and every snapshot
+	// and WAL record derived from it later — is byte-identical to the
+	// pre-crash one, whichever encoding it was written with.
+	raw := doc
 	if w.Run == "" {
-		w.Run = runID
+		w.Run = runID // pre-canonical document: re-encode below instead
+		raw = nil
 	}
-	_, ierr := s.ingestWire(workflowID, w, false)
+	_, ierr := s.ingestWire(workflowID, w, false, raw, sc)
 	if ierr != nil {
 		return ierr
 	}

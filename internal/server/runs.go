@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"mime"
@@ -26,12 +27,22 @@ import (
 //	POST /v1/workflows/{id}/runs/query             {"queries": [{…}, …]} (worker-pool batch)
 //	GET  /v1/stats                                 cache / registry / run-store counters
 
-// RunListResponse is the body of GET /v1/workflows/{id}/runs.
+// RunListResponse is the body of GET /v1/workflows/{id}/runs, and of a
+// batch ingest (POST with a JSON array of run documents).
 type RunListResponse struct {
 	Workflow string         `json:"workflow"`
 	Count    int            `json:"count"`
 	Runs     []runs.RunInfo `json:"runs"`
 }
+
+// The NDJSON line cap and the request body cap are one limit: no line a
+// client can legally upload is ever rejected by the cap alone, and no
+// request can spill more than a body's worth into the line buffer. The
+// zero-length array pair asserts the equality at compile time.
+var (
+	_ [runs.MaxNDJSONLineBytes - MaxBodyBytes]struct{}
+	_ [MaxBodyBytes - runs.MaxNDJSONLineBytes]struct{}
+)
 
 // RunQueryRequest is the body of POST /v1/workflows/{id}/runs/query.
 type RunQueryRequest struct {
@@ -51,11 +62,30 @@ type RegistryStats struct {
 	Versions  map[string]uint64 `json:"versions"`
 }
 
+// RecoveryInfo is the boot-time recovery summary wolvesd hands the
+// server (WithRecoveryInfo): what the store rebuilt, how, and how long
+// it took. Surfaced under "recovery" in /v1/stats so operators can read
+// it after the boot log has scrolled away; absent when the daemon runs
+// without a data dir.
+type RecoveryInfo struct {
+	Workflows        int   `json:"workflows"`
+	Views            int   `json:"views"`
+	Snapshots        int   `json:"snapshots"`
+	SnapshotsDropped int   `json:"snapshots_dropped"`
+	Segments         int   `json:"segments"`
+	RecordsReplayed  int64 `json:"records_replayed"`
+	RecordsSkipped   int64 `json:"records_skipped"`
+	Runs             int64 `json:"runs"`
+	TornBytes        int64 `json:"torn_bytes"`
+	Workers          int   `json:"workers"`
+	WallMillis       int64 `json:"wall_millis"`
+}
+
 // StatsResponse is the body of GET /v1/stats: the oracle cache's
 // hit/miss/eviction/invalidation counters, the registry population with
 // per-workflow versions, the run store's resident and lifetime counters
-// (runs, artifacts, bytes journaled), and the reachability label
-// index's build/patch/memory counters.
+// (runs, artifacts, bytes journaled), the reachability label index's
+// build/patch/memory counters, and the boot-time recovery summary.
 type StatsResponse struct {
 	Status        string            `json:"status"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
@@ -66,6 +96,7 @@ type StatsResponse struct {
 	Registry      RegistryStats     `json:"registry"`
 	Runs          runs.Stats        `json:"runs"`
 	Labels        engine.LabelStats `json:"labels"`
+	Recovery      *RecoveryInfo     `json:"recovery,omitempty"`
 }
 
 // isNDJSON reports whether the request body is an NDJSON stream.
@@ -106,6 +137,27 @@ func (s *Server) handleRunIngest(w http.ResponseWriter, r *http.Request) {
 		raw, err = io.ReadAll(r.Body)
 		if err != nil {
 			writeError(w, &engine.Error{Code: engine.ErrBadInput, Op: "ingest", Message: err.Error(), Err: err})
+			return
+		}
+		// A JSON array is a batch of run documents: validated
+		// all-or-nothing and journaled as one group-commit burst.
+		if body := bytes.TrimLeft(raw, " \t\r\n"); len(body) > 0 && body[0] == '[' {
+			var docs []json.RawMessage
+			if jerr := json.Unmarshal(body, &docs); jerr != nil {
+				writeError(w, &engine.Error{Code: engine.ErrInvalidTrace, Op: "ingest",
+					Message: "malformed run document batch: " + jerr.Error(), Err: jerr})
+				return
+			}
+			batch := make([][]byte, len(docs))
+			for i, d := range docs {
+				batch[i] = d
+			}
+			infos, berr := s.runs.IngestBatch(id, batch)
+			if berr != nil {
+				writeError(w, berr)
+				return
+			}
+			writeJSON(w, http.StatusOK, RunListResponse{Workflow: id, Count: len(infos), Runs: infos})
 			return
 		}
 		info, err = s.runs.Ingest(id, raw)
@@ -247,5 +299,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Registry:      rs,
 		Runs:          s.runs.Stats(),
 		Labels:        s.reg.LabelStats(),
+		Recovery:      s.recovery,
 	})
 }

@@ -349,3 +349,67 @@ func TestStatsLabelCounters(t *testing.T) {
 		t.Fatalf("fresh registry must have no patches/rebuilds: %+v", st.Labels)
 	}
 }
+
+// TestIngestNDJSONLineCapHTTP pins the over-long-line contract at the
+// HTTP layer: a single NDJSON line longer than the ingest line cap is a
+// typed bad_input, status 400. The default body cap equals the line cap
+// (the compile-time tie in runs.go), so the body cap is raised here to
+// let the line reach the ingest layer.
+func TestIngestNDJSONLineCapHTTP(t *testing.T) {
+	srv := New(engine.New(), WithMaxBodyBytes(4*runs.MaxNDJSONLineBytes))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	wf, _ := repo.Figure1()
+	wfRaw, _ := json.Marshal(wf)
+	body, _ := json.Marshal(map[string]any{"workflow": json.RawMessage(wfRaw)})
+	if status, resp := do(t, ts, http.MethodPut, "/v1/workflows/phylo", string(body), ""); status != http.StatusOK {
+		t.Fatalf("register: %d %s", status, resp)
+	}
+
+	line := strings.Repeat("a", runs.MaxNDJSONLineBytes+2)
+	status, resp := do(t, ts, http.MethodPost, "/v1/workflows/phylo/runs", line, "application/x-ndjson")
+	if status != http.StatusBadRequest || !strings.Contains(resp, "bad_input") ||
+		!strings.Contains(resp, "line cap") {
+		t.Fatalf("over-long NDJSON line: %d %.200s", status, resp)
+	}
+	if status, resp := do(t, ts, http.MethodGet, "/v1/workflows/phylo/runs", "", ""); status != http.StatusOK ||
+		!strings.Contains(resp, `"count":0`) {
+		t.Fatalf("rejected stream must leave no runs: %d %s", status, resp)
+	}
+}
+
+// TestIngestBatchHTTP covers the JSON-array batch ingest: one POST, all
+// documents validated and journaled as a burst, RunListResponse back;
+// a malformed array is a 422 with nothing ingested.
+func TestIngestBatchHTTP(t *testing.T) {
+	ts, _ := bootRunServer(t)
+
+	batch := "[" + figure1HTTPRun("b1") + "," + figure1HTTPRun("b2") + "," + figure1HTTPRun("b3") + "]"
+	status, body := do(t, ts, http.MethodPost, "/v1/workflows/phylo/runs", batch, "application/json")
+	if status != http.StatusOK {
+		t.Fatalf("batch ingest: %d %s", status, body)
+	}
+	var lr RunListResponse
+	if err := json.Unmarshal([]byte(body), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Workflow != "phylo" || lr.Count != 3 || len(lr.Runs) != 3 || lr.Runs[1].Run != "b2" {
+		t.Fatalf("batch response = %s", body)
+	}
+
+	// All-or-nothing: a batch with one bad document ingests none.
+	bad := "[" + figure1HTTPRun("b4") + `,{"run":"b5"}]`
+	if status, resp := do(t, ts, http.MethodPost, "/v1/workflows/phylo/runs", bad, "application/json"); status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad batch: %d %s", status, resp)
+	}
+	if status, resp := do(t, ts, http.MethodGet, "/v1/workflows/phylo/runs", "", ""); status != http.StatusOK ||
+		!strings.Contains(resp, `"count":3`) {
+		t.Fatalf("failed batch must ingest nothing: %d %s", status, resp)
+	}
+
+	// A lineage query over a batch-ingested run answers normally.
+	if status, resp := do(t, ts, http.MethodGet, "/v1/workflows/phylo/runs/b3/lineage?artifact=a8", "", ""); status != http.StatusOK {
+		t.Fatalf("lineage over batch run: %d %s", status, resp)
+	}
+}

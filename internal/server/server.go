@@ -84,6 +84,10 @@ type Server struct {
 	reqTimeout time.Duration
 	ingestSem  chan struct{}
 	draining   atomic.Bool
+
+	// recovery is the boot-time recovery summary (WithRecoveryInfo);
+	// nil when the daemon runs without a data dir.
+	recovery *RecoveryInfo
 }
 
 // Option configures a Server at construction time.
@@ -119,6 +123,13 @@ func WithMaxBodyBytes(n int64) Option {
 			s.maxBody = n
 		}
 	}
+}
+
+// WithRecoveryInfo surfaces the boot-time recovery summary under
+// "recovery" in /v1/stats. wolvesd passes the stats of the RecoverWithRuns
+// call it booted from; nil (the default) omits the field.
+func WithRecoveryInfo(info *RecoveryInfo) Option {
+	return func(s *Server) { s.recovery = info }
 }
 
 // WithIngestConcurrency caps how many run-ingest requests may be in

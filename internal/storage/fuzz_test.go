@@ -9,6 +9,9 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"wolves/internal/engine"
+	"wolves/internal/workflow"
 )
 
 // FuzzReadRecord throws arbitrary bytes at the WAL record scanner. The
@@ -28,6 +31,20 @@ func FuzzReadRecord(f *testing.F) {
 		f.Add(appendRecord(nil, record{typ: typ, lsn: uint64(typ) * 7, body: []byte(`{"id":"wf"}`)}))
 	}
 	f.Add(appendRecord(nil, record{typ: recRegister, lsn: 1}))
+	// Binary-bodied hot records (PR 9): a mutate batch and a run record
+	// in the binwire encoding, plus a run record wrapping a binary
+	// canonical document (first byte 0xD1, not valid JSON either).
+	mutBin := appendMutateBinary(nil, "wf", 9, &engine.AppliedBatch{
+		Tasks: []workflow.Task{{ID: "t1", Name: "align", Kind: "exec"}},
+		Edges: [][2]string{{"t0", "t1"}},
+	})
+	f.Add(appendRecord(nil, record{typ: recMutate, lsn: 10, body: mutBin}))
+	f.Add(appendRecord(nil, record{typ: recRun, lsn: 11,
+		body: appendRunBinary(nil, "wf", "r1", []byte(`{"run":"r1"}`))}))
+	f.Add(appendRecord(nil, record{typ: recRun, lsn: 12,
+		body: appendRunBinary(nil, "wf", "r2", []byte{0xD1, 0x02, 'r', '2', 0x00, 0x00, 0x00})}))
+	truncBin := appendRecord(nil, record{typ: recMutate, lsn: 13, body: mutBin[:len(mutBin)-2]})
+	f.Add(truncBin)
 	valid := appendRecord(nil, record{typ: recMutate, lsn: 2, body: []byte(`{"id":"x","version":3}`)})
 	flipped := append([]byte(nil), valid...)
 	flipped[4] ^= 0xff // CRC byte

@@ -14,7 +14,6 @@ package storage
 import (
 	"bufio"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -56,9 +55,13 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // at the tail of the last segment and fatal anywhere else.
 var errTorn = errors.New("storage: torn record")
 
-// record is one WAL entry. The body is the JSON encoding of the typed
-// bodies below; lsn is the store-wide monotonic sequence number used to
-// decide, per workflow, which records a snapshot already covers.
+// record is one WAL entry. The body is the encoded record body — JSON
+// for the cold kinds and for every record written before PR 9, the
+// version-tagged binary form of binary.go for hot kinds (mutate, run)
+// since; lsn is the store-wide monotonic sequence number used to
+// decide, per workflow, which records a snapshot already covers. The
+// framing below is encoding-agnostic: the body is opaque bytes under
+// the CRC.
 type record struct {
 	typ  byte
 	lsn  uint64
@@ -68,7 +71,7 @@ type record struct {
 // appendRecord encodes rec onto dst:
 //
 //	| len(payload) uint32 | crc32c(payload) uint32 | payload |
-//	payload = | type byte | lsn uint64 | body JSON |
+//	payload = | type byte | lsn uint64 | body |
 func appendRecord(dst []byte, rec record) []byte {
 	payloadLen := recPrefixLen + len(rec.body)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
@@ -122,60 +125,7 @@ func readRecord(r *bufio.Reader) (record, int64, error) {
 	return rec, int64(recHeaderLen) + int64(payloadLen), nil
 }
 
-// --- record bodies (JSON) -----------------------------------------------------
-
-// taskBody is one task addition inside a mutateBody, mirroring the
-// registry's workflow.Task (an empty Name defaults to the ID on replay,
-// exactly as it did on the original apply).
-type taskBody struct {
-	ID   string `json:"id"`
-	Name string `json:"name,omitempty"`
-	Kind string `json:"kind,omitempty"`
-}
-
-// registerBody records a workflow registration (or same-ID replacement).
-type registerBody struct {
-	ID       string          `json:"id"`
-	Version  uint64          `json:"version"`
-	Workflow json.RawMessage `json:"workflow"`
-}
-
-// mutateBody records a committed mutation batch: the applied tasks and
-// edges plus the post-batch version, checked against the replayed
-// Mutate's result to catch divergence.
-type mutateBody struct {
-	ID      string      `json:"id"`
-	Version uint64      `json:"version"`
-	Tasks   []taskBody  `json:"tasks,omitempty"`
-	Edges   [][2]string `json:"edges,omitempty"`
-}
-
-// attachBody records a view attach/replace.
-type attachBody struct {
-	ID      string          `json:"id"`
-	VID     string          `json:"vid"`
-	Version uint64          `json:"version"`
-	View    json.RawMessage `json:"view"`
-}
-
-// detachBody records a view detach.
-type detachBody struct {
-	ID      string `json:"id"`
-	VID     string `json:"vid"`
-	Version uint64 `json:"version"`
-}
-
-// deleteBody records a workflow deletion (explicit or by eviction).
-type deleteBody struct {
-	ID string `json:"id"`
-}
-
-// runBody records one ingested (or replaced) execution trace: the
-// canonical run document as produced by the run store. Replay re-ingests
-// the document; ingestion is idempotent by run ID, so a record also
-// covered by a snapshot replays harmlessly.
-type runBody struct {
-	ID  string          `json:"id"`  // workflow ID
-	Run string          `json:"run"` // run ID
-	Doc json.RawMessage `json:"doc"`
-}
+// The typed record bodies and their codecs live next door: compat.go
+// holds the JSON structs (the designated compat decoder for pre-PR-9
+// logs and the cold record kinds), binary.go the version-tagged binary
+// encoding of the hot kinds and the sniffing decoders that accept both.

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,11 +20,43 @@ type snapshotView struct {
 	View json.RawMessage `json:"view"`
 }
 
+// docBytes carries a canonical run document inside the JSON snapshot.
+// JSON-era documents embed verbatim — snapshots of pre-PR-9 stores stay
+// byte-compatible and legacy snapshots (plain embedded objects) decode
+// unchanged — while binary canonical documents, which are not valid
+// JSON, ride as a base64 JSON string. The two are disjoint on the JSON
+// kind ('{' vs '"'), so decoding needs no version field.
+type docBytes []byte
+
+func (d docBytes) MarshalJSON() ([]byte, error) {
+	if len(d) > 0 && d[0] == '{' {
+		return d, nil
+	}
+	return json.Marshal(base64.StdEncoding.EncodeToString(d))
+}
+
+func (d *docBytes) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		raw, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return err
+		}
+		*d = raw
+		return nil
+	}
+	*d = append([]byte(nil), b...)
+	return nil
+}
+
 // snapshotRun is one ingested run inside a snapshot document, carrying
-// the run store's canonical bytes verbatim.
+// the run store's canonical bytes.
 type snapshotRun struct {
-	ID  string          `json:"id"`
-	Doc json.RawMessage `json:"doc"`
+	ID  string   `json:"id"`
+	Doc docBytes `json:"doc"`
 }
 
 // snapshotDoc is the on-disk JSON shape of one workflow's snapshot: the
@@ -68,7 +101,7 @@ func encodeSnapshot(st *engine.LiveState, lsn uint64, wfRaw json.RawMessage, run
 		doc.Views = append(doc.Views, snapshotView{ID: av.ID, View: raw})
 	}
 	for i, rid := range runIDs {
-		doc.Runs = append(doc.Runs, snapshotRun{ID: rid, Doc: json.RawMessage(runDocs[i])})
+		doc.Runs = append(doc.Runs, snapshotRun{ID: rid, Doc: runDocs[i]})
 	}
 	return doc, nil
 }

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -43,6 +42,19 @@ type Options struct {
 	SnapshotEvery int
 	// Fsync selects the durability mode (FsyncBatch by default).
 	Fsync FsyncMode
+	// LegacyJSONBodies forces the pre-PR-9 JSON encoding for the hot
+	// record bodies (mutation batches and runs) instead of the compact
+	// binary form. Decoding always accepts both encodings regardless, so
+	// this knob only exists for benchmark baselines and for compat tests
+	// that write an old-format directory on purpose; production has no
+	// reason to set it.
+	LegacyJSONBodies bool
+	// RecoveryWorkers bounds the parallelism of Recover: snapshot
+	// loading and WAL body decoding fan out across this many workers,
+	// and record application fans out per workflow. 0 (the default)
+	// means GOMAXPROCS; 1 pins the sequential reference path that the
+	// parallel path is equivalence-tested against.
+	RecoveryWorkers int
 	// FS is the filesystem seam every store I/O goes through; nil means
 	// the real filesystem. Tests install a vfs.FaultFS here to inject
 	// disk faults at any I/O site, including acquisition of the
@@ -130,6 +142,7 @@ type Store struct {
 	needsRec  bool
 	recovered bool
 	lsn       uint64 // last assigned LSN
+	enc       []byte // reusable body-encode scratch, used under mu
 	wal       *wal
 	wfs       map[string]*wfState
 	snaps     []loadedSnapshot // loaded at Open, consumed by Recover
@@ -326,14 +339,12 @@ func (s *Store) waitDurable(ticket uint64) error {
 // appendLocked assigns the next LSN and writes one record, returning the
 // group-commit ticket and the record's on-disk size; callers hold s.mu
 // (which is what keeps file order equal to LSN order across workflows).
-// The ticket feeds waitDurable after s.mu is released, so one slow fsync
-// never blocks other workflows' appends.
-func (s *Store) appendLocked(typ byte, body any) (uint64, int64, error) {
-	raw, err := json.Marshal(body)
-	if err != nil {
-		return 0, 0, s.failLocked(err)
-	}
-	ticket, err := s.wal.append(record{typ: typ, lsn: s.lsn + 1, body: raw})
+// The body is pre-encoded by the caller (compat.go / binary.go) and is
+// copied by the WAL before this returns, so callers may pass the s.enc
+// scratch. The ticket feeds waitDurable after s.mu is released, so one
+// slow fsync never blocks other workflows' appends.
+func (s *Store) appendLocked(typ byte, body []byte) (uint64, int64, error) {
+	ticket, err := s.wal.append(record{typ: typ, lsn: s.lsn + 1, body: body})
 	if err != nil {
 		// A full disk is the one write failure worth retrying in place:
 		// when the failed write was cleanly rolled back (the segment still
@@ -342,14 +353,14 @@ func (s *Store) appendLocked(typ byte, body any) (uint64, int64, error) {
 		var we *walWriteError
 		if errors.As(err, &we) && we.clean && errors.Is(we.err, syscall.ENOSPC) {
 			s.wal.compact(s.coveredLocked())
-			ticket, err = s.wal.append(record{typ: typ, lsn: s.lsn + 1, body: raw})
+			ticket, err = s.wal.append(record{typ: typ, lsn: s.lsn + 1, body: body})
 		}
 		if err != nil {
 			return 0, 0, s.failLocked(err)
 		}
 	}
 	s.lsn++
-	return ticket, int64(recHeaderLen + recPrefixLen + len(raw)), nil
+	return ticket, int64(recHeaderLen + recPrefixLen + len(body)), nil
 }
 
 // writeSnapshot encodes and writes st's snapshot covering coverLSN with
@@ -359,7 +370,7 @@ func (s *Store) appendLocked(typ byte, body any) (uint64, int64, error) {
 // what keeps st stable and serializes snapshots of the same workflow;
 // distinct workflows write distinct files concurrently. Bookkeeping and
 // compaction briefly retake s.mu at the end.
-func (s *Store) writeSnapshot(st *engine.LiveState, coverLSN uint64, wfRaw json.RawMessage) error {
+func (s *Store) writeSnapshot(st *engine.LiveState, coverLSN uint64, wfRaw []byte) error {
 	var runIDs []string
 	var runDocs [][]byte
 	if s.runProv != nil {
@@ -436,7 +447,11 @@ func (s *Store) coveredLocked() uint64 {
 // newborn workflow, giving it a covered LSN so compaction is never
 // blocked by a workflow that happens not to mutate.
 func (s *Store) Registered(st *engine.LiveState) error {
-	wfRaw, err := json.Marshal(st.Workflow)
+	wfRaw, err := marshalWorkflowJSON(st.Workflow)
+	if err != nil {
+		return s.fail(err)
+	}
+	body, err := encodeRegisterBody(st.ID, st.Version, wfRaw)
 	if err != nil {
 		return s.fail(err)
 	}
@@ -445,7 +460,7 @@ func (s *Store) Registered(st *engine.LiveState) error {
 		s.mu.Unlock()
 		return err
 	}
-	ticket, _, err := s.appendLocked(recRegister, registerBody{ID: st.ID, Version: st.Version, Workflow: wfRaw})
+	ticket, _, err := s.appendLocked(recRegister, body)
 	coverLSN := s.lsn
 	s.mu.Unlock()
 	if err != nil {
@@ -466,9 +481,20 @@ func (s *Store) Committed(batch *engine.AppliedBatch, st *engine.LiveState) erro
 		s.mu.Unlock()
 		return err
 	}
-	body := mutateBody{ID: st.ID, Version: st.Version, Edges: batch.Edges}
-	for _, t := range batch.Tasks {
-		body.Tasks = append(body.Tasks, taskBody{ID: t.ID, Name: t.Name, Kind: t.Kind})
+	// Hot path: encode the batch into the store's scratch under mu (the
+	// WAL copies it before appendLocked returns). The legacy knob keeps
+	// the old JSON encoding reachable for baselines and compat tests.
+	var body []byte
+	if s.opts.LegacyJSONBodies {
+		var jerr error
+		if body, jerr = encodeMutateJSON(st.ID, st.Version, batch); jerr != nil {
+			jerr = s.failLocked(jerr)
+			s.mu.Unlock()
+			return jerr
+		}
+	} else {
+		s.enc = appendMutateBinary(s.enc[:0], st.ID, st.Version, batch)
+		body = s.enc
 	}
 	ticket, n, err := s.appendLocked(recMutate, body)
 	if err != nil {
@@ -499,7 +525,11 @@ func (s *Store) Committed(batch *engine.AppliedBatch, st *engine.LiveState) erro
 // without mutating still gets folded into snapshots and its log still
 // compacts, keeping the ~2x-of-live-state disk bound honest.
 func (s *Store) ViewAttached(st *engine.LiveState, vid string, v *view.View) error {
-	raw, err := json.Marshal(v)
+	raw, err := marshalViewJSON(v)
+	if err != nil {
+		return s.fail(err)
+	}
+	body, err := encodeAttachBody(st.ID, vid, st.Version, raw)
 	if err != nil {
 		return s.fail(err)
 	}
@@ -508,7 +538,7 @@ func (s *Store) ViewAttached(st *engine.LiveState, vid string, v *view.View) err
 		s.mu.Unlock()
 		return err
 	}
-	ticket, n, err := s.appendLocked(recAttach, attachBody{ID: st.ID, VID: vid, Version: st.Version, View: raw})
+	ticket, n, err := s.appendLocked(recAttach, body)
 	snap := false
 	coverLSN := s.lsn
 	if err == nil {
@@ -531,12 +561,16 @@ func (s *Store) ViewAttached(st *engine.LiveState, vid string, v *view.View) err
 
 // ViewDetached appends the detach record.
 func (s *Store) ViewDetached(st *engine.LiveState, vid string) error {
+	body, err := encodeDetachBody(st.ID, vid, st.Version)
+	if err != nil {
+		return s.fail(err)
+	}
 	s.mu.Lock()
 	if err := s.usableLocked(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
-	ticket, n, err := s.appendLocked(recDetach, detachBody{ID: st.ID, VID: vid, Version: st.Version})
+	ticket, n, err := s.appendLocked(recDetach, body)
 	snap := false
 	coverLSN := s.lsn
 	if err == nil {
@@ -562,12 +596,16 @@ func (s *Store) ViewDetached(st *engine.LiveState, vid string) error {
 // leaves either the workflow intact (delete never acknowledged) or a
 // durable delete that replay honors; never a silently lost workflow.
 func (s *Store) Deleted(id string) error {
+	body, err := encodeDeleteBody(id)
+	if err != nil {
+		return s.fail(err)
+	}
 	s.mu.Lock()
 	if err := s.usableLocked(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
-	ticket, _, err := s.appendLocked(recDelete, deleteBody{ID: id})
+	ticket, _, err := s.appendLocked(recDelete, body)
 	if err != nil {
 		s.mu.Unlock()
 		return err
@@ -614,22 +652,74 @@ func (s *Store) RunIngested(workflowID, runID string, doc []byte) (bool, error) 
 		s.mu.Unlock()
 		return false, err
 	}
-	ticket, n, err := s.appendLocked(recRun, runBody{ID: workflowID, Run: runID, Doc: doc})
+	ticket, err := s.appendRunLocked(workflowID, runID, doc)
 	want := false
 	if err == nil {
-		ws := s.wfs[workflowID]
-		if ws == nil {
-			ws = &wfState{}
-			s.wfs[workflowID] = ws
-		}
-		ws.sinceSnapRecs++
-		ws.sinceSnapBytes += n
-		want = ws.wantSnapshot(s.opts)
+		want = s.wfs[workflowID].wantSnapshot(s.opts)
 	}
 	s.mu.Unlock()
 	if err != nil {
 		return false, err
 	}
+	return want, s.waitDurable(ticket)
+}
+
+// appendRunLocked encodes and appends one run record and rolls its size
+// into the workflow's snapshot-trigger bookkeeping; callers hold s.mu.
+// The legacy JSON body is only expressible for JSON documents (the
+// RawMessage embeds the doc verbatim), so binary docs always take the
+// binary body even under the legacy knob.
+func (s *Store) appendRunLocked(workflowID, runID string, doc []byte) (uint64, error) {
+	var body []byte
+	if s.opts.LegacyJSONBodies && len(doc) > 0 && doc[0] == '{' {
+		var jerr error
+		if body, jerr = encodeRunJSON(workflowID, runID, doc); jerr != nil {
+			return 0, s.failLocked(jerr)
+		}
+	} else {
+		s.enc = appendRunBinary(s.enc[:0], workflowID, runID, doc)
+		body = s.enc
+	}
+	ticket, n, err := s.appendLocked(recRun, body)
+	if err != nil {
+		return 0, err
+	}
+	ws := s.wfs[workflowID]
+	if ws == nil {
+		ws = &wfState{}
+		s.wfs[workflowID] = ws
+	}
+	ws.sinceSnapRecs++
+	ws.sinceSnapBytes += n
+	return ticket, nil
+}
+
+// RunsIngested journals a batch of runs ingested together: every record
+// is appended under one hold of the store lock — so the batch occupies
+// a contiguous LSN range with nothing interleaved — and the caller
+// waits on the last record's group-commit ticket, so the whole burst
+// rides one fsync instead of one per run. The snapshot-trigger answer
+// covers the batch as a whole.
+func (s *Store) RunsIngested(workflowID string, runIDs []string, docs [][]byte) (bool, error) {
+	if len(runIDs) == 0 {
+		return false, nil
+	}
+	s.mu.Lock()
+	if err := s.usableLocked(); err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	var ticket uint64
+	for i, runID := range runIDs {
+		t, err := s.appendRunLocked(workflowID, runID, docs[i])
+		if err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+		ticket = t
+	}
+	want := s.wfs[workflowID].wantSnapshot(s.opts)
+	s.mu.Unlock()
 	return want, s.waitDurable(ticket)
 }
 
