@@ -30,12 +30,22 @@
 //	        [-optimal-timeout 2s] [-read-timeout 30s] [-request-timeout 30s]
 //	        [-ingest-concurrency N] [-data-dir DIR] [-fsync none|batch|always]
 //	        [-snapshot-bytes N] [-snapshot-every N] [-probe-backoff 250ms]
-//	        [-pprof-addr 127.0.0.1:6060]
+//	        [-pprof-addr 127.0.0.1:6060] [-trace-sample N] [-slow-query 250ms]
+//	        [-log-level info]
 //
 // -pprof-addr serves net/http/pprof on a separate private listener,
 // never on the service address; keep it bound to loopback (a
 // non-loopback bind works but is logged loudly, since profiles expose
 // process internals).
+//
+// Observability: GET /metrics serves Prometheus text-format counters,
+// gauges and histograms for the full serve/write/recovery path.
+// -trace-sample N records one in N requests as an in-process trace,
+// tailed at GET /debug/traces (0, the default, disables tracing and
+// keeps the warm serve path allocation-free). -slow-query D logs any
+// request slower than D and counts it in wolves_slow_queries_total.
+// All daemon logs are structured key=value lines; -log-level sets the
+// minimum severity (debug, info, warn, error).
 //
 // Stateless endpoints:
 //
@@ -79,7 +89,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -89,10 +98,15 @@ import (
 	"time"
 
 	"wolves/internal/engine"
+	"wolves/internal/obs"
 	"wolves/internal/runs"
 	"wolves/internal/server"
 	"wolves/internal/storage"
 )
+
+// mainLog narrates daemon lifecycle: boot, recovery, shutdown. Request
+// traffic never goes through it.
+var mainLog = obs.NewLogger("wolvesd")
 
 // openStore is swapped by tests to wrap the store's filesystem with
 // fault injection.
@@ -110,7 +124,7 @@ func startPprof(addr string) (func(), error) {
 	}
 	if host, _, herr := net.SplitHostPort(addr); herr == nil {
 		if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
-			log.Printf("wolvesd: WARNING: -pprof-addr %s is not loopback; profiling endpoints expose process internals", addr)
+			mainLog.Warn("pprof listener is not loopback; profiling endpoints expose process internals", "addr", addr)
 		}
 	}
 	mux := http.NewServeMux()
@@ -121,9 +135,9 @@ func startPprof(addr string) (func(), error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go func() {
-		log.Printf("wolvesd: pprof listening on %s", ln.Addr())
+		mainLog.Info("pprof listening", "addr", ln.Addr().String())
 		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
-			log.Printf("wolvesd: pprof server: %v", serr)
+			mainLog.Error("pprof server failed", "err", serr)
 		}
 	}()
 	return func() { _ = srv.Close() }, nil
@@ -164,9 +178,22 @@ func run(args []string) error {
 		"parallelism of boot recovery: snapshot loading and WAL replay (0 = GOMAXPROCS, 1 = sequential)")
 	pprofAddr := fs.String("pprof-addr", "",
 		"serve net/http/pprof on this private listener (e.g. 127.0.0.1:6060; empty = disabled; never expose publicly)")
+	traceSample := fs.Int64("trace-sample", 0,
+		"record one in N requests as an in-process trace, tailed at GET /debug/traces (0 = tracing off)")
+	slowQuery := fs.Duration("slow-query", 0,
+		"log requests slower than this and count them in wolves_slow_queries_total (0 = off)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	obs.SetLogLevel(level)
+	obs.DefaultTracer.SetSampleN(*traceSample)
+	obs.SetSlowQueryThreshold(*slowQuery)
 
 	if *pprofAddr != "" {
 		closePprof, err := startPprof(*pprofAddr)
@@ -211,11 +238,23 @@ func run(args []string) error {
 		}
 		reg.SetJournal(store)
 		runStore.SetJournal(store)
-		// One stable summary line (the "wolvesd: recovery:" prefix is what
-		// restart smoke tests grep for), mirrored into /v1/stats below.
-		log.Printf("wolvesd: recovery: segments=%d snapshots=%d(+%d dropped) replayed=%d skipped=%d workflows=%d views=%d runs=%d torn=%dB workers=%d wall=%dms from %s (fsync=%s)",
-			stats.Segments, stats.Snapshots, stats.SnapshotsDropped, stats.Replayed, stats.Skipped,
-			stats.Workflows, stats.Views, stats.Runs, stats.TornBytes, stats.Workers, stats.WallMillis, *dataDir, mode)
+		// One stable summary line (the "component=wolvesd msg=recovery"
+		// pair is what restart smoke tests grep for), mirrored into
+		// /v1/stats below.
+		mainLog.Info("recovery",
+			"segments", stats.Segments,
+			"snapshots", stats.Snapshots,
+			"snapshots_dropped", stats.SnapshotsDropped,
+			"replayed", stats.Replayed,
+			"skipped", stats.Skipped,
+			"workflows", stats.Workflows,
+			"views", stats.Views,
+			"runs", stats.Runs,
+			"torn_bytes", stats.TornBytes,
+			"workers", stats.Workers,
+			"wall_millis", stats.WallMillis,
+			"dir", *dataDir,
+			"fsync", mode)
 		recoveryInfo = &server.RecoveryInfo{
 			Workflows:        stats.Workflows,
 			Views:            stats.Views,
@@ -250,8 +289,14 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("wolvesd listening on %s (workers=%d cache=%d live-workflows=%d optimal-timeout=%v)",
-			*addr, eng.Workers(), *cacheSize, *liveWorkflows, *optimalTimeout)
+		mainLog.Info("listening",
+			"addr", *addr,
+			"workers", eng.Workers(),
+			"cache", *cacheSize,
+			"live_workflows", *liveWorkflows,
+			"optimal_timeout", *optimalTimeout,
+			"trace_sample", *traceSample,
+			"slow_query", *slowQuery)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -262,7 +307,7 @@ func run(args []string) error {
 		}
 		return err
 	case <-ctx.Done():
-		log.Print("wolvesd: shutting down")
+		mainLog.Info("shutting down")
 		websrv.StartDraining() // /readyz flips to 503 before the listener closes
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -282,7 +327,7 @@ func run(args []string) error {
 			// supervisors notice the disk is misbehaving.
 			cpErr := store.Checkpoint(reg)
 			if cpErr != nil {
-				log.Printf("wolvesd: final checkpoint failed (WAL remains authoritative): %v", cpErr)
+				mainLog.Error("final checkpoint failed; WAL remains authoritative", "err", cpErr)
 			}
 			if err := store.Close(); err != nil {
 				return fmt.Errorf("close store: %w", err)
@@ -290,7 +335,7 @@ func run(args []string) error {
 			if cpErr != nil {
 				return fmt.Errorf("final checkpoint: %w", cpErr)
 			}
-			log.Print("wolvesd: checkpoint written")
+			mainLog.Info("checkpoint written")
 		}
 		return nil
 	}

@@ -11,6 +11,7 @@ import (
 	"wolves/internal/analysis/jsonseam"
 	"wolves/internal/analysis/lint"
 	"wolves/internal/analysis/lockflow"
+	"wolves/internal/analysis/obsseam"
 	"wolves/internal/analysis/poolret"
 	"wolves/internal/analysis/vfsseam"
 )
@@ -24,6 +25,7 @@ func All() []*lint.Analyzer {
 		ctxpass.Analyzer,
 		lockflow.Analyzer,
 		poolret.Analyzer,
+		obsseam.Analyzer,
 	}
 }
 

@@ -1,0 +1,111 @@
+// Package obsseam checks the PR 10 observability seam: library packages
+// must log through internal/obs — structured key=value lines with a
+// level, a component and a rate limit — never through the stdlib log
+// package or raw fmt writes to os.Stderr. A stray log.Printf bypasses
+// the level filter, the rate limiter and the machine-parseable format
+// at once; operators end up with two interleaved log dialects on one
+// stream.
+//
+// Exempt: internal/obs itself (it owns the sink), package main under
+// cmd/ (a CLI's usage/error chatter to stderr is its interface, and
+// wolvesd's last-resort exit message must not depend on the logger it
+// is reporting about), and test files.
+//
+// The escape hatch is `//lint:allow obsseam <reason>` on (or directly
+// above) the offending line.
+package obsseam
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"wolves/internal/analysis/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "obsseam",
+	Doc: "stdlib log or raw fmt-to-os.Stderr output outside internal/obs and cmd/ mains bypasses the " +
+		"structured, leveled, rate-limited logger (PR 10); use obs.NewLogger(component) " +
+		"or annotate //lint:allow obsseam",
+	Run: run,
+}
+
+// exemptPkg reports whether the package owns its own output dialect:
+// internal/obs (the sink), and main packages (CLI chatter to stderr is
+// their interface).
+func exemptPkg(pass *lint.Pass) bool {
+	if pass.Pkg.Name() == "main" {
+		return true
+	}
+	return strings.HasSuffix(pass.Pkg.Path(), "internal/obs")
+}
+
+// pkgOf resolves the imported package path behind a selector base
+// identifier, or "" when the base is not a package name.
+func pkgOf(pass *lint.Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// isStderr reports whether e is the os.Stderr variable.
+func isStderr(pass *lint.Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stderr" {
+		return false
+	}
+	return pkgOf(pass, sel.X) == "os"
+}
+
+func run(pass *lint.Pass) (any, error) {
+	if exemptPkg(pass) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "log" {
+				pass.Reportf(imp.Pos(),
+					"stdlib log outside internal/obs and cmd/ mains; "+
+						"log through obs.NewLogger(component) so lines stay structured, leveled and rate-limited")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if pkgOf(pass, n.X) == "log" {
+					pass.Reportf(n.Pos(),
+						"log.%s bypasses the structured logger; use obs.NewLogger(component)",
+						n.Sel.Name)
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || pkgOf(pass, sel.X) != "fmt" {
+					return true
+				}
+				if !strings.HasPrefix(sel.Sel.Name, "Fprint") || len(n.Args) == 0 {
+					return true
+				}
+				if isStderr(pass, n.Args[0]) {
+					pass.Reportf(n.Pos(),
+						"fmt.%s to os.Stderr bypasses the structured logger; use obs.NewLogger(component)",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package obsseam_test
+
+import (
+	"testing"
+
+	"wolves/internal/analysis/analysistest"
+	"wolves/internal/analysis/obsseam"
+)
+
+func TestObsSeam(t *testing.T) {
+	analysistest.Run(t, "testdata", obsseam.Analyzer,
+		"example.com/internal/engine",
+		"example.com/cmd/tool",
+		"example.com/internal/obs")
+}

@@ -1,0 +1,14 @@
+// Command tool is golden testdata: package main under cmd/ is exempt —
+// a CLI's stderr chatter is its interface.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.Printf("tool: starting")
+	fmt.Fprintln(os.Stderr, "tool: usage: tool [flags]")
+}

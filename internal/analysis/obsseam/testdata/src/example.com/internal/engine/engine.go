@@ -1,0 +1,35 @@
+// Package engine is golden testdata modeling a library package: stdlib
+// log and raw fmt writes to os.Stderr must go through the structured
+// logger instead.
+package engine
+
+import (
+	"fmt"
+	"log" // want `stdlib log outside internal/obs and cmd/ mains`
+	"os"
+)
+
+func badPrintf(err error) {
+	log.Printf("engine: mutate failed: %v", err) // want `log.Printf bypasses the structured logger`
+}
+
+func badFatal(err error) {
+	log.Fatalln("engine: unrecoverable:", err) // want `log.Fatalln bypasses the structured logger`
+}
+
+func badStderr(err error) {
+	fmt.Fprintln(os.Stderr, "engine:", err)           // want `fmt.Fprintln to os.Stderr bypasses the structured logger`
+	fmt.Fprintf(os.Stderr, "engine: %v\n", err)       // want `fmt.Fprintf to os.Stderr bypasses the structured logger`
+	fmt.Fprintf(os.Stdout, "report: %v\n", err)       // stdout is data, not logging
+	fmt.Fprintln(nopWriter{}, "not stderr, no sweat") // other writers are fine
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func escapeHatch(err error) {
+	//lint:allow obsseam modeled: deliberate raw write during sink bootstrap
+	fmt.Fprintln(os.Stderr, "bootstrap:", err)
+	log.Println("annotated") //lint:allow obsseam modeled same-line annotation
+}

@@ -1,0 +1,12 @@
+// Package obs is golden testdata: the logging package itself owns the
+// sink and is exempt.
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+func emit(line string) {
+	fmt.Fprintln(os.Stderr, line)
+}

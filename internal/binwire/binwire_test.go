@@ -58,7 +58,7 @@ func TestReaderCorruption(t *testing.T) {
 	for cut := 0; cut < len(whole); cut++ {
 		r := NewReader(whole[:cut])
 		r.Uvarint()
-		r.String()
+		_ = r.String()
 		if err := r.Close(); err == nil {
 			t.Fatalf("prefix of %d bytes closed clean", cut)
 		} else if !errors.Is(err, ErrCorrupt) {

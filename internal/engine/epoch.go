@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"wolves/internal/dag"
+	"wolves/internal/obs"
 	"wolves/internal/provenance"
 	"wolves/internal/view"
 )
@@ -140,6 +141,7 @@ func (lw *LiveWorkflow) publishEpochLocked() {
 		ep.views[vid] = ev
 	}
 	lw.epoch.Store(ep)
+	obs.MEpochPublishes.Inc()
 }
 
 // EpochAudit returns the provenance audit of view vid at exactly ep's
@@ -154,6 +156,7 @@ func (lw *LiveWorkflow) EpochAudit(ep *ReadEpoch, vid string) (audit *provenance
 		return nil, false
 	}
 	if a := ev.audit.Load(); a != nil {
+		obs.MAuditCacheHits.Inc()
 		return a, true
 	}
 	lw.mu.RLock()
@@ -165,6 +168,7 @@ func (lw *LiveWorkflow) EpochAudit(ep *ReadEpoch, vid string) (audit *provenance
 	if lv == nil || lv.v != ev.v {
 		return nil, false
 	}
+	obs.MAuditCacheMisses.Inc()
 	a := lv.viewAudit(lw.prov)
 	ev.audit.Store(a)
 	return a, true

@@ -6,7 +6,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wolves/internal/obs"
 )
+
+// healthLog narrates the degraded-mode state machine: every transition
+// is one structured line, so an operator can line up a burst of 503s
+// with the exact degrade/recover timestamps.
+var healthLog = obs.NewLogger("engine")
 
 // journalUnavailable is the marker interface a journal's errors implement
 // to signal the backing store is unavailable as a whole (not just one
@@ -169,6 +176,8 @@ func (r *Registry) degrade(cause error) {
 	}
 	h.mu.Unlock()
 	h.degradedFlag.Store(true)
+	obs.MHealthTransitions.With("degraded").Inc()
+	healthLog.Error("registry degraded read-only", "cause", cause)
 	if start {
 		go r.probeLoop(r.journal.(RecoverableJournal))
 	}
@@ -192,14 +201,19 @@ func (r *Registry) probeLoop(rj RecoverableJournal) {
 		h.mu.Lock()
 		h.probes++
 		h.mu.Unlock()
+		obs.MHealthTransitions.With("probing").Inc()
 		if err := rj.Probe(); err == nil {
 			if err := rj.Resync(r); err == nil {
 				h.mu.Lock()
 				h.degraded = false
 				h.probing = false
 				h.recoveries++
+				since := h.degradedSince
 				h.mu.Unlock()
 				h.degradedFlag.Store(false)
+				obs.MHealthTransitions.With("healthy").Inc()
+				healthLog.Info("registry recovered",
+					"degraded_for", time.Since(since).Round(time.Millisecond))
 				return
 			}
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -36,11 +37,13 @@ func (j *flakyJournal) call() error {
 	return nil
 }
 
-func (j *flakyJournal) Registered(*LiveState) error                       { return j.call() }
-func (j *flakyJournal) Committed(*AppliedBatch, *LiveState) error         { return j.call() }
-func (j *flakyJournal) ViewAttached(*LiveState, string, *view.View) error { return j.call() }
-func (j *flakyJournal) ViewDetached(*LiveState, string) error             { return j.call() }
-func (j *flakyJournal) Deleted(id string) error                           { return j.call() }
+func (j *flakyJournal) Registered(context.Context, *LiveState) error               { return j.call() }
+func (j *flakyJournal) Committed(context.Context, *AppliedBatch, *LiveState) error { return j.call() }
+func (j *flakyJournal) ViewAttached(context.Context, *LiveState, string, *view.View) error {
+	return j.call()
+}
+func (j *flakyJournal) ViewDetached(context.Context, *LiveState, string) error { return j.call() }
+func (j *flakyJournal) Deleted(ctx context.Context, id string) error           { return j.call() }
 func (j *flakyJournal) Probe() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"wolves/internal/view"
 	"wolves/internal/workflow"
 )
@@ -64,27 +66,31 @@ type AppliedBatch struct {
 
 // Journal receives every committed registry state transition. The no-op
 // journal is a nil Journal; see internal/storage for the durable one.
+// Every method takes the operation's context first: it carries the
+// request's trace span (internal/obs) down into the storage layer and
+// is for observability only — journal appends are never abandoned on
+// cancellation, or memory and the durable history would fork.
 type Journal interface {
 	// Registered is called when a workflow is registered (or replaces a
 	// previous registration under the same ID). st captures the initial
 	// state: version 1, no views.
-	Registered(st *LiveState) error
+	Registered(ctx context.Context, st *LiveState) error
 	// Committed is called after a structural mutation batch commits. st
 	// reflects the post-batch state (the journal decides when to turn it
 	// into a snapshot).
-	Committed(batch *AppliedBatch, st *LiveState) error
+	Committed(ctx context.Context, batch *AppliedBatch, st *LiveState) error
 	// ViewAttached is called when a view is attached or replaced. st
 	// reflects the post-attach state (the attached view document can be
 	// large, so journals fold view churn into their snapshot policy).
-	ViewAttached(st *LiveState, vid string, v *view.View) error
+	ViewAttached(ctx context.Context, st *LiveState, vid string, v *view.View) error
 	// ViewDetached is called when a view is detached; st reflects the
 	// post-detach state.
-	ViewDetached(st *LiveState, vid string) error
+	ViewDetached(ctx context.Context, st *LiveState, vid string) error
 	// Deleted is called when a workflow is deleted — explicitly, or by
 	// LRU eviction / replacement (a durable registry mirrors the live
 	// one exactly, so eviction deletes persisted state too; size the
 	// registry capacity accordingly).
-	Deleted(id string) error
+	Deleted(ctx context.Context, id string) error
 }
 
 // RestoredView names one view to re-attach during recovery. Build
@@ -106,12 +112,13 @@ func (r *Registry) Restore(id string, version uint64, wf *workflow.Workflow, vie
 	if version == 0 {
 		version = 1
 	}
-	lw, err := r.register(id, wf, version, false)
+	ctx := context.Background() //lint:allow ctxpass replay of durable state: journaling is off, nothing downstream to trace or cancel
+	lw, err := r.register(ctx, id, wf, version, false)
 	if err != nil {
 		return nil, err
 	}
 	for _, rv := range views {
-		if _, _, err := lw.attachView(rv.ID, rv.Build, false); err != nil {
+		if _, _, err := lw.attachView(ctx, rv.ID, rv.Build, false); err != nil {
 			return nil, err
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"wolves/internal/bitset"
 	"wolves/internal/core"
 	"wolves/internal/dag"
+	"wolves/internal/obs"
 	"wolves/internal/provenance"
 	"wolves/internal/soundness"
 	"wolves/internal/view"
@@ -307,7 +308,14 @@ type LineageResult struct {
 // (AttachView) so they can be decoded against the live object. The new
 // workflow starts at version 1.
 func (r *Registry) Register(id string, wf *workflow.Workflow) (*LiveWorkflow, error) {
-	return r.register(id, wf, 1, true)
+	return r.RegisterCtx(context.Background(), id, wf) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// RegisterCtx is Register with the request context threaded through to
+// the journal (trace propagation; registration is never abandoned on
+// cancellation).
+func (r *Registry) RegisterCtx(ctx context.Context, id string, wf *workflow.Workflow) (*LiveWorkflow, error) {
+	return r.register(ctx, id, wf, 1, true)
 }
 
 // register is Register with an explicit starting version and journal
@@ -315,7 +323,7 @@ func (r *Registry) Register(id string, wf *workflow.Workflow) (*LiveWorkflow, er
 // write lock is held from before publication until after the journal
 // call, so a concurrent Get+Mutate cannot journal ahead of the
 // registration record.
-func (r *Registry) register(id string, wf *workflow.Workflow, version uint64, journal bool) (*LiveWorkflow, error) {
+func (r *Registry) register(ctx context.Context, id string, wf *workflow.Workflow, version uint64, journal bool) (*LiveWorkflow, error) {
 	if id == "" {
 		return nil, errf(ErrBadInput, "register", "empty workflow id")
 	}
@@ -367,7 +375,7 @@ func (r *Registry) register(id string, wf *workflow.Workflow, version uint64, jo
 		replaced.close()
 	}
 	if evicted != nil {
-		if err := r.retire(evicted, journal); err != nil {
+		if err := r.retire(ctx, evicted, journal); err != nil {
 			// The new workflow is published and consistent in memory;
 			// only the store is failing (and it is sticky). Unpublish so
 			// the caller's failed Register leaves no trace.
@@ -378,7 +386,7 @@ func (r *Registry) register(id string, wf *workflow.Workflow, version uint64, jo
 		}
 	}
 	if journal && r.journal != nil {
-		if err := r.journal.Registered(lw.stateLocked()); err != nil {
+		if err := r.journal.Registered(ctx, lw.stateLocked()); err != nil {
 			lw.mu.Unlock()
 			r.unpublish(lw)
 			lw.close()
@@ -399,7 +407,7 @@ func (r *Registry) register(id string, wf *workflow.Workflow, version uint64, jo
 // by the time we get here, the delete record is skipped entirely: the
 // newer registration record (and its snapshot) supersedes the old
 // incarnation on replay, exactly like an in-place replacement.
-func (r *Registry) retire(lw *LiveWorkflow, journal bool) error {
+func (r *Registry) retire(ctx context.Context, lw *LiveWorkflow, journal bool) error {
 	lw.close()
 	if !journal || r.journal == nil {
 		return nil
@@ -409,7 +417,7 @@ func (r *Registry) retire(lw *LiveWorkflow, journal bool) error {
 	if _, reborn := r.lws[lw.id]; reborn {
 		return nil
 	}
-	return r.JournalFault("delete", r.journal.Deleted(lw.id))
+	return r.JournalFault("delete", r.journal.Deleted(ctx, lw.id))
 }
 
 // unpublish removes lw from the map if it is still the published entry
@@ -468,6 +476,12 @@ func (r *Registry) Capacity() int { return r.capacity }
 // its durable state when a journal is installed (see retire for the
 // ordering guarantees against a racing re-registration).
 func (r *Registry) Delete(id string) error {
+	return r.DeleteCtx(context.Background(), id) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// DeleteCtx is Delete with the request context threaded through to the
+// journal.
+func (r *Registry) DeleteCtx(ctx context.Context, id string) error {
 	if r.journal != nil {
 		if ee := r.checkWritable("delete"); ee != nil {
 			return ee
@@ -480,7 +494,7 @@ func (r *Registry) Delete(id string) error {
 	if !ok {
 		return errf(ErrUnknownWorkflow, "delete", "no live workflow %q", id)
 	}
-	if err := r.retire(lw, true); err != nil {
+	if err := r.retire(ctx, lw, true); err != nil {
 		return wrapErr("delete", err)
 	}
 	return nil
@@ -646,12 +660,18 @@ func (lw *LiveWorkflow) Resource() (WorkflowInfo, *workflow.Workflow, error) {
 // subsequent Mutate. The returned version is the one the report was
 // validated under, read within the same critical section.
 func (lw *LiveWorkflow) AttachView(vid string, build func(wf *workflow.Workflow) (*view.View, error)) (*soundness.Report, uint64, error) {
-	return lw.attachView(vid, build, true)
+	return lw.AttachViewCtx(context.Background(), vid, build) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// AttachViewCtx is AttachView with the request context threaded through
+// to the journal.
+func (lw *LiveWorkflow) AttachViewCtx(ctx context.Context, vid string, build func(wf *workflow.Workflow) (*view.View, error)) (*soundness.Report, uint64, error) {
+	return lw.attachView(ctx, vid, build, true)
 }
 
 // attachView is AttachView with a journal switch; Restore re-enters here
 // with journaling off.
-func (lw *LiveWorkflow) attachView(vid string, build func(wf *workflow.Workflow) (*view.View, error), journal bool) (*soundness.Report, uint64, error) {
+func (lw *LiveWorkflow) attachView(ctx context.Context, vid string, build func(wf *workflow.Workflow) (*view.View, error), journal bool) (*soundness.Report, uint64, error) {
 	if vid == "" {
 		return nil, 0, errf(ErrBadInput, "attach", "empty view id")
 	}
@@ -683,14 +703,17 @@ func (lw *LiveWorkflow) attachView(vid string, build func(wf *workflow.Workflow)
 		return nil, 0, errf(ErrWorkflowMismatch, "attach",
 			"view %q was not built against the live workflow", v.Name())
 	}
-	rep := soundness.ValidateViewParallel(lw.oracle, v, lw.reg.eng.Workers())
+	rep, err := soundness.ValidateViewParallelCtx(ctx, lw.oracle, v, lw.reg.eng.Workers())
+	if err != nil {
+		return nil, 0, wrapErr("attach", err)
+	}
 	if _, exists := lw.views[vid]; !exists {
 		lw.viewOrder = append(lw.viewOrder, vid)
 	}
 	lw.views[vid] = &liveView{v: v, report: rep}
 	lw.publishEpochLocked()
 	if journal && lw.reg.journal != nil {
-		if err := lw.reg.journal.ViewAttached(lw.stateLocked(), vid, v); err != nil {
+		if err := lw.reg.journal.ViewAttached(ctx, lw.stateLocked(), vid, v); err != nil {
 			return nil, 0, lw.reg.JournalFault("attach", err)
 		}
 	}
@@ -699,6 +722,12 @@ func (lw *LiveWorkflow) attachView(vid string, build func(wf *workflow.Workflow)
 
 // DetachView removes the view vid.
 func (lw *LiveWorkflow) DetachView(vid string) error {
+	return lw.DetachViewCtx(context.Background(), vid) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// DetachViewCtx is DetachView with the request context threaded through
+// to the journal.
+func (lw *LiveWorkflow) DetachViewCtx(ctx context.Context, vid string) error {
 	lw.mu.Lock()
 	defer lw.mu.Unlock()
 	if lw.closed {
@@ -721,7 +750,7 @@ func (lw *LiveWorkflow) DetachView(vid string) error {
 	}
 	lw.publishEpochLocked()
 	if lw.reg.journal != nil {
-		if err := lw.reg.journal.ViewDetached(lw.stateLocked(), vid); err != nil {
+		if err := lw.reg.journal.ViewDetached(ctx, lw.stateLocked(), vid); err != nil {
 			return lw.reg.JournalFault("detach", err)
 		}
 	}
@@ -832,6 +861,18 @@ func (lw *LiveWorkflow) taskIDs(idx []int) []string {
 // the batch turned out to be a structural no-op (only duplicate edges),
 // which leaves the version unchanged.
 func (lw *LiveWorkflow) Mutate(m Mutation) (*MutationResult, error) {
+	return lw.MutateCtx(context.Background(), m) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// MutateCtx is Mutate with the request context threaded through: the
+// trace span it may carry covers the apply/revalidate/publish work, and
+// a child span times the journal commit (the seam where group-commit
+// stalls surface). Cancellation is observability-only — a batch that
+// entered apply always commits or rolls back as one unit.
+func (lw *LiveWorkflow) MutateCtx(ctx context.Context, m Mutation) (*MutationResult, error) {
+	ctx, span := obs.StartSpan(ctx, "engine", "mutate")
+	defer span.End()
+	span.SetAttr("workflow", lw.id)
 	lw.mu.Lock()
 	defer lw.mu.Unlock()
 	if lw.closed {
@@ -992,7 +1033,10 @@ func (lw *LiveWorkflow) Mutate(m Mutation) (*MutationResult, error) {
 		for i, e := range applied {
 			edges[i] = [2]string{lw.wf.Task(e[0]).ID, lw.wf.Task(e[1]).ID}
 		}
-		if err := j.Committed(&AppliedBatch{Tasks: m.Tasks, Edges: edges}, lw.stateLocked()); err != nil {
+		jctx, jspan := obs.StartSpan(ctx, "engine", "journal.commit")
+		err := j.Committed(jctx, &AppliedBatch{Tasks: m.Tasks, Edges: edges}, lw.stateLocked())
+		jspan.End()
+		if err != nil {
 			return nil, lw.reg.JournalFault("mutate", err)
 		}
 	}

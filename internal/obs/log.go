@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Structured leveled logging: key=value lines, component-scoped,
+// rate-limited. This replaces raw log.Printf across the daemon and the
+// library packages (machine-checked by the obsseam analyzer): every
+// line carries ts, level, component and msg, and high-frequency
+// callers cannot flood the sink — each logger holds a token bucket and
+// reports how many lines it dropped once the flood ebbs.
+//
+// Errors bypass the rate limit: a line that explains why the store
+// degraded must never be the one that was shed.
+
+// Level orders log severities.
+type Level int32
+
+// Log levels, in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// logSink is the shared output: one mutex so concurrent components
+// interleave whole lines, never bytes.
+var logSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+}
+
+func init() {
+	logSink.w = os.Stderr
+	logSink.min.Store(int32(LevelInfo))
+}
+
+// SetLogOutput redirects every logger's output (tests, or a log file).
+// It returns the previous writer.
+func SetLogOutput(w io.Writer) io.Writer {
+	logSink.mu.Lock()
+	defer logSink.mu.Unlock()
+	prev := logSink.w
+	logSink.w = w
+	return prev
+}
+
+// SetLogLevel sets the global minimum level.
+func SetLogLevel(l Level) { logSink.min.Store(int32(l)) }
+
+// ParseLevel resolves a level name as written on a -log-level flag.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Logger emits key=value lines for one component. The zero value is
+// unusable; create with NewLogger.
+type Logger struct {
+	component string
+
+	// Token bucket: capacity burst, refilled ratePerSec per second.
+	// Guarded by mu; logging is off the request hot path.
+	mu         sync.Mutex
+	tokens     float64
+	burst      float64
+	ratePerSec float64
+	last       time.Time
+	dropped    uint64
+}
+
+// NewLogger returns a logger scoped to component, allowing a burst of
+// 32 lines refilled at 16 lines/second.
+func NewLogger(component string) *Logger {
+	return &Logger{
+		component:  component,
+		tokens:     32,
+		burst:      32,
+		ratePerSec: 16,
+		last:       time.Now(),
+	}
+}
+
+// allow takes one token; errors always pass (and, like any allowed
+// line, harvest the pending dropped count).
+func (l *Logger) allow(level Level) (ok bool, dropped uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.ratePerSec
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	if l.tokens < 1 && level < LevelError {
+		l.dropped++
+		return false, 0
+	}
+	if l.tokens >= 1 {
+		l.tokens--
+	}
+	dropped = l.dropped
+	l.dropped = 0
+	return true, dropped
+}
+
+// Debug logs at debug level. kv alternates key, value.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level. kv alternates key, value.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level. kv alternates key, value.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level — never rate-limited. kv alternates key,
+// value.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if int32(level) < logSink.min.Load() {
+		return
+	}
+	ok, dropped := l.allow(level)
+	if !ok {
+		return
+	}
+	b := make([]byte, 0, 160)
+	b = time.Now().UTC().AppendFormat(b, "2006-01-02T15:04:05.000Z")
+	b = append(b, " level="...)
+	b = append(b, level.String()...)
+	b = append(b, " component="...)
+	b = append(b, l.component...)
+	b = append(b, " msg="...)
+	b = appendValue(b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b = append(b, ' ')
+		b = append(b, fmt.Sprint(kv[i])...)
+		b = append(b, '=')
+		b = appendValue(b, kv[i+1])
+	}
+	if dropped > 0 {
+		b = append(b, " dropped="...)
+		b = strconv.AppendUint(b, dropped, 10)
+	}
+	b = append(b, '\n')
+	logSink.mu.Lock()
+	_, _ = logSink.w.Write(b)
+	logSink.mu.Unlock()
+}
+
+// appendValue renders one value, quoting strings that contain spaces,
+// quotes or '=' so lines stay machine-parseable.
+func appendValue(b []byte, v any) []byte {
+	var s string
+	switch v := v.(type) {
+	case string:
+		s = v
+	case error:
+		s = v.Error()
+	case int:
+		return strconv.AppendInt(b, int64(v), 10)
+	case int64:
+		return strconv.AppendInt(b, v, 10)
+	case uint64:
+		return strconv.AppendUint(b, v, 10)
+	case bool:
+		return strconv.AppendBool(b, v)
+	case time.Duration:
+		return append(b, v.String()...)
+	default:
+		s = fmt.Sprint(v)
+	}
+	if needsQuote(s) {
+		return strconv.AppendQuote(b, s)
+	}
+	return append(b, s...)
+}
+
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == ' ' || c == '"' || c == '=' || c < 0x20:
+			return true
+		}
+	}
+	return false
+}

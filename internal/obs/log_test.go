@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// capture redirects the log sink for one test.
+func capture(t *testing.T) *syncBuffer {
+	t.Helper()
+	buf := &syncBuffer{}
+	prev := SetLogOutput(buf)
+	t.Cleanup(func() { SetLogOutput(prev) })
+	return buf
+}
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var lineRE = regexp.MustCompile(
+	`^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z level=(debug|info|warn|error) component=\S+ msg=\S.*$`)
+
+func TestLoggerFormat(t *testing.T) {
+	buf := capture(t)
+	l := NewLogger("storage")
+	l.Info("segment rotated", "segment", 7, "bytes", int64(4096))
+	l.Warn("retrying snapshot", "attempt", 2, "err", "disk full: /tmp/x")
+	l.Error("journal unavailable", "cause", "fsync: EIO")
+	out := strings.TrimRight(buf.String(), "\n")
+	lines := strings.Split(out, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if !lineRE.MatchString(line) {
+			t.Errorf("line not key=value structured: %q", line)
+		}
+	}
+	if !strings.Contains(lines[0], `msg="segment rotated" segment=7 bytes=4096`) {
+		t.Errorf("values mis-rendered: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `err="disk full: /tmp/x"`) {
+		t.Errorf("string with spaces not quoted: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "level=error component=storage") {
+		t.Errorf("error line mis-tagged: %q", lines[2])
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	buf := capture(t)
+	SetLogLevel(LevelWarn)
+	t.Cleanup(func() { SetLogLevel(LevelInfo) })
+	l := NewLogger("engine")
+	l.Debug("noisy")
+	l.Info("noisy")
+	l.Warn("kept")
+	if out := buf.String(); strings.Contains(out, "noisy") || !strings.Contains(out, "kept") {
+		t.Errorf("level filter wrong:\n%s", out)
+	}
+}
+
+func TestLoggerRateLimit(t *testing.T) {
+	buf := capture(t)
+	l := NewLogger("flood")
+	for i := 0; i < 200; i++ {
+		l.Info("spam", "i", i)
+	}
+	// Errors always pass, and report how many lines were shed.
+	l.Error("must appear")
+	out := buf.String()
+	n := strings.Count(out, "msg=spam")
+	if n >= 200 {
+		t.Errorf("rate limiter let all %d lines through", n)
+	}
+	if n == 0 {
+		t.Error("rate limiter shed everything, burst should pass")
+	}
+	if !strings.Contains(out, "must appear") {
+		t.Error("error line was rate-limited")
+	}
+	// The next unthrottled line reports the shed count.
+	if !strings.Contains(out, "dropped=") {
+		t.Errorf("no dropped report:\n%s", out)
+	}
+}

@@ -1,0 +1,434 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one fixed name/value pair attached to a series at
+// registration time. Labels are resolved when the instrument is
+// created, never on the hot path — there is no per-observation label
+// lookup anywhere in this package.
+type Label struct {
+	Name, Value string
+}
+
+// maxSeries caps the number of series one family may hold. Every label
+// set in this package is fixed at registration, so hitting the cap is
+// a programming error (someone tried to mint per-request or
+// per-workflow-ID series), not an operational event.
+const maxSeries = 256
+
+// Counter is a monotonically increasing counter. All methods are safe
+// for concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer gauge. All methods are safe for concurrent use
+// and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat is a float64 updated by CAS, for histogram sums.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Bucket bounds are set at
+// registration; Observe is a linear scan over ≤ ~16 bounds plus two
+// atomic adds — no locks, no maps, no allocation.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, per-bucket (cumulated at scrape)
+	sum    atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// LatencyBuckets is the default bound set for request/query latency
+// histograms, in seconds: 50µs … 2.5s.
+var LatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// SizeBuckets is the default bound set for batch-size histograms
+// (group-commit batches, ingest batches): powers of two, 1 … 512.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// CounterVec is a counter family over one label with a fixed value
+// set. With on an undeclared value returns the overflow child (label
+// value "other") instead of minting a new series — the cardinality
+// guard that keeps per-workflow or per-run IDs out of /metrics.
+type CounterVec struct {
+	values   []string
+	counters []*Counter
+	other    *Counter
+}
+
+// With returns the child counter for value, or the overflow child when
+// value was not declared at registration.
+func (v *CounterVec) With(value string) *Counter {
+	for i, s := range v.values {
+		if s == value {
+			return v.counters[i]
+		}
+	}
+	return v.other
+}
+
+// HistogramVec is a histogram family over one label with a fixed value
+// set, with the same overflow behavior as CounterVec.
+type HistogramVec struct {
+	values []string
+	hists  []*Histogram
+	other  *Histogram
+}
+
+// With returns the child histogram for value, or the overflow child.
+func (v *HistogramVec) With(value string) *Histogram {
+	for i, s := range v.values {
+		if s == value {
+			return v.hists[i]
+		}
+	}
+	return v.other
+}
+
+// series is one exposition line source inside a family.
+type series struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	write  func(w *bufio.Writer, name, labels string)
+}
+
+// family is one named metric with HELP/TYPE and its series.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration (typically package init or process
+// wire-up) takes a lock; reads on the hot path never touch the
+// registry — instruments are plain structs updated with atomics.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) familyFor(name, help, typ string) *family {
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.typ != typ {
+		panic("obs: metric " + name + " re-registered as " + typ + ", was " + f.typ)
+	}
+	return f
+}
+
+// addSeries appends (or, for collector rebinding, replaces) a series.
+func (f *family) addSeries(s *series, replace bool) {
+	for i, old := range f.series {
+		if old.labels == s.labels {
+			if replace {
+				f.series[i] = s
+				return
+			}
+			panic("obs: duplicate series " + f.name + s.labels)
+		}
+	}
+	if len(f.series) >= maxSeries {
+		panic("obs: series cardinality cap exceeded for " + f.name +
+			" — label values must be fixed, not per-entity")
+	}
+	f.series = append(f.series, s)
+}
+
+// renderLabels renders a label set deterministically (sorted by name).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	out := "{"
+	for i, l := range ls {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return out + "}"
+}
+
+func escapeLabel(v string) string {
+	// Backslash, double quote and newline must be escaped per the
+	// exposition format.
+	var b []byte
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return string(b)
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "counter")
+	f.addSeries(&series{labels: renderLabels(labels), write: func(w *bufio.Writer, name, ls string) {
+		w.WriteString(name)
+		w.WriteString(ls)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(c.Value(), 10))
+		w.WriteByte('\n')
+	}}, false)
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — for counters already maintained elsewhere (cache hit
+// totals, run-store ingest totals). Rebinding the same name+labels
+// replaces the previous function, so a restarted component (or a test
+// constructing a second server) re-points the series instead of
+// panicking.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "counter")
+	f.addSeries(&series{labels: renderLabels(labels), write: func(w *bufio.Writer, name, ls string) {
+		w.WriteString(name)
+		w.WriteString(ls)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(fn(), 10))
+		w.WriteByte('\n')
+	}}, true)
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "gauge")
+	f.addSeries(&series{labels: renderLabels(labels), write: func(w *bufio.Writer, name, ls string) {
+		w.WriteString(name)
+		w.WriteString(ls)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatInt(g.Value(), 10))
+		w.WriteByte('\n')
+	}}, false)
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// scrape time. Same rebinding semantics as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "gauge")
+	f.addSeries(&series{labels: renderLabels(labels), write: func(w *bufio.Writer, name, ls string) {
+		w.WriteString(name)
+		w.WriteString(ls)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatFloat(fn(), 'g', -1, 64))
+		w.WriteByte('\n')
+	}}, true)
+}
+
+// Histogram registers and returns a histogram series with the given
+// ascending bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram " + name + " bounds not ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, "histogram")
+	f.addSeries(&series{labels: renderLabels(labels), write: func(w *bufio.Writer, name, ls string) {
+		writeHistogram(w, name, ls, h)
+	}}, false)
+	return h
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// the le label merged into the pre-rendered label set, then sum and
+// count.
+func writeHistogram(w *bufio.Writer, name, ls string, h *Histogram) {
+	// ls is `` or `{a="b"}`; splice le before the closing brace.
+	open := "{"
+	if ls != "" {
+		open = ls[:len(ls)-1] + ","
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		w.WriteString(name)
+		w.WriteString("_bucket")
+		w.WriteString(open)
+		w.WriteString(`le="`)
+		if i < len(h.bounds) {
+			w.WriteString(strconv.FormatFloat(h.bounds[i], 'g', -1, 64))
+		} else {
+			w.WriteString("+Inf")
+		}
+		w.WriteString(`"} `)
+		w.WriteString(strconv.FormatUint(cum, 10))
+		w.WriteByte('\n')
+	}
+	w.WriteString(name)
+	w.WriteString("_sum")
+	w.WriteString(ls)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	w.WriteByte('\n')
+	w.WriteString(name)
+	w.WriteString("_count")
+	w.WriteString(ls)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+}
+
+// CounterVec registers a counter family over one label with the given
+// fixed value set, plus an overflow child labeled "other".
+func (r *Registry) CounterVec(name, help, label string, values ...string) *CounterVec {
+	v := &CounterVec{values: append([]string(nil), values...)}
+	for _, val := range values {
+		v.counters = append(v.counters, r.Counter(name, help, Label{label, val}))
+	}
+	v.other = r.Counter(name, help, Label{label, "other"})
+	return v
+}
+
+// HistogramVec registers a histogram family over one label with the
+// given fixed value set, plus an overflow child labeled "other".
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64, values ...string) *HistogramVec {
+	v := &HistogramVec{values: append([]string(nil), values...)}
+	for _, val := range values {
+		v.hists = append(v.hists, r.Histogram(name, help, bounds, Label{label, val}))
+	}
+	v.other = r.Histogram(name, help, bounds, Label{label, "other"})
+	return v
+}
+
+// WritePrometheus renders every family in registration order in the
+// Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		r.mu.Lock()
+		ss := append([]*series(nil), f.series...)
+		r.mu.Unlock()
+		for _, s := range ss {
+			s.write(bw, f.name, s.labels)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at GET /metrics in text exposition
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Too late for a status change; the connection is toast anyway.
+			return
+		}
+	})
+}

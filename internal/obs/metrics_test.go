@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to
+// a bound lands in that bucket (le is ≤), one past it lands in the
+// next, and everything beyond the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "t", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 3, 5, 6, 100} {
+		h.Observe(v)
+	}
+	// counts per raw bucket: ≤1: {0.5, 1} = 2; (1,2]: {1.0000001, 2} = 2;
+	// (2,5]: {3, 5} = 2; +Inf: {6, 100} = 2.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d: got %d want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count: got %d want 8", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.0000001+2+3+5+6+100; got != want {
+		t.Errorf("sum: got %v want %v", got, want)
+	}
+	// Exposition must be cumulative and end with _count == total.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`test_hist_bucket{le="1"} 2`,
+		`test_hist_bucket{le="2"} 4`,
+		`test_hist_bucket{le="5"} 6`,
+		`test_hist_bucket{le="+Inf"} 8`,
+		`test_hist_count 8`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestCounterMonotonicUnderConcurrency hammers one counter and one
+// histogram from many goroutines; totals must be exact (run under
+// -race in CI).
+func TestCounterMonotonicUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ctr", "t")
+	h := r.Histogram("test_lat", "t", LatencyBuckets)
+	g := r.Gauge("test_g", "t")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			last := uint64(0)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i%10) * 0.001)
+				g.Add(1)
+				if v := c.Value(); v < last {
+					t.Errorf("counter went backwards: %d after %d", v, last)
+					return
+				} else {
+					last = v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter: got %d want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count: got %d want %d", h.Count(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge: got %d want %d", g.Value(), workers*per)
+	}
+}
+
+// expositionLine matches one sample line of the text format.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+
+// TestExpositionFormatParses renders a registry exercising every
+// instrument kind and validates each line against the text exposition
+// grammar, plus histogram internal consistency.
+func TestExpositionFormatParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wolves_a_total", "a counter").Add(3)
+	r.Gauge("wolves_b", "a gauge", Label{"shard", "s0"}).Set(-2)
+	r.GaugeFunc("wolves_c", "a gauge func", func() float64 { return 1.5 })
+	r.CounterFunc("wolves_d_total", "a counter func", func() uint64 { return 9 })
+	h := r.Histogram("wolves_e_seconds", "a histogram", []float64{0.1, 1}, Label{"kind", "x"})
+	h.Observe(0.05)
+	h.Observe(10)
+	v := r.CounterVec("wolves_f_total", "a vec", "level", "exact", "view")
+	v.With("exact").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	types := map[string]string{}
+	var samples int
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "untyped":
+			default:
+				t.Errorf("bad type %q in %q", parts[1], line)
+			}
+			if _, dup := types[parts[0]]; dup {
+				t.Errorf("duplicate TYPE for %s", parts[0])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("line does not parse as exposition sample: %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no samples rendered")
+	}
+	// Histogram internal consistency: cumulative buckets, count matches.
+	var prev, inf uint64
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "wolves_e_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev, inf = n, n
+	}
+	if inf != 2 {
+		t.Errorf("+Inf bucket: got %d want 2", inf)
+	}
+}
+
+// TestLabelCardinalityGuard pins the two guards against unbounded
+// series: an undeclared vec value collapses into the "other" child
+// instead of minting a series, and direct registration past the series
+// cap panics (so a per-workflow-ID label blows up in tests, not in
+// production memory).
+func TestLabelCardinalityGuard(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_vec_total", "t", "level", "exact", "view")
+	v.With("exact").Inc()
+	// Undeclared values — as a per-workflow-ID label would be — all
+	// collapse into the one overflow child.
+	for i := 0; i < 1000; i++ {
+		v.With("wf-" + strconv.Itoa(i)).Inc()
+	}
+	if got := v.With("definitely-not-declared").Value(); got != 1000 {
+		t.Errorf("overflow child: got %d want 1000", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "test_vec_total{"); n != 3 {
+		t.Errorf("series count: got %d want 3 (exact, view, other):\n%s", n, buf.String())
+	}
+	if strings.Contains(buf.String(), "wf-") {
+		t.Error("per-entity label value leaked into exposition")
+	}
+	// Unbounded direct registration must panic at the cap.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic past the series cardinality cap")
+			}
+		}()
+		for i := 0; ; i++ {
+			r.Counter("test_capped_total", "t", Label{"id", strconv.Itoa(i)})
+		}
+	}()
+	// Duplicate registration of the same series is a programming error.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on duplicate series")
+			}
+		}()
+		r.Counter("test_vec_total", "t", Label{"level", "exact"})
+	}()
+	// Collector rebinding, by contrast, replaces: a second server in the
+	// same process re-points the series.
+	r.GaugeFunc("test_collector", "t", func() float64 { return 1 })
+	r.GaugeFunc("test_collector", "t", func() float64 { return 2 })
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test_collector 2\n") {
+		t.Errorf("rebind did not replace collector:\n%s", buf.String())
+	}
+}
+
+// TestObserveAllocFree pins the hot-path contract: counter increments
+// and histogram observations allocate nothing.
+func TestObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_alloc_total", "t")
+	h := r.Histogram("test_alloc_seconds", "t", LatencyBuckets)
+	v := r.CounterVec("test_alloc_vec_total", "t", "level", "exact", "view", "audited")
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		h.Observe(0.003)
+		v.With("audited").Inc()
+	}); n != 0 {
+		t.Errorf("hot-path metrics allocate: %v allocs/op", n)
+	}
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing: in-process spans sampled 1-in-N at the request root,
+// propagated via context through server → engine → runs → storage, and
+// recorded into a fixed-size lock-free ring served by GET
+// /debug/traces.
+//
+// The no-op fast path is the whole design: an unsampled request gets a
+// nil *Span back, every Span method is nil-receiver safe, and the
+// context is returned untouched — zero allocations, zero atomics past
+// the sampling counter. The warm lineage serve path stays 0 allocs/op
+// with tracing sampled out.
+
+// SpanRecord is one completed span as stored in the ring and served by
+// /debug/traces.
+type SpanRecord struct {
+	TraceID   string `json:"trace_id"`
+	SpanID    string `json:"span_id"`
+	ParentID  string `json:"parent_id,omitempty"`
+	Component string `json:"component"`
+	Name      string `json:"name"`
+	StartUnix int64  `json:"start_unix_nano"`
+	DurMicros int64  `json:"duration_micros"`
+	Attrs     string `json:"attrs,omitempty"`
+}
+
+// ringSize is the trace ring capacity; must be a power of two.
+const ringSize = 512
+
+// maxAttrs caps per-span attributes; SetAttr past the cap is dropped.
+const maxAttrs = 6
+
+// Tracer mints trace/span IDs, applies sampling, and owns the record
+// ring.
+type Tracer struct {
+	sampleN atomic.Int64  // 0 = tracing off; N = sample 1 request in N
+	ctr     atomic.Uint64 // round-robin sampling counter
+	idctr   atomic.Uint64 // span/trace ID mint
+	idbase  uint64        // per-process ID randomizer
+
+	ring [ringSize]atomic.Pointer[SpanRecord]
+	pos  atomic.Uint64
+
+	sampled *Counter // spans recorded (nil ok: counting disabled)
+}
+
+// NewTracer returns a tracer with sampling off.
+func NewTracer() *Tracer {
+	return &Tracer{idbase: uint64(time.Now().UnixNano())}
+}
+
+// SetSampleN sets the sampling rate: 0 disables tracing, 1 traces every
+// request, N traces one request in N.
+func (t *Tracer) SetSampleN(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	t.sampleN.Store(n)
+}
+
+// SampleN returns the current sampling rate.
+func (t *Tracer) SampleN() int64 { return t.sampleN.Load() }
+
+// Span is one in-flight traced operation. The zero value is not used;
+// spans come from StartSpan and are pooled — after End the span must
+// not be touched. All methods are safe on a nil receiver (the unsampled
+// fast path).
+type Span struct {
+	tracer    *Tracer
+	traceID   uint64
+	spanID    uint64
+	parentID  uint64
+	component string
+	name      string
+	start     time.Time
+	attrs     [maxAttrs][2]string
+	nattrs    int
+}
+
+type spanCtxKey struct{}
+
+// spanPool recycles Span structs across requests. Get happens in
+// StartSpan and the matching Put in End — ownership transfers through
+// the context, which is the point of the seam.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// withSpan returns ctx carrying s.
+func withSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// StartSpan starts a span under the span already carried by ctx, or —
+// when ctx carries none — applies the sampling decision to start a new
+// root. Unsampled requests get (ctx, nil) back: the context untouched,
+// no allocation. Sampled requests pay one pooled span and one context
+// allocation per span.
+func (t *Tracer) StartSpan(ctx context.Context, component, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		n := t.sampleN.Load()
+		if n <= 0 || t.ctr.Add(1)%uint64(n) != 0 {
+			return ctx, nil
+		}
+	}
+	s := spanPool.Get().(*Span) //lint:allow poolret ownership transfers to End via the context
+	s.tracer = t
+	s.spanID = t.mintID()
+	if parent != nil {
+		s.traceID = parent.traceID
+		s.parentID = parent.spanID
+	} else {
+		s.traceID = s.spanID
+		s.parentID = 0
+	}
+	s.component, s.name = component, name
+	s.nattrs = 0
+	s.start = time.Now()
+	return withSpan(ctx, s), s
+}
+
+// mintID returns a process-unique non-zero ID.
+func (t *Tracer) mintID() uint64 {
+	id := t.idbase + t.idctr.Add(1)*0x9e3779b97f4a7c15
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// SetAttr attaches one key/value to the span. Nil-safe; attributes past
+// the fixed cap are dropped.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = [2]string{k, v}
+	s.nattrs++
+}
+
+// End completes the span: the record lands in the tracer's ring and the
+// span returns to the pool. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	rec := &SpanRecord{
+		TraceID:   hexID(s.traceID),
+		SpanID:    hexID(s.spanID),
+		Component: s.component,
+		Name:      s.name,
+		StartUnix: s.start.UnixNano(),
+		DurMicros: time.Since(s.start).Microseconds(),
+	}
+	if s.parentID != 0 {
+		rec.ParentID = hexID(s.parentID)
+	}
+	if s.nattrs > 0 {
+		var b []byte
+		for i := 0; i < s.nattrs; i++ {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = append(b, s.attrs[i][0]...)
+			b = append(b, '=')
+			b = append(b, s.attrs[i][1]...)
+		}
+		rec.Attrs = string(b)
+	}
+	slot := t.pos.Add(1) - 1
+	t.ring[slot%ringSize].Store(rec)
+	if t.sampled != nil {
+		t.sampled.Inc()
+	}
+	*s = Span{}
+	spanPool.Put(s)
+}
+
+func hexID(id uint64) string { return strconv.FormatUint(id, 16) }
+
+// Tail returns up to n most recent completed spans, oldest first.
+func (t *Tracer) Tail(n int) []SpanRecord {
+	if n <= 0 || n > ringSize {
+		n = ringSize
+	}
+	end := t.pos.Load()
+	start := uint64(0)
+	if end > uint64(n) {
+		start = end - uint64(n)
+	}
+	out := make([]SpanRecord, 0, end-start)
+	for i := start; i < end; i++ {
+		if rec := t.ring[i%ringSize].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// Handler serves the trace tail as JSON at GET /debug/traces. The ?n=
+// query parameter bounds the tail (default and max: the ring size).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			SampleN int64        `json:"sample_n"`
+			Spans   []SpanRecord `json:"spans"`
+		}{SampleN: t.SampleN(), Spans: t.Tail(n)})
+	})
+}

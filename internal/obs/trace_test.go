@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanSampling(t *testing.T) {
+	tr := NewTracer()
+	ctx := context.Background()
+
+	// Sampling off: no span, context untouched.
+	c2, s := tr.StartSpan(ctx, "http", "lineage")
+	if s != nil {
+		t.Fatal("sampled with sampling off")
+	}
+	if c2 != ctx {
+		t.Fatal("context replaced on unsampled path")
+	}
+	s.SetAttr("k", "v") // nil-safe
+	s.End()             // nil-safe
+
+	// Sample every request: root + child share a trace, parent links.
+	tr.SetSampleN(1)
+	c2, root := tr.StartSpan(ctx, "http", "lineage")
+	if root == nil {
+		t.Fatal("not sampled with N=1")
+	}
+	root.SetAttr("route", "lineage")
+	c3, child := tr.StartSpan(c2, "runs", "lineage")
+	if child == nil {
+		t.Fatal("child of sampled span not recorded")
+	}
+	if child.traceID != root.traceID || child.parentID != root.spanID {
+		t.Errorf("child not linked: trace %x/%x parent %x span %x",
+			child.traceID, root.traceID, child.parentID, root.spanID)
+	}
+	if FromContext(c3) != child {
+		t.Error("FromContext did not return innermost span")
+	}
+	child.End()
+	root.End()
+
+	tail := tr.Tail(0)
+	if len(tail) != 2 {
+		t.Fatalf("tail: got %d spans, want 2", len(tail))
+	}
+	// Children end first: tail is completion-ordered.
+	if tail[0].Name != "lineage" || tail[0].Component != "runs" {
+		t.Errorf("unexpected first record: %+v", tail[0])
+	}
+	if tail[0].ParentID != tail[1].SpanID || tail[0].TraceID != tail[1].TraceID {
+		t.Errorf("ring lost the parent link: %+v / %+v", tail[0], tail[1])
+	}
+	if !strings.Contains(tail[1].Attrs, "route=lineage") {
+		t.Errorf("attrs lost: %+v", tail[1])
+	}
+}
+
+func TestSampleOneInN(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampleN(4)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		_, s := tr.StartSpan(context.Background(), "http", "x")
+		if s != nil {
+			sampled++
+			s.End()
+		}
+	}
+	if sampled != 25 {
+		t.Errorf("1-in-4 sampling: got %d of 100", sampled)
+	}
+}
+
+// TestRingConcurrent hammers the ring from many goroutines while a
+// reader tails it; run under -race in CI.
+func TestRingConcurrent(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampleN(1)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Tail(64)
+			}
+		}
+	}()
+	const workers, per = 4, 500
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				ctx, s := tr.StartSpan(context.Background(), "bench", "op")
+				_, c := tr.StartSpan(ctx, "bench", "inner")
+				c.End()
+				s.End()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if got := tr.pos.Load(); got != workers*per*2 {
+		t.Errorf("recorded %d spans, want %d", got, workers*per*2)
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampleN(1)
+	for i := 0; i < 3; i++ {
+		_, s := tr.StartSpan(context.Background(), "http", "stats")
+		s.End()
+	}
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?n=2", nil))
+	var body struct {
+		SampleN int64        `json:"sample_n"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if body.SampleN != 1 || len(body.Spans) != 2 {
+		t.Errorf("got sample_n=%d spans=%d, want 1 and 2", body.SampleN, len(body.Spans))
+	}
+}
+
+// TestUnsampledStartSpanAllocFree pins the tentpole contract: a
+// sampled-out StartSpan performs no allocation.
+func TestUnsampledStartSpanAllocFree(t *testing.T) {
+	tr := NewTracer()
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(200, func() {
+		c, s := tr.StartSpan(ctx, "http", "lineage")
+		s.End()
+		_ = c
+	}); n != 0 {
+		t.Errorf("unsampled StartSpan allocates: %v allocs/op", n)
+	}
+	tr.SetSampleN(2) // every other request unsampled
+	if n := testing.AllocsPerRun(200, func() {
+		_, s := tr.StartSpan(ctx, "http", "lineage")
+		s.End()
+	}); n > 2 {
+		t.Errorf("sampled spans too expensive: %v allocs/op", n)
+	}
+}

@@ -1,0 +1,45 @@
+//go:build !race
+
+package runs
+
+import "testing"
+
+// TestLineageAllocationCeiling is the CI allocation-regression guard
+// for the serve path: a warm view-level (and audited, and exact)
+// lineage query over a pooled, label-indexed store must stay under a
+// hard allocs-per-op ceiling. The label rewrite brought view/audited
+// answers from ~47 heap allocations to ~zero; this test fails the
+// build if a change quietly reintroduces per-query garbage. Under
+// -race the ceiling is meaningless (the race runtime allocates on its
+// own instrumentation), so alloc_race_test.go substitutes a
+// behavioral pass over the same fixture.
+func TestLineageAllocationCeiling(t *testing.T) {
+	s, cases := lineageAllocStore(t)
+	var encBuf []byte
+	for _, tc := range cases {
+		q := tc.q
+		// Warm: fill pools, the audit cache and slice capacities.
+		for i := 0; i < 4; i++ {
+			ans, qerr := s.Lineage("wf", q)
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			encBuf = ans.AppendJSON(encBuf[:0])
+			ans.Release()
+		}
+		got := testing.AllocsPerRun(100, func() {
+			ans, qerr := s.Lineage("wf", q)
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			encBuf = ans.AppendJSON(encBuf[:0])
+			ans.Release()
+		})
+		if got > tc.ceiling {
+			t.Errorf("%s: %v allocs/op, ceiling %v — the serve path regressed",
+				tc.name, got, tc.ceiling)
+		} else {
+			t.Logf("%s: %v allocs/op (ceiling %v)", tc.name, got, tc.ceiling)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+//go:build race
+
+package runs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestLineageAllocationCeiling under -race: the AllocsPerRun ceiling
+// cannot hold (the race runtime allocates on its own barriers), so
+// this build runs the same warm fixture behaviorally — repeated pooled
+// serves of every level must keep producing byte-identical answers.
+// That is the property the allocation discipline exists to protect: a
+// recycled answer that leaks state across queries shows up here as a
+// diverging encoding.
+func TestLineageAllocationCeiling(t *testing.T) {
+	s, cases := lineageAllocStore(t)
+	var first, encBuf []byte
+	for _, tc := range cases {
+		q := tc.q
+		first = first[:0]
+		for i := 0; i < 32; i++ {
+			ans, qerr := s.Lineage("wf", q)
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			encBuf = ans.AppendJSON(encBuf[:0])
+			ans.Release()
+			if i == 0 {
+				first = append(first, encBuf...)
+				if len(first) == 0 {
+					t.Fatalf("%s: empty answer encoding", tc.name)
+				}
+				continue
+			}
+			if !bytes.Equal(first, encBuf) {
+				t.Fatalf("%s: pooled serve diverged on iteration %d:\nfirst %s\n  got %s",
+					tc.name, i, first, encBuf)
+			}
+		}
+	}
+}

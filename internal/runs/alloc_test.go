@@ -10,13 +10,26 @@ import (
 	"wolves/internal/workflow"
 )
 
-// TestLineageAllocationCeiling is the CI allocation-regression guard
-// for the serve path: a warm view-level (and audited, and exact)
-// lineage query over a pooled, label-indexed store must stay under a
-// hard allocs-per-op ceiling. The label rewrite brought view/audited
-// answers from ~47 heap allocations to ~zero; this test fails the
-// build if a change quietly reintroduces per-query garbage.
-func TestLineageAllocationCeiling(t *testing.T) {
+// This file holds the shared fixture for the lineage allocation guard.
+// The guard itself lives in two build-tag-gated files with the same
+// test name: alloc_norace_test.go asserts the AllocsPerRun ceiling
+// (the race runtime's instrumentation allocates on every barrier, so
+// the ceiling only means something without -race), and
+// alloc_race_test.go runs the same warm queries as a behavioral check
+// so `go test -race ./...` still exercises the pooled serve path.
+
+// lineageAllocCase is one level of the serve path under guard.
+type lineageAllocCase struct {
+	name    string
+	q       Query
+	ceiling float64
+}
+
+// lineageAllocStore builds a warm, label-indexed store with one
+// ingested run over a layered workflow, and returns it with the sink
+// artifact and the guarded query cases.
+func lineageAllocStore(t *testing.T) (*Store, []lineageAllocCase) {
+	t.Helper()
 	const n = 512
 	wf := gen.Layered(gen.LayeredConfig{
 		Name: "alloc", Tasks: n, Layers: 16, EdgeProb: 0.05, Seed: int64(n),
@@ -54,42 +67,13 @@ func TestLineageAllocationCeiling(t *testing.T) {
 	}
 
 	sink := "a" + wf.Task(n-1).ID
-	var encBuf []byte
-	for _, tc := range []struct {
-		name    string
-		q       Query
-		ceiling float64
-	}{
-		// The ceilings leave slack over the measured ~0–2 for pool
-		// misses under GC pressure; 47+ is what the pre-label path cost.
+	// The ceilings leave slack over the measured ~0–2 for pool misses
+	// under GC pressure; 47+ is what the pre-label path cost.
+	cases := []lineageAllocCase{
 		{"exact", Query{Run: "r", Artifact: sink}, 8},
 		{"view", Query{Run: "r", Artifact: sink, Level: LevelView, View: "iv"}, 8},
 		{"audited", Query{Run: "r", Artifact: sink, Level: LevelAudited, View: "iv"}, 8},
 		{"witness", Query{Run: "r", Artifact: sink, Witness: true}, 8},
-	} {
-		q := tc.q
-		// Warm: fill pools, the audit cache and slice capacities.
-		for i := 0; i < 4; i++ {
-			ans, qerr := s.Lineage("wf", q)
-			if qerr != nil {
-				t.Fatal(qerr)
-			}
-			encBuf = ans.AppendJSON(encBuf[:0])
-			ans.Release()
-		}
-		got := testing.AllocsPerRun(100, func() {
-			ans, qerr := s.Lineage("wf", q)
-			if qerr != nil {
-				t.Fatal(qerr)
-			}
-			encBuf = ans.AppendJSON(encBuf[:0])
-			ans.Release()
-		})
-		if got > tc.ceiling {
-			t.Errorf("%s: %v allocs/op, ceiling %v — the serve path regressed",
-				tc.name, got, tc.ceiling)
-		} else {
-			t.Logf("%s: %v allocs/op (ceiling %v)", tc.name, got, tc.ceiling)
-		}
 	}
+	return s, cases
 }

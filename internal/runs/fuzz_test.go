@@ -79,9 +79,9 @@ func FuzzIngestNDJSON(f *testing.F) {
 		"{\"used\":{\"process\":\"CRB\",\"artifact\":\"a1\"}}\n"))
 	f.Add([]byte("{\"run\":\"r2\"}\n{\"invocation\":{\"id\":\"i1\",\"task\":\"CRB\"}}\n"))
 	f.Add([]byte("{\"run\":\"r3\"}\n{\"artifact\":{\"id\":\"a1\"}}")) // final line whole, just unterminated
-	f.Add([]byte("{\"run\":\"r4\"}\n{\"artifact\":{\"id\":\"a1\""))  // final line torn mid-record
-	f.Add([]byte("{\"run\":\"r5\"}\n{}\n"))                          // record declaring nothing
-	f.Add([]byte("{\"run\":\"r6\"}\n{\"run\":\"other\"}\n"))         // conflicting run ids
+	f.Add([]byte("{\"run\":\"r4\"}\n{\"artifact\":{\"id\":\"a1\""))   // final line torn mid-record
+	f.Add([]byte("{\"run\":\"r5\"}\n{}\n"))                           // record declaring nothing
+	f.Add([]byte("{\"run\":\"r6\"}\n{\"run\":\"other\"}\n"))          // conflicting run ids
 	f.Add([]byte("\n\n"))
 	f.Add([]byte{})
 

@@ -3,13 +3,16 @@ package runs
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"wolves/internal/bitset"
 	"wolves/internal/engine"
+	"wolves/internal/obs"
 	"wolves/internal/workflow"
 )
 
@@ -155,13 +158,19 @@ func decodeRunDoc(doc []byte) (*wireRun, error) {
 // replay safe). The returned info carries the workflow version the run
 // was validated against.
 func (s *Store) Ingest(workflowID string, doc []byte) (*RunInfo, error) {
+	return s.IngestCtx(context.Background(), workflowID, doc) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// IngestCtx is Ingest with the request context: ctx carries the trace
+// span into the journal append and is observability-only.
+func (s *Store) IngestCtx(ctx context.Context, workflowID string, doc []byte) (*RunInfo, error) {
 	sc := scratchPool.Get().(*ingestScratch)
 	defer scratchPool.Put(sc)
 	w := sc.wire()
 	if err := sc.decodeDoc(w, doc); err != nil {
 		return nil, errf(engine.ErrInvalidTrace, "ingest", "malformed run document: %v", err)
 	}
-	return s.ingestWire(workflowID, w, true, nil, sc)
+	return s.ingestWire(ctx, workflowID, w, true, nil, sc)
 }
 
 // wireLine is one NDJSON record: exactly one of the fields is set.
@@ -179,6 +188,12 @@ type wireLine struct {
 // partially ingested. A single line longer than MaxNDJSONLineBytes
 // rejects the run with ErrBadInput.
 func (s *Store) IngestNDJSON(workflowID string, r io.Reader) (*RunInfo, error) {
+	return s.IngestNDJSONCtx(context.Background(), workflowID, r) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// IngestNDJSONCtx is IngestNDJSON with the request context (see
+// IngestCtx).
+func (s *Store) IngestNDJSONCtx(ctx context.Context, workflowID string, r io.Reader) (*RunInfo, error) {
 	sc := scratchPool.Get().(*ingestScratch)
 	sc.br.Reset(r)
 	defer func() {
@@ -232,7 +247,7 @@ func (s *Store) IngestNDJSON(workflowID string, r io.Reader) (*RunInfo, error) {
 			break
 		}
 	}
-	return s.ingestWire(workflowID, w, true, nil, sc)
+	return s.ingestWire(ctx, workflowID, w, true, nil, sc)
 }
 
 // accumulate folds one NDJSON record into the run under construction.
@@ -269,7 +284,12 @@ func accumulate(w *wireRun, rec *wireLine, lineNo int) *engine.Error {
 // workflow's read lock, insert into the shard, journal, snapshot.
 // rawDoc, when non-nil, is an already-canonical document to retain
 // verbatim (the restore path — keeps recovered runs byte-identical).
-func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool, rawDoc []byte, sc *ingestScratch) (*RunInfo, error) {
+func (s *Store) ingestWire(ctx context.Context, workflowID string, w *wireRun, journal bool, rawDoc []byte, sc *ingestScratch) (*RunInfo, error) {
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "runs", "ingest")
+	defer span.End()
+	span.SetAttr("workflow", workflowID)
+	span.SetAttr("run", w.Run)
 	lw, err := s.reg.Get(workflowID)
 	if err != nil {
 		return nil, wrapErr("ingest", err)
@@ -328,7 +348,7 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool, rawDoc [
 			// ingest is gated until the background probe resyncs the
 			// store — which folds this run into a snapshot — the same
 			// contract as the registry's mutations.
-			ws, jerr := s.journal.RunIngested(workflowID, run.id, run.doc)
+			ws, jerr := s.journal.RunIngested(ctx, workflowID, run.id, run.doc)
 			if jerr != nil {
 				return s.reg.JournalFault("ingest", jerr)
 			}
@@ -340,6 +360,10 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool, rawDoc [
 		return nil, wrapErr("ingest", err)
 	}
 	s.ingested.Add(1)
+	if journal {
+		obs.MIngestRuns.Inc()
+		obs.MIngestLatency.Observe(time.Since(start).Seconds())
+	}
 
 	if wantSnap {
 		// The run's WAL growth passed the snapshot trigger: fold the
@@ -347,7 +371,7 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool, rawDoc [
 		// fresh snapshot. Taken outside the shard lock — the provider
 		// re-reads the shard.
 		if serr := lw.State(func(st *engine.LiveState) error {
-			return s.journal.SnapshotWorkflow(st)
+			return s.journal.SnapshotWorkflow(ctx, st)
 		}); serr != nil && !engine.IsCode(serr, engine.ErrUnknownWorkflow) {
 			return nil, wrapErr("ingest", s.reg.JournalFault("ingest", serr))
 		}
@@ -364,10 +388,20 @@ func (s *Store) ingestWire(workflowID string, w *wireRun, journal bool, rawDoc [
 // journal's batch append, so one group-commit fsync covers the burst.
 // The returned infos are in document order.
 func (s *Store) IngestBatch(workflowID string, docs [][]byte) ([]RunInfo, error) {
+	return s.IngestBatchCtx(context.Background(), workflowID, docs) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// IngestBatchCtx is IngestBatch with the request context (see
+// IngestCtx).
+func (s *Store) IngestBatchCtx(ctx context.Context, workflowID string, docs [][]byte) ([]RunInfo, error) {
 	infos := make([]RunInfo, 0, len(docs))
 	if len(docs) == 0 {
 		return infos, nil
 	}
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "runs", "ingest.batch")
+	defer span.End()
+	span.SetAttr("workflow", workflowID)
 	lw, err := s.reg.Get(workflowID)
 	if err != nil {
 		return nil, wrapErr("ingest", err)
@@ -424,7 +458,7 @@ func (s *Store) IngestBatch(workflowID string, docs [][]byte) ([]RunInfo, error)
 		}
 		if s.journal != nil {
 			// One batch append: contiguous records, one durability wait.
-			ws, jerr := s.journal.RunsIngested(workflowID, ids, runDocs)
+			ws, jerr := s.journal.RunsIngested(ctx, workflowID, ids, runDocs)
 			if jerr != nil {
 				return s.reg.JournalFault("ingest", jerr)
 			}
@@ -436,10 +470,12 @@ func (s *Store) IngestBatch(workflowID string, docs [][]byte) ([]RunInfo, error)
 		return nil, wrapErr("ingest", err)
 	}
 	s.ingested.Add(int64(len(docs)))
+	obs.MIngestRuns.Add(uint64(len(docs)))
+	obs.MIngestLatency.Observe(time.Since(start).Seconds())
 
 	if wantSnap {
 		if serr := lw.State(func(st *engine.LiveState) error {
-			return s.journal.SnapshotWorkflow(st)
+			return s.journal.SnapshotWorkflow(ctx, st)
 		}); serr != nil && !engine.IsCode(serr, engine.ErrUnknownWorkflow) {
 			return nil, wrapErr("ingest", s.reg.JournalFault("ingest", serr))
 		}

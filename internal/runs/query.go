@@ -3,10 +3,12 @@ package runs
 import (
 	"context"
 	"sync"
+	"time"
 
 	"wolves/internal/bitset"
 	"wolves/internal/dag"
 	"wolves/internal/engine"
+	"wolves/internal/obs"
 	"wolves/internal/provenance"
 	"wolves/internal/view"
 )
@@ -144,6 +146,15 @@ func (a *Answer) Release() {
 // read lock; the two produce byte-identical answers (see
 // TestLabelAnswersMatchClosureRows).
 func (s *Store) Lineage(workflowID string, q Query) (*Answer, error) {
+	return s.LineageCtx(context.Background(), workflowID, q) //lint:allow ctxpass compat wrapper anchors its own root
+}
+
+// LineageCtx is Lineage with the request context: ctx carries the
+// request's trace span so the serve shows up in the trace tail. The
+// instrumentation is allocation-free — two clock reads, a pooled span
+// when sampled, atomic counter/histogram updates — so the warm serve
+// path stays 0 allocs/op (TestLineageAllocationCeiling guards it).
+func (s *Store) LineageCtx(ctx context.Context, workflowID string, q Query) (*Answer, error) {
 	level := q.Level
 	if level == "" {
 		level = LevelExact
@@ -184,19 +195,42 @@ func (s *Store) Lineage(workflowID string, q Query) (*Answer, error) {
 			"run %q has no artifact %q", q.Run, q.Artifact)
 	}
 	s.queries.Add(1)
+	start := time.Now()
+	_, span := obs.StartSpan(ctx, "runs", "lineage")
+	span.SetAttr("workflow", workflowID)
+	span.SetAttr("level", level)
 
 	// Two label attempts: the second absorbs an epoch that moved between
 	// the load and the audited-delta pin. Anything rarer than that — or
 	// a workflow with no label index at all — serves from closure rows.
 	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			obs.MLineageDriftRetries.Inc()
+		}
 		if ans, qerr, served := s.lineageLabels(lw, run, q, ai, level, dir); served {
+			span.End()
 			if qerr != nil {
 				return nil, qerr
 			}
+			finishLineage(level, start)
 			return ans, nil
 		}
 	}
-	return s.lineageRows(lw, run, q, ai, level, dir)
+	obs.MLineageFallbacks.Inc()
+	ans, err := s.lineageRows(lw, run, q, ai, level, dir)
+	span.End()
+	if err == nil {
+		finishLineage(level, start)
+	}
+	return ans, err
+}
+
+// finishLineage records the per-level serve counters and latency for
+// one answered query. Kept out of line (and off a defer closure) so the
+// hot path pays exactly two atomic bumps and a histogram observe.
+func finishLineage(level string, start time.Time) {
+	obs.MLineageQueries.With(level).Inc()
+	obs.MLineageLatency.With(level).Observe(time.Since(start).Seconds())
 }
 
 // lineageLabels serves one query entirely from the published read
@@ -618,7 +652,7 @@ func (s *Store) LineageBatch(ctx context.Context, workflowID string, qs []Query,
 	results := make([]BatchResult, len(qs))
 	engine.FanOut(ctx, workers, len(qs),
 		func(i int) {
-			a, err := s.Lineage(workflowID, qs[i])
+			a, err := s.LineageCtx(ctx, workflowID, qs[i])
 			if err != nil {
 				results[i] = BatchResult{Err: wrapErr("lineage", err)}
 				return

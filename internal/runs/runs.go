@@ -30,6 +30,7 @@
 package runs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,16 +45,20 @@ import (
 // WAL record and reports whether the workflow's WAL growth passed the
 // snapshot trigger; the store then follows up with SnapshotWorkflow
 // under the workflow's read lock. A nil Journal means purely in-memory.
+// Like engine.Journal, every method takes the operation's context first:
+// it carries the request's trace span (internal/obs) into the storage
+// layer and is observability-only — appends are never abandoned on
+// cancellation.
 type Journal interface {
 	// RunIngested journals one ingested (or replaced) run document.
-	RunIngested(workflowID, runID string, doc []byte) (wantSnapshot bool, err error)
+	RunIngested(ctx context.Context, workflowID, runID string, doc []byte) (wantSnapshot bool, err error)
 	// RunsIngested journals a batch of run documents for one workflow as
 	// contiguous records with a single durability wait, so one
 	// group-commit fsync covers the whole burst (IngestBatch).
-	RunsIngested(workflowID string, runIDs []string, docs [][]byte) (wantSnapshot bool, err error)
+	RunsIngested(ctx context.Context, workflowID string, runIDs []string, docs [][]byte) (wantSnapshot bool, err error)
 	// SnapshotWorkflow folds the workflow into a fresh snapshot covering
 	// everything journaled so far (runs included, via the run provider).
-	SnapshotWorkflow(st *engine.LiveState) error
+	SnapshotWorkflow(ctx context.Context, st *engine.LiveState) error
 }
 
 // Store is the concurrent multi-run provenance store, layered on the
@@ -365,7 +370,8 @@ func (s *Store) RestoreRun(workflowID, runID string, doc []byte) error {
 		w.Run = runID // pre-canonical document: re-encode below instead
 		raw = nil
 	}
-	_, ierr := s.ingestWire(workflowID, w, false, raw, sc)
+	ctx := context.Background() //lint:allow ctxpass replay of durable state: journaling is off, nothing downstream to trace or cancel
+	_, ierr := s.ingestWire(ctx, workflowID, w, false, raw, sc)
 	if ierr != nil {
 		return ierr
 	}

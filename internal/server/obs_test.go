@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wolves/internal/obs"
+)
+
+// setSampleN flips the process-global trace sampling for one test and
+// returns the restore.
+func setSampleN(t *testing.T, n int64) func() {
+	t.Helper()
+	prev := obs.DefaultTracer.SampleN()
+	obs.DefaultTracer.SetSampleN(n)
+	return func() { obs.DefaultTracer.SetSampleN(prev) }
+}
+
+// TestStatsBuildInfo pins the PR 10 additions to /v1/stats: the build
+// section (version/commit from the embedded build info, the toolchain,
+// a live goroutine count) and the deprecation note pointing time-series
+// consumers at /metrics — without disturbing the existing fields.
+func TestStatsBuildInfo(t *testing.T) {
+	ts, _ := bootRunServer(t)
+	status, body := do(t, ts, http.MethodGet, "/v1/stats", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, body)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	// Test binaries carry no module version or VCS stamp; the fields
+	// must still be present and non-empty ("unknown" fallbacks).
+	if st.Build.Version == "" || st.Build.Commit == "" {
+		t.Fatalf("build identity missing: %+v", st.Build)
+	}
+	if !strings.HasPrefix(st.Build.GoVersion, "go") {
+		t.Fatalf("go_version = %q", st.Build.GoVersion)
+	}
+	if st.Build.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", st.Build.Goroutines)
+	}
+	if !strings.Contains(st.MetricsNote, "/metrics") {
+		t.Fatalf("metrics_note must point at /metrics: %q", st.MetricsNote)
+	}
+	// Byte-level compat: the raw body still carries every pre-PR-10 key.
+	for _, key := range []string{`"status"`, `"uptime_seconds"`, `"requests"`, `"workers"`,
+		`"cache"`, `"health"`, `"registry"`, `"runs"`, `"labels"`, `"build"`, `"metrics_note"`} {
+		if !strings.Contains(body, key) {
+			t.Fatalf("stats body lost %s: %s", key, body)
+		}
+	}
+}
+
+// TestMetricsEndpoint drives a real request through the instrumented
+// mux and asserts /metrics serves Prometheus text exposition with the
+// route counters, the latency histogram and the scrape-time collectors
+// live.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := bootRunServer(t)
+	if status, body := do(t, ts, http.MethodGet, "/v1/stats", "", ""); status != http.StatusOK {
+		t.Fatalf("warm request: %d %s", status, body)
+	}
+	status, body := do(t, ts, http.MethodGet, "/metrics", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", status, body)
+	}
+	for _, want := range []string{
+		"# TYPE wolves_http_requests_total counter",
+		`wolves_http_requests_total{code="2xx",route="GET /v1/stats"}`,
+		"# TYPE wolves_http_request_seconds histogram",
+		`wolves_http_request_seconds_bucket{le="+Inf"}`,
+		"wolves_http_request_seconds_count",
+		`wolves_lineage_queries_total{level="audited"}`,
+		"wolves_live_workflows 1",
+		"wolves_goroutines",
+		"wolves_build_info{",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestTraceTailEndpoint turns sampling on, serves one request and reads
+// it back from /debug/traces.
+func TestTraceTailEndpoint(t *testing.T) {
+	ts, _ := bootRunServer(t)
+	restore := setSampleN(t, 1)
+	defer restore()
+	if status, _ := do(t, ts, http.MethodGet, "/v1/workflows", "", ""); status != http.StatusOK {
+		t.Fatal("traced request failed")
+	}
+	status, body := do(t, ts, http.MethodGet, "/debug/traces?n=16", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/traces: %d %s", status, body)
+	}
+	var tail struct {
+		SampleN int64 `json:"sample_n"`
+		Spans   []struct {
+			Component string `json:"component"`
+			Name      string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &tail); err != nil {
+		t.Fatalf("trace tail is not JSON: %v\n%s", err, body)
+	}
+	if tail.SampleN != 1 {
+		t.Fatalf("sample_n = %d", tail.SampleN)
+	}
+	found := false
+	for _, sp := range tail.Spans {
+		if sp.Component == "http" && sp.Name == "GET /v1/workflows" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("traced request not in tail: %s", body)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -107,7 +108,7 @@ type LineageRequest struct {
 // attachDecoded attaches a raw view document to lw, resolving the view
 // ID (explicit, else the document's name). The returned version is the
 // one the report was validated under.
-func attachDecoded(lw *engine.LiveWorkflow, vid string, raw json.RawMessage) (*soundness.Report, uint64, error) {
+func attachDecoded(ctx context.Context, lw *engine.LiveWorkflow, vid string, raw json.RawMessage) (*soundness.Report, uint64, error) {
 	if len(raw) == 0 {
 		return nil, 0, &engine.Error{Code: engine.ErrBadInput, Op: "attach", Message: "missing view"}
 	}
@@ -120,7 +121,7 @@ func attachDecoded(lw *engine.LiveWorkflow, vid string, raw json.RawMessage) (*s
 		}
 		vid = peek.Name
 	}
-	return lw.AttachView(vid, func(wf *workflow.Workflow) (*view.View, error) {
+	return lw.AttachViewCtx(ctx, vid, func(wf *workflow.Workflow) (*view.View, error) {
 		return view.DecodeJSON(wf, bytes.NewReader(raw))
 	})
 }
@@ -172,7 +173,7 @@ func (s *Server) handleWorkflowPut(w http.ResponseWriter, r *http.Request) {
 		}
 		attach = append(attach, pending{vid: vid, v: v})
 	}
-	lw, err := s.reg.Register(r.PathValue("id"), wf)
+	lw, err := s.reg.RegisterCtx(r.Context(), r.PathValue("id"), wf)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -180,7 +181,7 @@ func (s *Server) handleWorkflowPut(w http.ResponseWriter, r *http.Request) {
 	resp := RegisterResponse{ID: lw.ID(), Version: lw.Version()}
 	for _, p := range attach {
 		pv := p.v
-		rep, version, err := lw.AttachView(p.vid, func(*workflow.Workflow) (*view.View, error) { return pv, nil })
+		rep, version, err := lw.AttachViewCtx(r.Context(), p.vid, func(*workflow.Workflow) (*view.View, error) { return pv, nil })
 		if err != nil {
 			writeError(w, err)
 			return
@@ -225,7 +226,7 @@ func (s *Server) handleWorkflowGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleWorkflowDelete(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+	if err := s.reg.DeleteCtx(r.Context(), r.PathValue("id")); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -248,7 +249,7 @@ func (s *Server) handleWorkflowMutate(w http.ResponseWriter, r *http.Request) {
 	for _, t := range req.Tasks {
 		m.Tasks = append(m.Tasks, workflow.Task{ID: t.ID, Name: t.Name, Kind: t.Kind})
 	}
-	res, err := lw.Mutate(m)
+	res, err := lw.MutateCtx(r.Context(), m)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -269,7 +270,7 @@ func (s *Server) handleViewPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &engine.Error{Code: engine.ErrBadInput, Op: "attach", Message: err.Error(), Err: err})
 		return
 	}
-	rep, version, err := attachDecoded(lw, r.PathValue("vid"), raw)
+	rep, version, err := attachDecoded(r.Context(), lw, r.PathValue("vid"), raw)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -284,7 +285,7 @@ func (s *Server) handleViewDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := lw.DetachView(r.PathValue("vid")); err != nil {
+	if err := lw.DetachViewCtx(r.Context(), r.PathValue("vid")); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -81,11 +82,27 @@ type RecoveryInfo struct {
 	WallMillis       int64 `json:"wall_millis"`
 }
 
+// BuildStats identifies the running binary and its runtime state for
+// /v1/stats: the module version and VCS commit from the embedded build
+// info, the Go toolchain, and the live goroutine count.
+type BuildStats struct {
+	Version    string `json:"version"`
+	Commit     string `json:"commit"`
+	GoVersion  string `json:"go_version"`
+	Goroutines int    `json:"goroutines"`
+}
+
 // StatsResponse is the body of GET /v1/stats: the oracle cache's
 // hit/miss/eviction/invalidation counters, the registry population with
 // per-workflow versions, the run store's resident and lifetime counters
 // (runs, artifacts, bytes journaled), the reachability label index's
-// build/patch/memory counters, and the boot-time recovery summary.
+// build/patch/memory counters, the build identity, and the boot-time
+// recovery summary.
+//
+// Deprecation note: /v1/stats is a point-in-time JSON snapshot kept for
+// humans and existing tooling. Time-series monitoring should scrape
+// GET /metrics (Prometheus text exposition) instead; MetricsNote says
+// so on the wire.
 type StatsResponse struct {
 	Status        string            `json:"status"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
@@ -97,6 +114,8 @@ type StatsResponse struct {
 	Runs          runs.Stats        `json:"runs"`
 	Labels        engine.LabelStats `json:"labels"`
 	Recovery      *RecoveryInfo     `json:"recovery,omitempty"`
+	Build         BuildStats        `json:"build"`
+	MetricsNote   string            `json:"metrics_note"`
 }
 
 // isNDJSON reports whether the request body is an NDJSON stream.
@@ -131,7 +150,7 @@ func (s *Server) handleRunIngest(w http.ResponseWriter, r *http.Request) {
 	var info *runs.RunInfo
 	var err error
 	if isNDJSON(r) {
-		info, err = s.runs.IngestNDJSON(id, r.Body)
+		info, err = s.runs.IngestNDJSONCtx(r.Context(), id, r.Body)
 	} else {
 		var raw []byte
 		raw, err = io.ReadAll(r.Body)
@@ -152,7 +171,7 @@ func (s *Server) handleRunIngest(w http.ResponseWriter, r *http.Request) {
 			for i, d := range docs {
 				batch[i] = d
 			}
-			infos, berr := s.runs.IngestBatch(id, batch)
+			infos, berr := s.runs.IngestBatchCtx(r.Context(), id, batch)
 			if berr != nil {
 				writeError(w, berr)
 				return
@@ -160,7 +179,7 @@ func (s *Server) handleRunIngest(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, RunListResponse{Workflow: id, Count: len(infos), Runs: infos})
 			return
 		}
-		info, err = s.runs.Ingest(id, raw)
+		info, err = s.runs.IngestCtx(r.Context(), id, raw)
 	}
 	if err != nil {
 		writeError(w, err)
@@ -205,7 +224,7 @@ func (s *Server) handleRunLineage(w http.ResponseWriter, r *http.Request) {
 	default:
 		q.Witness = true
 	}
-	ans, err := s.runs.Lineage(r.PathValue("id"), q)
+	ans, err := s.runs.LineageCtx(r.Context(), r.PathValue("id"), q)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -289,6 +308,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rs.Versions[info.ID] = info.Version
 		rs.Views += len(info.Views)
 	}
+	version, commit := buildInfo()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -300,5 +320,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Runs:          s.runs.Stats(),
 		Labels:        s.reg.LabelStats(),
 		Recovery:      s.recovery,
+		Build: BuildStats{
+			Version:    version,
+			Commit:     commit,
+			GoVersion:  runtime.Version(),
+			Goroutines: runtime.NumGoroutine(),
+		},
+		MetricsNote: "point-in-time snapshot; scrape GET /metrics for time series",
 	})
 }

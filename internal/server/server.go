@@ -35,6 +35,11 @@
 //	GET  /v1/workflows/{id}/runs/{rid}/lineage     ?artifact=…&level=exact|view|audited
 //	POST /v1/workflows/{id}/runs/query             batch lineage queries
 //	GET  /v1/stats                                 observability counters
+//
+// Observability (see internal/obs and obs.go):
+//
+//	GET  /metrics                                  Prometheus text exposition
+//	GET  /debug/traces                             recent trace spans (JSON tail)
 package server
 
 import (
@@ -50,6 +55,7 @@ import (
 
 	"wolves/internal/core"
 	"wolves/internal/engine"
+	"wolves/internal/obs"
 	"wolves/internal/runs"
 	"wolves/internal/soundness"
 	"wolves/internal/view"
@@ -165,6 +171,7 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 		}
 		s.ingestSem = make(chan struct{}, n)
 	}
+	s.bindCollectors()
 	return s
 }
 
@@ -175,32 +182,39 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 func (s *Server) StartDraining() { s.draining.Store(true) }
 
 // Handler returns the wolvesd route table wrapped in the server's
-// load-shedding middleware: every request gets a context deadline
+// middleware: every route carries the observability wrapper (trace
+// span, latency histogram, request counters, slow-query log — see
+// obs.go), and every request gets a context deadline
 // (WithRequestTimeout) and a body size cap (WithMaxBodyBytes) before a
 // handler sees it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/validate", s.handleValidate)
-	mux.HandleFunc("POST /v1/correct", s.handleCorrect)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /v1/workflows", s.handleWorkflowList)
-	mux.HandleFunc("PUT /v1/workflows/{id}", s.handleWorkflowPut)
-	mux.HandleFunc("GET /v1/workflows/{id}", s.handleWorkflowGet)
-	mux.HandleFunc("DELETE /v1/workflows/{id}", s.handleWorkflowDelete)
-	mux.HandleFunc("POST /v1/workflows/{id}/mutate", s.handleWorkflowMutate)
-	mux.HandleFunc("PUT /v1/workflows/{id}/views/{vid}", s.handleViewPut)
-	mux.HandleFunc("DELETE /v1/workflows/{id}/views/{vid}", s.handleViewDelete)
-	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/validate", s.handleViewValidate)
-	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/correct", s.handleViewCorrect)
-	mux.HandleFunc("POST /v1/workflows/{id}/views/{vid}/lineage", s.handleViewLineage)
-	mux.HandleFunc("POST /v1/workflows/{id}/runs", s.handleRunIngest)
-	mux.HandleFunc("GET /v1/workflows/{id}/runs", s.handleRunList)
-	mux.HandleFunc("GET /v1/workflows/{id}/runs/{rid}", s.handleRunGet)
-	mux.HandleFunc("GET /v1/workflows/{id}/runs/{rid}/lineage", s.handleRunLineage)
-	mux.HandleFunc("POST /v1/workflows/{id}/runs/query", s.handleRunQuery)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, instrument(pattern, h))
+	}
+	handle("POST /v1/validate", s.handleValidate)
+	handle("POST /v1/correct", s.handleCorrect)
+	handle("POST /v1/batch", s.handleBatch)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
+	handle("GET /v1/workflows", s.handleWorkflowList)
+	handle("PUT /v1/workflows/{id}", s.handleWorkflowPut)
+	handle("GET /v1/workflows/{id}", s.handleWorkflowGet)
+	handle("DELETE /v1/workflows/{id}", s.handleWorkflowDelete)
+	handle("POST /v1/workflows/{id}/mutate", s.handleWorkflowMutate)
+	handle("PUT /v1/workflows/{id}/views/{vid}", s.handleViewPut)
+	handle("DELETE /v1/workflows/{id}/views/{vid}", s.handleViewDelete)
+	handle("POST /v1/workflows/{id}/views/{vid}/validate", s.handleViewValidate)
+	handle("POST /v1/workflows/{id}/views/{vid}/correct", s.handleViewCorrect)
+	handle("POST /v1/workflows/{id}/views/{vid}/lineage", s.handleViewLineage)
+	handle("POST /v1/workflows/{id}/runs", s.handleRunIngest)
+	handle("GET /v1/workflows/{id}/runs", s.handleRunList)
+	handle("GET /v1/workflows/{id}/runs/{rid}", s.handleRunGet)
+	handle("GET /v1/workflows/{id}/runs/{rid}/lineage", s.handleRunLineage)
+	handle("POST /v1/workflows/{id}/runs/query", s.handleRunQuery)
+	handle("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", instrument("GET /metrics", obs.Default.Handler()))
+	mux.Handle("GET /debug/traces", instrument("GET /debug/traces", obs.DefaultTracer.Handler()))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -111,7 +112,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				stl.Version++
-				if err := st.Committed(batch, stl); err != nil {
+				if err := st.Committed(context.Background(), batch, stl); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -206,7 +207,7 @@ func TestFsyncFailurePoisonsThenProbeRecovers(t *testing.T) {
 	// The poison is sticky: the store reports unavailable without ever
 	// re-fsyncing the suspect segment.
 	var ju interface{ JournalUnavailable() bool }
-	if _, jerr := st.RunIngested("phylo", "r", []byte("{}")); !errors.As(jerr, &ju) {
+	if _, jerr := st.RunIngested(context.Background(), "phylo", "r", []byte("{}")); !errors.As(jerr, &ju) {
 		t.Fatalf("poisoned store must report JournalUnavailable, got %v", jerr)
 	}
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wolves/internal/engine"
+	"wolves/internal/obs"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
 )
@@ -187,6 +188,9 @@ func (s *Store) RecoverWithRuns(reg *engine.Registry, rr RunRestorer) (*Recovery
 		}
 	}
 	stats.WallMillis = time.Since(start).Milliseconds()
+	obs.MRecoveryRecords.Add(uint64(stats.Replayed))
+	obs.MRecoveryRuns.Add(uint64(stats.Runs))
+	obs.MRecoverySeconds.Set(stats.WallMillis)
 	return stats, nil
 }
 

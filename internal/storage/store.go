@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -11,9 +12,14 @@ import (
 	"time"
 
 	"wolves/internal/engine"
+	"wolves/internal/obs"
 	"wolves/internal/storage/vfs"
 	"wolves/internal/view"
 )
+
+// storeLog narrates cold-path store events (snapshot retries,
+// poisoning, probe recovery); the hot append path never logs.
+var storeLog = obs.NewLogger("storage")
 
 // Defaults for Options zero values.
 const (
@@ -400,8 +406,13 @@ func (s *Store) writeSnapshot(st *engine.LiveState, coverLSN uint64, wfRaw []byt
 			break
 		}
 		if attempt == snapRetryMax-1 {
+			storeLog.Error("snapshot write failed, store poisoned",
+				"workflow", st.ID, "attempts", snapRetryMax, "err", err)
 			return s.fail(err)
 		}
+		obs.MSnapshotRetries.Inc()
+		storeLog.Warn("snapshot write failed, retrying",
+			"workflow", st.ID, "attempt", attempt+1, "backoff", backoff, "err", err)
 		if errors.Is(err, syscall.ENOSPC) {
 			s.mu.Lock()
 			covered := s.coveredLocked()
@@ -423,6 +434,8 @@ func (s *Store) writeSnapshot(st *engine.LiveState, coverLSN uint64, wfRaw []byt
 	ws.sinceSnapRecs = 0
 	ws.sinceSnapBytes = 0
 	ws.lastSnapBytes = size
+	obs.MSnapshotPublishes.Inc()
+	obs.MSnapshotBytes.Add(uint64(size))
 	covered := s.coveredLocked()
 	s.mu.Unlock()
 	s.wal.compact(covered)
@@ -446,7 +459,7 @@ func (s *Store) coveredLocked() uint64 {
 // Registered appends a registration record and immediately snapshots the
 // newborn workflow, giving it a covered LSN so compaction is never
 // blocked by a workflow that happens not to mutate.
-func (s *Store) Registered(st *engine.LiveState) error {
+func (s *Store) Registered(ctx context.Context, st *engine.LiveState) error {
 	wfRaw, err := marshalWorkflowJSON(st.Workflow)
 	if err != nil {
 		return s.fail(err)
@@ -475,7 +488,10 @@ func (s *Store) Registered(st *engine.LiveState) error {
 // Committed appends the mutation batch; once the workflow's WAL growth
 // passes the snapshot trigger (see Options.SnapshotBytes) it is folded
 // into a fresh snapshot and fully covered segments are compacted.
-func (s *Store) Committed(batch *engine.AppliedBatch, st *engine.LiveState) error {
+func (s *Store) Committed(ctx context.Context, batch *engine.AppliedBatch, st *engine.LiveState) error {
+	ctx, span := obs.StartSpan(ctx, "storage", "committed")
+	defer span.End()
+	span.SetAttr("workflow", st.ID)
 	s.mu.Lock()
 	if err := s.usableLocked(); err != nil {
 		s.mu.Unlock()
@@ -524,7 +540,7 @@ func (s *Store) Committed(batch *engine.AppliedBatch, st *engine.LiveState) erro
 // the same snapshot trigger as mutations: a workflow whose views churn
 // without mutating still gets folded into snapshots and its log still
 // compacts, keeping the ~2x-of-live-state disk bound honest.
-func (s *Store) ViewAttached(st *engine.LiveState, vid string, v *view.View) error {
+func (s *Store) ViewAttached(ctx context.Context, st *engine.LiveState, vid string, v *view.View) error {
 	raw, err := marshalViewJSON(v)
 	if err != nil {
 		return s.fail(err)
@@ -560,7 +576,7 @@ func (s *Store) ViewAttached(st *engine.LiveState, vid string, v *view.View) err
 }
 
 // ViewDetached appends the detach record.
-func (s *Store) ViewDetached(st *engine.LiveState, vid string) error {
+func (s *Store) ViewDetached(ctx context.Context, st *engine.LiveState, vid string) error {
 	body, err := encodeDetachBody(st.ID, vid, st.Version)
 	if err != nil {
 		return s.fail(err)
@@ -595,7 +611,7 @@ func (s *Store) ViewDetached(st *engine.LiveState, vid string) error {
 // only then removes the snapshot file — so a crash anywhere in between
 // leaves either the workflow intact (delete never acknowledged) or a
 // durable delete that replay honors; never a silently lost workflow.
-func (s *Store) Deleted(id string) error {
+func (s *Store) Deleted(ctx context.Context, id string) error {
 	body, err := encodeDeleteBody(id)
 	if err != nil {
 		return s.fail(err)
@@ -646,7 +662,9 @@ func (s *Store) Deleted(id string) error {
 // compacts — but the snapshot itself is the caller's follow-up (the run
 // store calls SnapshotWorkflow under the workflow's read lock), because
 // this method has no LiveState in hand.
-func (s *Store) RunIngested(workflowID, runID string, doc []byte) (bool, error) {
+func (s *Store) RunIngested(ctx context.Context, workflowID, runID string, doc []byte) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "storage", "run.journal")
+	defer span.End()
 	s.mu.Lock()
 	if err := s.usableLocked(); err != nil {
 		s.mu.Unlock()
@@ -700,7 +718,9 @@ func (s *Store) appendRunLocked(workflowID, runID string, doc []byte) (uint64, e
 // waits on the last record's group-commit ticket, so the whole burst
 // rides one fsync instead of one per run. The snapshot-trigger answer
 // covers the batch as a whole.
-func (s *Store) RunsIngested(workflowID string, runIDs []string, docs [][]byte) (bool, error) {
+func (s *Store) RunsIngested(ctx context.Context, workflowID string, runIDs []string, docs [][]byte) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "storage", "runs.journal")
+	defer span.End()
 	if len(runIDs) == 0 {
 		return false, nil
 	}
@@ -728,7 +748,7 @@ func (s *Store) RunsIngested(workflowID string, runIDs []string, docs [][]byte) 
 // caller holds st's workflow lock (the run store calls through
 // LiveWorkflow.State), which keeps st stable and serializes snapshots of
 // the same workflow.
-func (s *Store) SnapshotWorkflow(st *engine.LiveState) error {
+func (s *Store) SnapshotWorkflow(ctx context.Context, st *engine.LiveState) error {
 	s.mu.Lock()
 	if err := s.usableLocked(); err != nil {
 		s.mu.Unlock()

@@ -13,9 +13,9 @@ import (
 	"testing"
 
 	"wolves/internal/engine"
-	"wolves/internal/storage/vfs"
 	"wolves/internal/gen"
 	"wolves/internal/runs"
+	"wolves/internal/storage/vfs"
 	"wolves/internal/view"
 	"wolves/internal/workflow"
 )

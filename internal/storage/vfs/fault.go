@@ -66,7 +66,9 @@ type injectedError struct {
 	err error
 }
 
-func (e *injectedError) Error() string { return "vfs: injected " + e.op.String() + " fault: " + e.err.Error() }
+func (e *injectedError) Error() string {
+	return "vfs: injected " + e.op.String() + " fault: " + e.err.Error()
+}
 func (e *injectedError) Unwrap() error { return e.err }
 func (e *injectedError) Is(target error) bool {
 	return target == ErrInjected || errors.Is(e.err, target)

@@ -71,11 +71,11 @@ func (osFS) Lock(name string) (File, error) {
 	return f, nil
 }
 
-func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(name string) error                    { return os.Remove(name) }
-func (osFS) Truncate(name string, size int64) error      { return os.Truncate(name, size) }
-func (osFS) Stat(name string) (os.FileInfo, error)       { return os.Stat(name) }
-func (osFS) ReadDir(name string) ([]os.DirEntry, error)  { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
 func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
 
 // ReadFile reads name in full through fsys.

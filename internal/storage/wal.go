@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"wolves/internal/obs"
 	"wolves/internal/storage/vfs"
 )
 
@@ -193,6 +194,7 @@ func (w *wal) append(rec record) (uint64, error) {
 		return 0, &walWriteError{err: err}
 	}
 	if w.mode == FsyncAlways {
+		obs.MWALFsyncs.Inc()
 		if err := w.f.Sync(); err != nil {
 			// The write landed but its fsync failed: the record's pages may
 			// already be dropped (fsyncgate), and the store never assigned
@@ -209,6 +211,8 @@ func (w *wal) append(rec record) (uint64, error) {
 	}
 	w.maxLSN = rec.lsn
 	w.writeSeq++
+	obs.MWALAppends.Inc()
+	obs.MWALAppendBytes.Add(uint64(n))
 	return w.writeSeq, nil
 }
 
@@ -237,6 +241,7 @@ func (w *wal) waitDurable(ticket uint64) error {
 		f := w.f
 		top := w.writeSeq
 		w.mu.Unlock()
+		obs.MWALFsyncs.Inc()
 		err := f.Sync()
 		w.syncMu.Lock()
 		w.syncing = false
@@ -245,6 +250,9 @@ func (w *wal) waitDurable(ticket uint64) error {
 			// fsyncs before sealing, so those records are already safe.
 			w.syncErr = err
 		} else if top > w.syncedSeq {
+			// The leader's fsync covered every record up to top: that is
+			// the group-commit batch riding this one flush.
+			obs.MWALGroupCommit.Observe(float64(top - w.syncedSeq))
 			w.syncedSeq = top
 		}
 		w.syncCond.Broadcast()
@@ -287,6 +295,7 @@ func (w *wal) rotateLocked() error {
 	w.f = f
 	w.size = int64(len(segMagic))
 	w.maxLSN = 0
+	obs.MWALRotations.Inc()
 	return nil
 }
 
@@ -340,6 +349,7 @@ func (w *wal) reopen() error {
 	w.f = f
 	w.size = int64(len(segMagic))
 	w.maxLSN = 0
+	obs.MWALRotations.Inc()
 	w.werr = nil
 	w.syncMu.Lock()
 	w.syncErr = nil
